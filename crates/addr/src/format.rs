@@ -1,0 +1,77 @@
+//! Formatting helpers for measurement output files.
+
+use crate::Prefix;
+use std::net::Ipv6Addr;
+
+/// Fully expanded lowercase representation, `2001:0db8:0000:...:0001`.
+///
+/// Hitlist files in the paper's data release use the expanded form so that
+/// line-oriented tools can slice nybbles by column.
+pub fn expanded(a: Ipv6Addr) -> String {
+    let s = a.segments();
+    format!(
+        "{:04x}:{:04x}:{:04x}:{:04x}:{:04x}:{:04x}:{:04x}:{:04x}",
+        s[0], s[1], s[2], s[3], s[4], s[5], s[6], s[7]
+    )
+}
+
+/// Parse one address per line, skipping blank lines and `#` comments.
+///
+/// Returns `(addresses, bad_line_numbers)`; bad lines (1-based) are
+/// reported rather than silently dropped so ingest bugs are visible.
+pub fn parse_addr_lines(input: &str) -> (Vec<Ipv6Addr>, Vec<usize>) {
+    let mut addrs = Vec::new();
+    let mut bad = Vec::new();
+    for (i, line) in input.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        match line.parse::<Ipv6Addr>() {
+            Ok(a) => addrs.push(a),
+            Err(_) => bad.push(i + 1),
+        }
+    }
+    (addrs, bad)
+}
+
+/// Render a prefix list, one per line, sorted — the aliased-prefix file
+/// format of the paper's hitlist service.
+pub fn prefix_lines(prefixes: &[Prefix]) -> String {
+    let mut sorted: Vec<Prefix> = prefixes.to_vec();
+    sorted.sort();
+    let mut out = String::new();
+    for p in sorted {
+        out.push_str(&p.to_string());
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn expanded_form() {
+        let a: Ipv6Addr = "2001:db8::1".parse().unwrap();
+        assert_eq!(expanded(a), "2001:0db8:0000:0000:0000:0000:0000:0001");
+    }
+
+    #[test]
+    fn parse_lines_with_comments_and_errors() {
+        let input = "# header\n2001:db8::1\n\nnot-an-addr\n::2\n";
+        let (addrs, bad) = parse_addr_lines(input);
+        assert_eq!(addrs.len(), 2);
+        assert_eq!(bad, vec![4]);
+    }
+
+    #[test]
+    fn prefix_lines_sorted() {
+        let out = prefix_lines(&[
+            "2001:db9::/32".parse().unwrap(),
+            "2001:db8::/32".parse().unwrap(),
+        ]);
+        assert_eq!(out, "2001:db8::/32\n2001:db9::/32\n");
+    }
+}

@@ -1,0 +1,95 @@
+//! Bounded iteration over address ranges.
+
+use crate::{u128_to_addr, Prefix};
+use std::net::Ipv6Addr;
+
+/// Iterator over the addresses of a prefix, in order.
+///
+/// Deliberately bounded: constructing an iterator over a prefix wider than
+/// `/96` (2^32 addresses) is almost always a bug in measurement code, so
+/// [`AddrIter::new`] refuses it. Use sampling for wide prefixes.
+#[derive(Debug, Clone)]
+pub struct AddrIter {
+    next: u128,
+    remaining: u128,
+}
+
+impl AddrIter {
+    /// Iterate over every address in `prefix`.
+    ///
+    /// Returns `None` if the prefix is shorter than /96 — enumerate-all is
+    /// the IPv4 mindset the paper argues against.
+    pub fn new(prefix: Prefix) -> Option<Self> {
+        if prefix.len() < 96 {
+            return None;
+        }
+        Some(AddrIter {
+            next: u128::from_be_bytes(prefix.first().octets()),
+            remaining: prefix.size(),
+        })
+    }
+
+    /// Iterate over the first `n` addresses of `prefix` (any length).
+    pub fn take_first(prefix: Prefix, n: u128) -> Self {
+        AddrIter {
+            next: u128::from_be_bytes(prefix.first().octets()),
+            remaining: n.min(prefix.size()),
+        }
+    }
+}
+
+impl Iterator for AddrIter {
+    type Item = Ipv6Addr;
+
+    fn next(&mut self) -> Option<Ipv6Addr> {
+        if self.remaining == 0 {
+            return None;
+        }
+        let out = u128_to_addr(self.next);
+        self.remaining -= 1;
+        self.next = self.next.wrapping_add(1);
+        Some(out)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let n = usize::try_from(self.remaining).unwrap_or(usize::MAX);
+        (n, usize::try_from(self.remaining).ok())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn enumerates_small_prefix() {
+        let p: Prefix = "2001:db8::/126".parse().unwrap();
+        let v: Vec<Ipv6Addr> = AddrIter::new(p).unwrap().collect();
+        assert_eq!(v.len(), 4);
+        assert_eq!(v[0], "2001:db8::".parse::<Ipv6Addr>().unwrap());
+        assert_eq!(v[3], "2001:db8::3".parse::<Ipv6Addr>().unwrap());
+    }
+
+    #[test]
+    fn refuses_wide_prefix() {
+        let p: Prefix = "2001:db8::/64".parse().unwrap();
+        assert!(AddrIter::new(p).is_none());
+    }
+
+    #[test]
+    fn take_first_caps_at_size() {
+        let p: Prefix = "2001:db8::/127".parse().unwrap();
+        let v: Vec<_> = AddrIter::take_first(p, 100).collect();
+        assert_eq!(v.len(), 2);
+        let q: Prefix = "2001:db8::/32".parse().unwrap();
+        let w: Vec<_> = AddrIter::take_first(q, 5).collect();
+        assert_eq!(w.len(), 5);
+    }
+
+    #[test]
+    fn size_hint_exact() {
+        let p: Prefix = "2001:db8::/120".parse().unwrap();
+        let it = AddrIter::new(p).unwrap();
+        assert_eq!(it.size_hint(), (256, Some(256)));
+    }
+}

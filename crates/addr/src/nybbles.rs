@@ -1,0 +1,136 @@
+//! Nybble-level view of IPv6 addresses.
+//!
+//! The paper models an address as `A = (x_1, …, x_32)`, a sequence of 32 hex
+//! characters (§4 eq. (2)). This module uses **0-based** indices: nybble 0 is
+//! the most significant hex digit. The paper's 1-based "nybble 9" is our
+//! index 8.
+
+use crate::{addr_to_u128, u128_to_addr};
+use std::net::Ipv6Addr;
+
+/// Number of nybbles in an IPv6 address.
+pub const NYBBLES: usize = 32;
+
+/// Extract nybble `i` (0-based from the most significant digit).
+///
+/// # Panics
+/// Panics if `i >= 32`.
+#[inline]
+pub fn nybble(a: Ipv6Addr, i: usize) -> u8 {
+    assert!(i < NYBBLES, "nybble index {i} out of range");
+    ((addr_to_u128(a) >> (124 - 4 * i)) & 0xf) as u8
+}
+
+/// Decompose an address into its 32 nybbles.
+#[inline]
+pub fn nybbles(a: Ipv6Addr) -> [u8; NYBBLES] {
+    let v = addr_to_u128(a);
+    let mut out = [0u8; NYBBLES];
+    for (i, slot) in out.iter_mut().enumerate() {
+        *slot = ((v >> (124 - 4 * i)) & 0xf) as u8;
+    }
+    out
+}
+
+/// Rebuild an address from 32 nybbles.
+///
+/// # Panics
+/// Panics if any nybble value exceeds 15.
+#[inline]
+pub fn from_nybbles(n: &[u8; NYBBLES]) -> Ipv6Addr {
+    let mut v = 0u128;
+    for &x in n.iter() {
+        assert!(x <= 0xf, "nybble value {x} out of range");
+        v = (v << 4) | u128::from(x);
+    }
+    u128_to_addr(v)
+}
+
+/// Return a copy of `a` with nybble `i` replaced by `val`.
+///
+/// # Panics
+/// Panics if `i >= 32` or `val > 15`.
+#[inline]
+pub fn with_nybble(a: Ipv6Addr, i: usize, val: u8) -> Ipv6Addr {
+    assert!(i < NYBBLES, "nybble index {i} out of range");
+    assert!(val <= 0xf, "nybble value {val} out of range");
+    let shift = 124 - 4 * i;
+    let cleared = addr_to_u128(a) & !(0xfu128 << shift);
+    u128_to_addr(cleared | (u128::from(val) << shift))
+}
+
+/// The address as a 32-character lowercase hex string (no colons).
+///
+/// This is the representation Entropy/IP and 6Gen operate on.
+pub fn hex_string(a: Ipv6Addr) -> String {
+    format!("{:032x}", addr_to_u128(a))
+}
+
+/// Parse a 32-character hex string back into an address.
+pub fn from_hex_string(s: &str) -> Option<Ipv6Addr> {
+    if s.len() != 32 {
+        return None;
+    }
+    u128::from_str_radix(s, 16).ok().map(u128_to_addr)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn a(s: &str) -> Ipv6Addr {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn nybble_positions() {
+        let x = a("2001:0db8:0407:8000:0151:2900:77e9:03a8");
+        assert_eq!(nybble(x, 0), 0x2);
+        assert_eq!(nybble(x, 1), 0x0);
+        assert_eq!(nybble(x, 3), 0x1);
+        assert_eq!(nybble(x, 4), 0x0);
+        assert_eq!(nybble(x, 5), 0xd);
+        assert_eq!(nybble(x, 31), 0x8);
+        assert_eq!(nybble(x, 16), 0x0); // first IID nybble
+        assert_eq!(nybble(x, 19), 0x1);
+    }
+
+    #[test]
+    fn roundtrip() {
+        let x = a("2001:db8::dead:beef");
+        assert_eq!(from_nybbles(&nybbles(x)), x);
+        let zero = a("::");
+        assert_eq!(from_nybbles(&nybbles(zero)), zero);
+        let all = a("ffff:ffff:ffff:ffff:ffff:ffff:ffff:ffff");
+        assert_eq!(from_nybbles(&nybbles(all)), all);
+    }
+
+    #[test]
+    fn with_nybble_sets_only_target() {
+        let x = a("2001:db8::1");
+        let y = with_nybble(x, 16, 0xf);
+        assert_eq!(nybble(y, 16), 0xf);
+        for i in 0..NYBBLES {
+            if i != 16 {
+                assert_eq!(nybble(y, i), nybble(x, i), "nybble {i} changed");
+            }
+        }
+    }
+
+    #[test]
+    fn hex_string_roundtrip() {
+        let x = a("2001:db8:407:8000:151:2900:77e9:3a8");
+        let s = hex_string(x);
+        assert_eq!(s.len(), 32);
+        assert_eq!(s, "20010db8040780000151290077e903a8");
+        assert_eq!(from_hex_string(&s), Some(x));
+        assert_eq!(from_hex_string("xyz"), None);
+        assert_eq!(from_hex_string(&s[..31]), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn nybble_oob_panics() {
+        nybble(a("::"), 32);
+    }
+}

@@ -1,0 +1,94 @@
+//! Property-based tests for address primitives.
+
+use expanse_addr::{
+    addr_to_u128, fanout16, keyed_random_addr, nybbles, prefix::mask, u128_to_addr, Prefix,
+};
+use proptest::prelude::*;
+use std::net::Ipv6Addr;
+
+fn arb_addr() -> impl Strategy<Value = Ipv6Addr> {
+    any::<u128>().prop_map(u128_to_addr)
+}
+
+fn arb_prefix() -> impl Strategy<Value = Prefix> {
+    (any::<u128>(), 0u8..=128).prop_map(|(bits, len)| Prefix::from_bits(bits, len))
+}
+
+proptest! {
+    #[test]
+    fn u128_addr_roundtrip(v in any::<u128>()) {
+        prop_assert_eq!(addr_to_u128(u128_to_addr(v)), v);
+    }
+
+    #[test]
+    fn nybbles_roundtrip(a in arb_addr()) {
+        let n = nybbles::nybbles(a);
+        prop_assert_eq!(nybbles::from_nybbles(&n), a);
+        for (i, &x) in n.iter().enumerate() {
+            prop_assert_eq!(nybbles::nybble(a, i), x);
+            prop_assert!(x <= 0xf);
+        }
+    }
+
+    #[test]
+    fn hex_string_roundtrip(a in arb_addr()) {
+        let s = nybbles::hex_string(a);
+        prop_assert_eq!(nybbles::from_hex_string(&s), Some(a));
+    }
+
+    #[test]
+    fn with_nybble_is_local(a in arb_addr(), i in 0usize..32, v in 0u8..16) {
+        let b = nybbles::with_nybble(a, i, v);
+        prop_assert_eq!(nybbles::nybble(b, i), v);
+        for j in 0..32 {
+            if j != i {
+                prop_assert_eq!(nybbles::nybble(b, j), nybbles::nybble(a, j));
+            }
+        }
+    }
+
+    #[test]
+    fn prefix_contains_its_bounds(p in arb_prefix()) {
+        prop_assert!(p.contains(p.first()));
+        prop_assert!(p.contains(p.last()));
+        if let Some(parent) = p.parent() {
+            prop_assert!(parent.covers(&p));
+        }
+    }
+
+    #[test]
+    fn prefix_mask_consistency(p in arb_prefix()) {
+        // Canonical form: no host bits set.
+        prop_assert_eq!(p.bits() & !mask(p.len()), 0);
+        // Display/parse roundtrip.
+        let s = p.to_string();
+        let q: Prefix = s.parse().unwrap();
+        prop_assert_eq!(p, q);
+    }
+
+    #[test]
+    fn keyed_random_addr_contained(p in arb_prefix(), salt in any::<u64>()) {
+        prop_assert!(p.contains(keyed_random_addr(p, salt)));
+    }
+
+    #[test]
+    fn fanout_covers_all_branches(bits in any::<u128>(), len in 0u8..=124, salt in any::<u64>()) {
+        let p = Prefix::from_bits(bits, len);
+        let t = fanout16(p, salt);
+        prop_assert_eq!(t.len(), 16);
+        let mut seen = [false; 16];
+        for ft in &t {
+            prop_assert!(ft.subprefix.contains(ft.addr));
+            prop_assert!(p.contains(ft.addr));
+            seen[usize::from(ft.branch)] = true;
+        }
+        prop_assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn offset_roundtrip(p in arb_prefix(), off in any::<u128>()) {
+        let off = if p.len() == 0 { off } else { off % p.size() };
+        let a = p.addr_at(off);
+        prop_assert_eq!(p.offset_of(a), Some(off));
+    }
+}

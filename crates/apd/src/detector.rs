@@ -1,0 +1,315 @@
+//! The multi-level aliased-prefix detector (§5.1–5.2).
+//!
+//! Per prefix and day: 16 fan-out targets (one pseudo-random address per
+//! 4-bit subprefix), each probed on ICMPv6 **and** TCP/80; a branch
+//! counts as responsive if either protocol answered (cross-protocol
+//! merging, §5.2). A prefix is aliased when all 16 branches responded
+//! within the sliding window.
+
+use crate::window::WindowState;
+use expanse_addr::{fanout16, Prefix};
+use expanse_netsim::Network;
+use expanse_zmap6::module::{IcmpEchoModule, TcpSynModule};
+use expanse_zmap6::{ProbeReply, Scanner};
+use std::collections::HashMap;
+use std::net::Ipv6Addr;
+
+/// Detector configuration.
+#[derive(Debug, Clone)]
+pub struct ApdConfig {
+    /// Salt for fan-out target generation (fixed ⇒ same targets daily).
+    pub salt: u64,
+    /// Sliding window length in days (paper: 3).
+    pub window: usize,
+}
+
+impl Default for ApdConfig {
+    fn default() -> Self {
+        ApdConfig { salt: 0xa11a5, window: 3 }
+    }
+}
+
+/// One day's observation for one prefix.
+#[derive(Debug, Clone, Default)]
+pub struct DayObservation {
+    /// Branch bitmap: bit b = branch b answered ICMPv6.
+    pub icmp: u16,
+    /// Branch bitmap for TCP/80 SYN-ACKs.
+    pub tcp: u16,
+    /// TCP replies per branch (for fingerprinting).
+    pub tcp_replies: Vec<Option<ProbeReply>>,
+    /// ICMP replies per branch (TTL evidence).
+    pub icmp_replies: Vec<Option<ProbeReply>>,
+}
+
+impl DayObservation {
+    /// Cross-protocol merged bitmap (§5.2).
+    pub fn merged(&self) -> u16 {
+        self.icmp | self.tcp
+    }
+
+    /// Did all 16 branches answer (single-day view)?
+    pub fn full(&self) -> bool {
+        self.merged() == 0xffff
+    }
+}
+
+/// One day's report across all probed prefixes.
+#[derive(Debug, Clone, Default)]
+pub struct DayReport {
+    /// Per-prefix branch observations for the day.
+    pub observations: HashMap<Prefix, DayObservation>,
+    /// Probes sent.
+    pub probes_sent: u64,
+    /// Unique target addresses probed (each gets 2 probes).
+    pub targets: u64,
+}
+
+/// The stateful detector.
+#[derive(Debug, Default)]
+pub struct Apd {
+    /// Detector configuration.
+    pub cfg: ApdConfig,
+    /// Sliding-window state per prefix.
+    pub windows: HashMap<Prefix, WindowState>,
+}
+
+impl Apd {
+    /// Create a new instance.
+    pub fn new(cfg: ApdConfig) -> Self {
+        Apd {
+            cfg,
+            windows: HashMap::new(),
+        }
+    }
+
+    /// Probe all `prefixes` once (one "day"), update window state, and
+    /// return the raw observations. Probing batches the fan-out targets
+    /// of every prefix into two scans (one per protocol), zmap-style.
+    pub fn run_day<N: Network>(
+        &mut self,
+        scanner: &mut Scanner<N>,
+        prefixes: &[Prefix],
+    ) -> DayReport {
+        // Build the combined target list with back-references.
+        let mut targets: Vec<Ipv6Addr> = Vec::with_capacity(prefixes.len() * 16);
+        let mut back: HashMap<Ipv6Addr, (usize, u8)> = HashMap::new();
+        for (pi, p) in prefixes.iter().enumerate() {
+            for t in fanout16(*p, self.cfg.salt) {
+                // Collisions across overlapping prefixes are possible
+                // (e.g. /64 and /68 plans); first plan wins, the branch
+                // simply gets probed once.
+                back.entry(t.addr).or_insert((pi, t.branch));
+                targets.push(t.addr);
+            }
+        }
+        targets.sort();
+        targets.dedup();
+
+        let icmp_scan = scanner.scan(&targets, &IcmpEchoModule);
+        let tcp_scan = scanner.scan(&targets, &TcpSynModule::with_synopt(80));
+
+        let mut report = DayReport {
+            probes_sent: icmp_scan.sent + tcp_scan.sent,
+            targets: targets.len() as u64,
+            ..DayReport::default()
+        };
+        for p in prefixes {
+            report.observations.insert(
+                *p,
+                DayObservation {
+                    icmp: 0,
+                    tcp: 0,
+                    tcp_replies: vec![None; 16],
+                    icmp_replies: vec![None; 16],
+                },
+            );
+        }
+        for (addr, reply) in &icmp_scan.replies {
+            if !reply.kind.is_positive() {
+                continue;
+            }
+            // §5.1's /116 carve case: a reply from a *different* address
+            // does not count for the probed branch.
+            if reply.from != *addr {
+                continue;
+            }
+            if let Some((pi, branch)) = back.get(addr) {
+                let obs = report
+                    .observations
+                    .get_mut(&prefixes[*pi])
+                    .expect("prefix observed");
+                obs.icmp |= 1 << branch;
+                obs.icmp_replies[usize::from(*branch)] = Some(reply.clone());
+            }
+        }
+        for (addr, reply) in &tcp_scan.replies {
+            if !reply.kind.is_positive() || reply.from != *addr {
+                continue;
+            }
+            if let Some((pi, branch)) = back.get(addr) {
+                let obs = report
+                    .observations
+                    .get_mut(&prefixes[*pi])
+                    .expect("prefix observed");
+                obs.tcp |= 1 << branch;
+                obs.tcp_replies[usize::from(*branch)] = Some(reply.clone());
+            }
+        }
+
+        // Update sliding windows.
+        for (p, obs) in &report.observations {
+            self.windows
+                .entry(*p)
+                .or_insert_with(|| WindowState::new(self.cfg.window))
+                .push_day(obs.merged());
+        }
+        report
+    }
+
+    /// Current windowed classification: prefixes whose branches have all
+    /// responded within the window.
+    pub fn aliased_prefixes(&self) -> Vec<Prefix> {
+        let mut v: Vec<Prefix> = self
+            .windows
+            .iter()
+            .filter(|(_, w)| w.aliased())
+            .map(|(p, _)| *p)
+            .collect();
+        v.sort();
+        v
+    }
+
+    /// Prefixes whose classification has flipped at least once.
+    pub fn unstable_prefixes(&self) -> Vec<Prefix> {
+        let mut v: Vec<Prefix> = self
+            .windows
+            .iter()
+            .filter(|(_, w)| w.flips() > 0)
+            .map(|(p, _)| *p)
+            .collect();
+        v.sort();
+        v
+    }
+
+    /// Build the longest-prefix-match filter from the current aliased
+    /// set.
+    pub fn filter(&self) -> crate::filter::AliasFilter {
+        crate::filter::AliasFilter::new(self.aliased_prefixes())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use expanse_model::{InternetModel, ModelConfig};
+    use expanse_zmap6::ScanConfig;
+
+    fn scanner() -> Scanner<InternetModel> {
+        Scanner::new(
+            InternetModel::build(ModelConfig::tiny(55)),
+            ScanConfig::default(),
+        )
+    }
+
+    #[test]
+    fn detects_cdn_hook_as_aliased() {
+        let mut s = scanner();
+        let hooks: Vec<Prefix> = s.network_mut().population.special.cdn_hook_48s[..4].to_vec();
+        let mut apd = Apd::new(ApdConfig::default());
+        for day in 0..2 {
+            s.network_mut().set_day(day);
+            apd.run_day(&mut s, &hooks);
+        }
+        let aliased = apd.aliased_prefixes();
+        assert_eq!(aliased, hooks, "all hook /48s should classify aliased");
+    }
+
+    #[test]
+    fn non_aliased_64_not_detected() {
+        let mut s = scanner();
+        // A live-host /64 from a site pool that is genuinely outside any
+        // aliased region: fan-out targets are random addresses there,
+        // which do not respond.
+        let site64 = {
+            let net = s.network_mut();
+            net.population
+                .sites
+                .iter()
+                .flat_map(|sp| sp.addrs.iter())
+                .map(|a| Prefix::new(*a, 64))
+                .find(|p64| {
+                    (0..4u64).all(|k| {
+                        net.population
+                            .aliases
+                            .resolve(expanse_addr::keyed_random_addr(*p64, k))
+                            .is_none()
+                    })
+                })
+                .expect("a non-aliased site /64 exists")
+        };
+        let mut apd = Apd::new(ApdConfig::default());
+        apd.run_day(&mut s, &[site64]);
+        assert!(apd.aliased_prefixes().is_empty());
+    }
+
+    #[test]
+    fn partial96_not_aliased_but_children_are() {
+        let mut s = scanner();
+        let p96 = s.network_mut().population.special.partial96;
+        let children: Vec<Prefix> = (0..16u128).map(|b| p96.subprefix(4, b)).collect();
+        let mut plan = vec![p96];
+        plan.extend(&children);
+        let mut apd = Apd::new(ApdConfig::default());
+        for day in 0..2 {
+            s.network_mut().set_day(day);
+            apd.run_day(&mut s, &plan);
+        }
+        let aliased = apd.aliased_prefixes();
+        assert!(
+            !aliased.contains(&p96),
+            "fan-out must notice the 7 silent /100s"
+        );
+        // The 9 aliased children detected (modulo loss, at least 7).
+        let hit = children.iter().filter(|c| aliased.contains(c)).count();
+        assert!((7..=9).contains(&hit), "detected {hit} of 9 aliased /100s");
+    }
+
+    #[test]
+    fn carve116_shows_15_of_16() {
+        let mut s = scanner();
+        let p116 = s.network_mut().population.special.carve116;
+        let mut apd = Apd::new(ApdConfig::default());
+        let report = apd.run_day(&mut s, &[p116]);
+        let obs = &report.observations[&p116];
+        let merged = obs.merged();
+        assert_eq!(merged & 1, 0, "branch 0x0 must be silent (carved)");
+        let answered = merged.count_ones();
+        assert!((13..=15).contains(&answered), "answered={answered}");
+        assert!(!apd.aliased_prefixes().contains(&p116));
+    }
+
+    #[test]
+    fn probe_accounting() {
+        let mut s = scanner();
+        let hooks = vec![s.network_mut().population.special.cdn_hook_48s[0]];
+        let mut apd = Apd::new(ApdConfig::default());
+        let report = apd.run_day(&mut s, &hooks);
+        assert_eq!(report.targets, 16);
+        assert_eq!(report.probes_sent, 32); // 16 ICMP + 16 TCP
+    }
+
+    #[test]
+    fn cross_protocol_merge_rescues_icmp_loss() {
+        // Construct observations directly: ICMP lost branch 3, TCP got it.
+        let mut obs = DayObservation {
+            icmp: !(1 << 3),
+            tcp: 1 << 3,
+            tcp_replies: vec![None; 16],
+            icmp_replies: vec![None; 16],
+        };
+        assert!(obs.full());
+        obs.tcp = 0;
+        assert!(!obs.full());
+    }
+}

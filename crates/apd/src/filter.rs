@@ -1,0 +1,131 @@
+//! The aliased-prefix filter: longest-prefix matching over detection
+//! results (§5.1: "we perform longest-prefix matching to determine
+//! whether a specific IPv6 address falls into an aliased prefix... If a
+//! target IP address falls into an aliased prefix, we remove it from
+//! that day's ZMapv6 and scamper scans").
+//!
+//! Multi-level detection can mark a /64 aliased and one of its /68
+//! children non-aliased (or vice versa); LPM ensures the most specific
+//! verdict wins per address.
+
+use expanse_addr::Prefix;
+use expanse_trie::PrefixTrie;
+use std::net::Ipv6Addr;
+
+/// Verdict for a prefix level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Verdict {
+    /// The prefix is aliased: remove contained addresses.
+    Aliased,
+    /// The prefix is explicitly non-aliased (carves out an aliased parent).
+    NonAliased,
+}
+
+/// The LPM filter.
+#[derive(Debug, Clone, Default)]
+pub struct AliasFilter {
+    trie: PrefixTrie<Verdict>,
+    n_aliased: usize,
+}
+
+impl AliasFilter {
+    /// Build from a set of aliased prefixes only (everything else
+    /// implicitly non-aliased).
+    pub fn new(aliased: impl IntoIterator<Item = Prefix>) -> Self {
+        let mut f = AliasFilter::default();
+        for p in aliased {
+            f.mark(p, Verdict::Aliased);
+        }
+        f
+    }
+
+    /// Record an explicit verdict for a prefix (multi-level detection
+    /// feeds both aliased and non-aliased levels so LPM can carve).
+    pub fn mark(&mut self, p: Prefix, v: Verdict) {
+        if self.trie.insert(p, v).is_none() && v == Verdict::Aliased {
+            self.n_aliased += 1;
+        }
+    }
+
+    /// Is `addr` inside an aliased prefix, by longest-prefix match?
+    pub fn is_aliased(&self, addr: Ipv6Addr) -> bool {
+        matches!(
+            self.trie.longest_match(addr),
+            Some((_, Verdict::Aliased))
+        )
+    }
+
+    /// Split a hitlist into (kept, removed).
+    pub fn split(&self, addrs: &[Ipv6Addr]) -> (Vec<Ipv6Addr>, Vec<Ipv6Addr>) {
+        let mut kept = Vec::new();
+        let mut removed = Vec::new();
+        for &a in addrs {
+            if self.is_aliased(a) {
+                removed.push(a);
+            } else {
+                kept.push(a);
+            }
+        }
+        (kept, removed)
+    }
+
+    /// Number of aliased prefixes in the filter.
+    pub fn aliased_count(&self) -> usize {
+        self.n_aliased
+    }
+
+    /// The aliased prefixes (sorted).
+    pub fn aliased_prefixes(&self) -> Vec<Prefix> {
+        self.trie
+            .iter()
+            .filter(|(_, v)| **v == Verdict::Aliased)
+            .map(|(p, _)| p)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lpm_decides() {
+        let mut f = AliasFilter::new(["2001:db8::/48".parse().unwrap()]);
+        // Carve a non-aliased /52 inside.
+        f.mark("2001:db8:0:1000::/52".parse().unwrap(), Verdict::NonAliased);
+        assert!(f.is_aliased("2001:db8::1".parse().unwrap()));
+        assert!(!f.is_aliased("2001:db8:0:1234::1".parse().unwrap()));
+        assert!(!f.is_aliased("2001:db9::1".parse().unwrap()));
+    }
+
+    #[test]
+    fn split_hitlist() {
+        let f = AliasFilter::new(["2001:db8::/32".parse().unwrap()]);
+        let addrs: Vec<Ipv6Addr> = vec![
+            "2001:db8::1".parse().unwrap(),
+            "2a00::1".parse().unwrap(),
+            "2001:db8:ffff::2".parse().unwrap(),
+        ];
+        let (kept, removed) = f.split(&addrs);
+        assert_eq!(kept.len(), 1);
+        assert_eq!(removed.len(), 2);
+    }
+
+    #[test]
+    fn counts() {
+        let mut f = AliasFilter::new([
+            "2001:db8::/48".parse().unwrap(),
+            "2001:db9::/48".parse().unwrap(),
+        ]);
+        assert_eq!(f.aliased_count(), 2);
+        f.mark("2001:db8::/48".parse().unwrap(), Verdict::Aliased); // dup
+        assert_eq!(f.aliased_count(), 2);
+        assert_eq!(f.aliased_prefixes().len(), 2);
+    }
+
+    #[test]
+    fn empty_filter_keeps_everything() {
+        let f = AliasFilter::default();
+        assert!(!f.is_aliased("::1".parse().unwrap()));
+    }
+}

@@ -1,0 +1,144 @@
+//! Probe planning: which prefixes to test at which levels (§5.1).
+//!
+//! The paper maps hitlist addresses "to all prefixes from 64 to 124, in
+//! 4-bit steps", limits probing to prefixes with more than `min_targets`
+//! (100) known addresses — exempting /64s so every known /64 is analyzed
+//! — and separately probes BGP-announced prefixes as announced.
+
+use expanse_addr::Prefix;
+use std::collections::HashMap;
+use std::net::Ipv6Addr;
+
+/// Planning parameters.
+#[derive(Debug, Clone)]
+pub struct PlanConfig {
+    /// Smallest (shortest) level, inclusive. Paper: 64.
+    pub min_level: u8,
+    /// Largest (longest) level, inclusive. Paper: 124.
+    pub max_level: u8,
+    /// Level step in bits. Paper: 4.
+    pub step: u8,
+    /// Target-count gate for levels other than `min_level`. Paper: >100.
+    pub min_targets: usize,
+}
+
+impl Default for PlanConfig {
+    fn default() -> Self {
+        PlanConfig {
+            min_level: 64,
+            max_level: 124,
+            step: 4,
+            min_targets: 100,
+        }
+    }
+}
+
+/// Build the target-based probe plan for a hitlist.
+pub fn plan_targets(hitlist: &[Ipv6Addr], cfg: &PlanConfig) -> Vec<Prefix> {
+    assert!(cfg.step > 0 && cfg.min_level <= cfg.max_level);
+    let mut counts: HashMap<Prefix, usize> = HashMap::new();
+    let mut level = cfg.min_level;
+    while level <= cfg.max_level {
+        for &a in hitlist {
+            *counts.entry(Prefix::new(a, level)).or_insert(0) += 1;
+        }
+        level = level.saturating_add(cfg.step);
+        if level == cfg.max_level.saturating_add(cfg.step) {
+            break;
+        }
+    }
+    let mut out: Vec<Prefix> = counts
+        .into_iter()
+        .filter(|(p, n)| p.len() == cfg.min_level || *n > cfg.min_targets)
+        .map(|(p, _)| p)
+        .collect();
+    out.sort();
+    out
+}
+
+/// Build the BGP-based plan: announced prefixes as-is, fan-out-able
+/// (length ≤ 124) only.
+pub fn plan_bgp(announcements: &[Prefix]) -> Vec<Prefix> {
+    let mut out: Vec<Prefix> = announcements
+        .iter()
+        .copied()
+        .filter(|p| p.len() <= 124)
+        .collect();
+    out.sort();
+    out.dedup();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use expanse_addr::u128_to_addr;
+
+    #[test]
+    fn all_64s_planned_regardless_of_count() {
+        let addrs = vec![
+            "2001:db8::1".parse().unwrap(),
+            "2001:db8:0:1::1".parse().unwrap(),
+        ];
+        let plan = plan_targets(&addrs, &PlanConfig::default());
+        assert!(plan.contains(&"2001:db8::/64".parse().unwrap()));
+        assert!(plan.contains(&"2001:db8:0:1::/64".parse().unwrap()));
+        // No deeper levels: only 1 address each.
+        assert_eq!(plan.len(), 2);
+    }
+
+    #[test]
+    fn dense_region_planned_at_deeper_levels() {
+        // 150 addresses inside one /96, spread over ten /100 children
+        // (≤ 16 addresses each, under the >100 gate).
+        let addrs: Vec<_> = (0..150u128)
+            .map(|i| u128_to_addr((0x2001_0db8u128 << 96) | (i << 24)))
+            .collect();
+        let plan = plan_targets(&addrs, &PlanConfig::default());
+        assert!(plan.contains(&"2001:db8::/64".parse().unwrap()));
+        assert!(plan.contains(&"2001:db8::/96".parse().unwrap()));
+        // Levels are 4-bit steps.
+        assert!(plan.iter().all(|p| p.len() % 4 == 0));
+        // The /100s hold ≤ 100 targets each... 150 spread over 16 /100
+        // children ⇒ none pass the >100 gate. /68.. /96 all contain 150.
+        let l100: Vec<&Prefix> = plan.iter().filter(|p| p.len() == 100).collect();
+        assert!(l100.is_empty(), "{l100:?}");
+        let l68 = plan.iter().filter(|p| p.len() == 68).count();
+        assert_eq!(l68, 1);
+    }
+
+    #[test]
+    fn gate_is_strictly_greater() {
+        let cfg = PlanConfig {
+            min_targets: 10,
+            ..PlanConfig::default()
+        };
+        // Exactly 10 in one /96: should NOT pass (paper: "more than 100").
+        let addrs: Vec<_> = (0..10u128)
+            .map(|i| u128_to_addr((0x2001_0db8u128 << 96) | i))
+            .collect();
+        let plan = plan_targets(&addrs, &cfg);
+        assert!(!plan.iter().any(|p| p.len() == 96));
+        // 11 passes.
+        let addrs11: Vec<_> = (0..11u128)
+            .map(|i| u128_to_addr((0x2001_0db8u128 << 96) | i))
+            .collect();
+        let plan11 = plan_targets(&addrs11, &cfg);
+        assert!(plan11.iter().any(|p| p.len() == 96));
+    }
+
+    #[test]
+    fn bgp_plan_filters_host_routes() {
+        let plan = plan_bgp(&[
+            "2001:db8::/32".parse().unwrap(),
+            "2001:db8::/32".parse().unwrap(),
+            Prefix::host("2001:db8::1".parse().unwrap()),
+        ]);
+        assert_eq!(plan.len(), 1);
+    }
+
+    #[test]
+    fn empty_hitlist_empty_plan() {
+        assert!(plan_targets(&[], &PlanConfig::default()).is_empty());
+    }
+}

@@ -1,0 +1,352 @@
+//! Ablations of the design choices DESIGN.md calls out.
+
+use crate::ctx::{header, pct, Ctx};
+use expanse_addr::{fanout16, keyed_random_addr, Prefix};
+use expanse_apd::{Apd, ApdConfig};
+use expanse_entropy::{fingerprints_by_32, sse_curve};
+use expanse_netsim::Network;
+use expanse_zmap6::module::{IcmpEchoModule, ProbeModule};
+use expanse_zmap6::Validator;
+
+/// abl-fanout: does the nybble fan-out avoid the partial-aliasing trap
+/// that purely random probes fall into? (§5.1 case 3.)
+pub fn fanout(ctx: &mut Ctx) -> String {
+    let mut out = header(
+        "Ablation: fan-out probes vs purely random probes on a partially aliased /96",
+        "§5.1 case 3",
+    );
+    let p = ctx.pipeline();
+    let p96 = p.model_ref().population.special.partial96;
+    out.push_str(&format!(
+        "{p96}: exactly 9 of its 16 /100 children are aliased\n\n"
+    ));
+    let validator = Validator::new(1);
+    let trials = 200u64;
+    let mut random_false_positive = 0usize;
+    let mut fanout_false_positive = 0usize;
+    for trial in 0..trials {
+        // Random method: 16 uniformly random addresses in the /96.
+        let all_respond = (0..16u64).all(|k| {
+            let t = keyed_random_addr(p96, trial * 1000 + k);
+            let probe = IcmpEchoModule.build(p.cfg.scan.src, t, &validator);
+            let replies = p.scanner.network_mut().inject(
+                expanse_netsim::Time::from_micros(trial * 100 + k),
+                &probe.emit(),
+            );
+            replies.iter().any(|d| {
+                expanse_packet::Datagram::parse_transport(&d.frame)
+                    .ok()
+                    .and_then(|(h, tr)| IcmpEchoModule.classify(&h, &tr, &validator))
+                    .is_some_and(|(target, kind)| target == t && kind.is_positive())
+            })
+        });
+        if all_respond {
+            random_false_positive += 1;
+        }
+        // Fan-out method: one probe per /100 branch.
+        let all_branches = fanout16(p96, trial).iter().all(|ft| {
+            let probe = IcmpEchoModule.build(p.cfg.scan.src, ft.addr, &validator);
+            let replies = p.scanner.network_mut().inject(
+                expanse_netsim::Time::from_micros(900_000 + trial * 100 + u64::from(ft.branch)),
+                &probe.emit(),
+            );
+            !replies.is_empty()
+        });
+        if all_branches {
+            fanout_false_positive += 1;
+        }
+    }
+    out.push_str(&format!(
+        "trials: {trials}\nrandom-16 labels the /96 aliased:  {} ({})\n\
+         fan-out labels the /96 aliased:    {} ({})\n",
+        random_false_positive,
+        pct(random_false_positive as f64 / trials as f64),
+        fanout_false_positive,
+        pct(fanout_false_positive as f64 / trials as f64),
+    ));
+    let p_theory = (9.0f64 / 16.0).powi(16);
+    out.push_str(&format!(
+        "\nrandom probing should false-positive with p=(9/16)^16 ≈ {p_theory:.2e} per trial\n\
+         — small per trial but fatal at Internet scale (millions of prefixes);\n\
+         fan-out is structurally immune: branch coverage is guaranteed.\n"
+    ));
+    out
+}
+
+/// abl-crossproto: single-protocol vs cross-protocol merged APD under
+/// loss (the §5.2 mechanism).
+pub fn crossproto(ctx: &mut Ctx) -> String {
+    let mut out = header(
+        "Ablation: ICMP-only vs ICMP+TCP merged APD on lossy aliased prefixes",
+        "§5.2",
+    );
+    let p = ctx.pipeline();
+    // Lossy aliased regions: the Table 4 material.
+    let lossy_aliased: Vec<Prefix> = p
+        .model_ref()
+        .population
+        .aliases
+        .iter()
+        .map(|(px, _)| px)
+        .filter(|px| {
+            px.len() <= 124
+                && p.model_ref()
+                    .population
+                    .lossy
+                    .iter()
+                    .any(|l| l.covers(px) || *px == *l)
+        })
+        .collect();
+    if lossy_aliased.is_empty() {
+        return out + "no lossy aliased regions at this scale\n";
+    }
+    out.push_str(&format!(
+        "{} lossy aliased regions probed over 6 days\n\n",
+        lossy_aliased.len()
+    ));
+    let mut apd = Apd::new(ApdConfig { window: 0, ..ApdConfig::default() });
+    let mut icmp_full_days = 0usize;
+    let mut merged_full_days = 0usize;
+    let mut total = 0usize;
+    for day in 0..6u16 {
+        p.scanner.network_mut().set_day(day);
+        let report = apd.run_day(&mut p.scanner, &lossy_aliased);
+        for obs in report.observations.values() {
+            total += 1;
+            if obs.icmp == 0xffff {
+                icmp_full_days += 1;
+            }
+            if obs.merged() == 0xffff {
+                merged_full_days += 1;
+            }
+        }
+    }
+    out.push_str(&format!(
+        "single-day detection rate (ground truth: all are aliased):\n\
+         ICMP-only:          {} ({})\n\
+         ICMP+TCP merged:    {} ({})\n",
+        icmp_full_days,
+        pct(icmp_full_days as f64 / total as f64),
+        merged_full_days,
+        pct(merged_full_days as f64 / total as f64),
+    ));
+    out.push_str(
+        "\ncross-protocol merging converts per-branch loss p into p² — the paper's\n\
+         'greatly stabilizes our results'. The remaining misses are what the\n\
+         multi-day sliding window absorbs (Table 4).\n",
+    );
+    out
+}
+
+/// abl-gating: what the >100-target gate trades away (§5.4's deep-dive
+/// into 699 consistent-but-undetected prefixes).
+pub fn gating(ctx: &mut Ctx) -> String {
+    let mut out = header(
+        "Ablation: the >100-target gate vs probing deeper levels everywhere",
+        "§5.1/§5.4 deep dive",
+    );
+    let addrs = ctx.hitlist_addrs();
+    let gated = expanse_apd::plan_targets(&addrs, &expanse_apd::PlanConfig::default());
+    let ungated = expanse_apd::plan_targets(
+        &addrs,
+        &expanse_apd::PlanConfig {
+            min_targets: 0,
+            ..Default::default()
+        },
+    );
+    let gated_probes = gated.len() as u64 * 32;
+    let ungated_probes = ungated.len() as u64 * 32;
+    out.push_str(&format!(
+        "plan size:   gated {} prefixes ({} probes/day)\n\
+         \x20            ungated {} prefixes ({} probes/day)\n",
+        gated.len(),
+        gated_probes,
+        ungated.len(),
+        ungated_probes
+    ));
+    // Ground truth: aliased regions deeper than /64 that the gated plan
+    // cannot see because they hold ≤100 known addresses.
+    let p = ctx.pipeline();
+    let model = p.model_ref();
+    let missed: Vec<Prefix> = model
+        .population
+        .aliases
+        .iter()
+        .map(|(px, _)| px)
+        .filter(|px| px.len() > 64 && px.len() <= 124)
+        .filter(|px| !gated.contains(px))
+        .collect();
+    out.push_str(&format!(
+        "\nground-truth aliased regions deeper than /64 not individually probed \
+         under gating: {}\n",
+        missed.len()
+    ));
+    out.push_str(&format!(
+        "probe-budget saving from the gate: {} ({} fewer probes/day)\n",
+        pct(1.0 - gated_probes as f64 / ungated_probes.max(1) as f64),
+        ungated_probes.saturating_sub(gated_probes)
+    ));
+    out.push_str(
+        "\nthe paper accepts exactly this trade: 'our APD, by not probing\n\
+         low-density prefixes, may give some false negatives' — most such\n\
+         regions are still caught at the /64 level or by their covering /48.\n",
+    );
+    out
+}
+
+/// abl-cluster-as: entropy clustering at other aggregate granularities
+/// (§4.2: "We provide supplemental results obtained from clustering
+/// based on ASes, BGP prefixes, and other fingerprints").
+pub fn cluster_as(ctx: &mut Ctx) -> String {
+    let mut out = header(
+        "Ablation: entropy clustering by AS and by BGP prefix",
+        "§4.2 supplemental",
+    );
+    let min = ctx.scale.min_cluster_addrs();
+    let addrs = ctx.hitlist_addrs();
+    let p = ctx.pipeline();
+    let model = p.model_ref();
+
+    // By origin AS.
+    let by_as = expanse_entropy::fingerprint_groups(&addrs, 9, 32, min, |a| {
+        model.bgp.origin(a).map(|asn| asn.0)
+    });
+    // By covering BGP prefix.
+    let by_pfx = expanse_entropy::fingerprint_groups(&addrs, 9, 32, min, |a| {
+        model.bgp.lookup(a).map(|(px, _)| (px.bits(), px.len()))
+    });
+    for (name, groups_len, pairs) in [
+        (
+            "AS",
+            by_as.len(),
+            by_as
+                .iter()
+                .map(|(k, f, _)| (format!("AS{k}"), f.clone()))
+                .collect::<Vec<_>>(),
+        ),
+        (
+            "BGP prefix",
+            by_pfx.len(),
+            by_pfx
+                .iter()
+                .map(|(k, f, _)| (format!("{:x}/{}", k.0, k.1), f.clone()))
+                .collect::<Vec<_>>(),
+        ),
+    ] {
+        if pairs.is_empty() {
+            out.push_str(&format!("{name}: no aggregates with ≥{min} addresses
+"));
+            continue;
+        }
+        let c = expanse_entropy::cluster_networks(&pairs, 10, None, ctx.seed);
+        out.push_str(&format!(
+            "
+clustering by {name}: {groups_len} aggregates, elbow k = {}
+",
+            c.k
+        ));
+        out.push_str(&expanse_entropy::render_clusters(&c));
+    }
+    out.push_str(
+        "
+shape: the same scheme motifs appear at every granularity — the
+         clustering is a property of operators' address plans, not of the
+         /32 aggregation choice.
+",
+    );
+    out
+}
+
+/// abl-bgp-apd: APD over BGP-announced prefixes as-is (§5.1: "The former
+/// source allows us to understand the aliased prefix phenomenon on a
+/// global scale, even for prefixes where we do not have any targets").
+pub fn bgp_apd(ctx: &mut Ctx) -> String {
+    let mut out = header(
+        "Ablation: BGP-announced-prefix APD vs target-based APD",
+        "§5.1 BGP-based probing",
+    );
+    let addrs = ctx.hitlist_addrs();
+    let p = ctx.pipeline();
+    let announced: Vec<Prefix> = p
+        .model_ref()
+        .bgp
+        .announcements()
+        .iter()
+        .map(|(px, _)| *px)
+        .collect();
+    let bgp_plan = expanse_apd::plan_bgp(&announced);
+    let mut apd = Apd::new(ApdConfig::default());
+    let mut detected_bgp = 0usize;
+    for day in 0..2u16 {
+        p.scanner.network_mut().set_day(day);
+        apd.run_day(&mut p.scanner, &bgp_plan);
+    }
+    let bgp_aliased = apd.aliased_prefixes();
+    detected_bgp += bgp_aliased.len();
+    let target_plan = expanse_apd::plan_targets(&addrs, &expanse_apd::PlanConfig::default());
+    out.push_str(&format!(
+        "BGP plan: {} prefixes probed -> {} classified aliased
+",
+        bgp_plan.len(),
+        detected_bgp
+    ));
+    out.push_str(&format!(
+        "target plan (for comparison): {} prefixes
+
+",
+        target_plan.len()
+    ));
+    // BGP-level detection only fires when an announced prefix is aliased
+    // *in its entirety* — announced /32s containing aliased /48s stay
+    // non-aliased under fan-out, which is correct.
+    let truth_fully_aliased = bgp_plan
+        .iter()
+        .filter(|px| {
+            (0..4u64).all(|k| {
+                p.model_ref()
+                    .truth_aliased(expanse_addr::keyed_random_addr(**px, 9_000 + k))
+            })
+        })
+        .count();
+    out.push_str(&format!(
+        "announced prefixes that are fully aliased (ground truth sample): {truth_fully_aliased}
+"
+    ));
+    out.push_str(
+        "
+shape: the two views are complementary — BGP probing sees the global
+         phenomenon without needing targets; target probing localizes the
+         aliased regions to the responsible /48s and /64s (the paper runs both).
+",
+    );
+    out
+}
+
+/// abl-elbow: the SSE-vs-k curves behind the k≈6 / k≈4 choices.
+pub fn elbow(ctx: &mut Ctx) -> String {
+    let mut out = header(
+        "Ablation: elbow curves for full-address and IID clustering",
+        "§4 elbow method",
+    );
+    let min = ctx.scale.min_cluster_addrs();
+    let addrs = ctx.hitlist_addrs();
+    for (name, a, b, paper_k) in [("F9_32 (full)", 9, 32, 6), ("F17_32 (IID)", 17, 32, 4)] {
+        let groups = fingerprints_by_32(&addrs, a, b, min);
+        let points: Vec<Vec<f64>> = groups.iter().map(|(_, f, _)| f.values.clone()).collect();
+        if points.is_empty() {
+            continue;
+        }
+        let curve = sse_curve(&points, 12.min(points.len()), ctx.seed);
+        let k = expanse_entropy::elbow(&curve);
+        out.push_str(&format!("{name}: elbow k = {k} (paper: {paper_k})\n  k->SSE: "));
+        for (kk, sse) in &curve {
+            out.push_str(&format!("{kk}:{sse:.1} "));
+        }
+        out.push_str("\n\n");
+    }
+    out.push_str(
+        "shape: SSE drops steeply until the true scheme count, then flattens —\n\
+         increasing k past the elbow buys little (eq. 6 of the paper).\n",
+    );
+    out
+}

@@ -1,0 +1,243 @@
+//! The accumulated hitlist with per-source provenance.
+//!
+//! §3: "We accumulate all sources, i.e., IP addresses will stay
+//! indefinitely in our scanning list." Addresses carry a source bitmask
+//! so Table 2's "new IPs" column (what each source added beyond earlier
+//! sources) and per-source AS statistics can be derived.
+
+use expanse_addr::addr_to_u128;
+use expanse_model::SourceId;
+use std::collections::HashMap;
+use std::net::Ipv6Addr;
+
+/// Bitmask of sources (bit = SourceId order).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SourceMask(pub u8);
+
+impl SourceMask {
+    /// Add a protocol to the set.
+    pub fn with(self, s: SourceId) -> SourceMask {
+        SourceMask(self.0 | (1 << s as u8))
+    }
+
+    /// Contains.
+    pub fn contains(self, s: SourceId) -> bool {
+        self.0 & (1 << s as u8) != 0
+    }
+
+    /// Is empty.
+    pub fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+}
+
+/// The accumulated hitlist.
+#[derive(Debug, Clone, Default)]
+pub struct Hitlist {
+    /// Address → sources that contributed it.
+    members: HashMap<u128, SourceMask>,
+    /// Insertion-ordered addresses (stable iteration).
+    order: Vec<Ipv6Addr>,
+    /// First source that contributed each address (for "new IPs").
+    first_source: HashMap<u128, SourceId>,
+    /// Last probing day each address answered any protocol (absent =
+    /// never responded since tracking began).
+    last_responsive: HashMap<u128, u16>,
+}
+
+impl Hitlist {
+    /// Create a new instance.
+    pub fn new() -> Self {
+        Hitlist::default()
+    }
+
+    /// Add addresses from a source; returns how many were new.
+    pub fn add_from(&mut self, source: SourceId, addrs: &[Ipv6Addr]) -> usize {
+        let mut new = 0;
+        for &a in addrs {
+            let key = addr_to_u128(a);
+            let entry = self.members.entry(key).or_insert_with(|| {
+                self.order.push(a);
+                self.first_source.insert(key, source);
+                new += 1;
+                SourceMask::default()
+            });
+            *entry = entry.with(source);
+        }
+        new
+    }
+
+    /// Total unique addresses.
+    pub fn len(&self) -> usize {
+        self.order.len()
+    }
+
+    /// Is the hitlist empty?
+    pub fn is_empty(&self) -> bool {
+        self.order.is_empty()
+    }
+
+    /// All addresses in insertion order.
+    pub fn addrs(&self) -> &[Ipv6Addr] {
+        &self.order
+    }
+
+    /// Sources of one address.
+    pub fn sources_of(&self, a: Ipv6Addr) -> SourceMask {
+        self.members
+            .get(&addr_to_u128(a))
+            .copied()
+            .unwrap_or_default()
+    }
+
+    /// Membership test.
+    pub fn contains(&self, a: Ipv6Addr) -> bool {
+        self.members.contains_key(&addr_to_u128(a))
+    }
+
+    /// Addresses a source contributed (whether or not first).
+    pub fn of_source(&self, s: SourceId) -> Vec<Ipv6Addr> {
+        self.order
+            .iter()
+            .filter(|a| self.sources_of(**a).contains(s))
+            .copied()
+            .collect()
+    }
+
+    /// Addresses a source contributed *first* (Table 2's "new IPs").
+    pub fn new_of_source(&self, s: SourceId) -> Vec<Ipv6Addr> {
+        self.order
+            .iter()
+            .filter(|a| self.first_source.get(&addr_to_u128(**a)) == Some(&s))
+            .copied()
+            .collect()
+    }
+
+    /// Record that `addr` answered a probe on `day`.
+    pub fn mark_responsive(&mut self, addr: Ipv6Addr, day: u16) {
+        let key = addr_to_u128(addr);
+        if self.members.contains_key(&key) {
+            let e = self.last_responsive.entry(key).or_insert(day);
+            *e = (*e).max(day);
+        }
+    }
+
+    /// Last day `addr` answered, if ever.
+    pub fn last_responsive(&self, addr: Ipv6Addr) -> Option<u16> {
+        self.last_responsive.get(&addr_to_u128(addr)).copied()
+    }
+
+    /// Expire addresses that have not answered any probe in the last
+    /// `window` days (as of `today`). Addresses that never answered are
+    /// expired once they are `window` days old in responsiveness
+    /// tracking. Returns the number removed.
+    ///
+    /// This implements the retention policy the paper leaves as future
+    /// work (§3: "We may revisit this decision in the future, and remove
+    /// IP addresses after a certain window of unresponsiveness").
+    pub fn expire_unresponsive(&mut self, today: u16, window: u16) -> usize {
+        let cutoff = today.saturating_sub(window);
+        if cutoff == 0 {
+            return 0;
+        }
+        let before = self.order.len();
+        let last = &self.last_responsive;
+        self.order.retain(|a| {
+            let key = addr_to_u128(*a);
+            last.get(&key).copied().unwrap_or(0) >= cutoff
+        });
+        let alive: std::collections::HashSet<u128> =
+            self.order.iter().map(|a| addr_to_u128(*a)).collect();
+        self.members.retain(|k, _| alive.contains(k));
+        self.first_source.retain(|k, _| alive.contains(k));
+        self.last_responsive.retain(|k, _| alive.contains(k));
+        before - self.order.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn a(s: &str) -> Ipv6Addr {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn accumulation_and_provenance() {
+        let mut h = Hitlist::new();
+        let n1 = h.add_from(SourceId::DomainLists, &[a("::1"), a("::2")]);
+        assert_eq!(n1, 2);
+        let n2 = h.add_from(SourceId::Fdns, &[a("::2"), a("::3")]);
+        assert_eq!(n2, 1, "::2 already present");
+        assert_eq!(h.len(), 3);
+        assert!(h.sources_of(a("::2")).contains(SourceId::DomainLists));
+        assert!(h.sources_of(a("::2")).contains(SourceId::Fdns));
+        assert!(!h.sources_of(a("::1")).contains(SourceId::Fdns));
+        // New-IP attribution goes to the first source.
+        assert_eq!(h.new_of_source(SourceId::Fdns), vec![a("::3")]);
+        assert_eq!(h.of_source(SourceId::Fdns).len(), 2);
+    }
+
+    #[test]
+    fn duplicate_adds_idempotent() {
+        let mut h = Hitlist::new();
+        h.add_from(SourceId::Ct, &[a("::7"), a("::7")]);
+        assert_eq!(h.len(), 1);
+        assert_eq!(h.add_from(SourceId::Ct, &[a("::7")]), 0);
+    }
+
+    #[test]
+    fn insertion_order_stable() {
+        let mut h = Hitlist::new();
+        h.add_from(SourceId::Ct, &[a("::9"), a("::1")]);
+        h.add_from(SourceId::Axfr, &[a("::5")]);
+        assert_eq!(h.addrs(), &[a("::9"), a("::1"), a("::5")]);
+    }
+
+    #[test]
+    fn responsiveness_tracking_and_expiry() {
+        let mut h = Hitlist::new();
+        let addrs: Vec<Ipv6Addr> = (1..=4u32)
+            .map(|i| expanse_addr::u128_to_addr(u128::from(i)))
+            .collect();
+        h.add_from(SourceId::DomainLists, &addrs);
+        // Days 0..10: only addr 1 and 2 keep answering; 2 stops at day 4.
+        for day in 0..10u16 {
+            h.mark_responsive(addrs[0], day);
+            if day <= 4 {
+                h.mark_responsive(addrs[1], day);
+            }
+        }
+        assert_eq!(h.last_responsive(addrs[0]), Some(9));
+        assert_eq!(h.last_responsive(addrs[1]), Some(4));
+        assert_eq!(h.last_responsive(addrs[2]), None);
+        // Expire with a 3-day window at day 10: cutoff 7.
+        let removed = h.expire_unresponsive(10, 3);
+        assert_eq!(removed, 3);
+        assert_eq!(h.addrs(), &addrs[..1]);
+        assert!(h.contains(addrs[0]));
+        assert!(!h.contains(addrs[1]));
+        // Early days: nothing expires (cutoff saturates to 0).
+        let mut h2 = Hitlist::new();
+        h2.add_from(SourceId::Ct, &addrs);
+        assert_eq!(h2.expire_unresponsive(2, 3), 0);
+    }
+
+    #[test]
+    fn mark_unknown_address_is_noop() {
+        let mut h = Hitlist::new();
+        h.mark_responsive("::9".parse().unwrap(), 3);
+        assert_eq!(h.last_responsive("::9".parse().unwrap()), None);
+    }
+
+    #[test]
+    fn mask_bits() {
+        let m = SourceMask::default()
+            .with(SourceId::Scamper)
+            .with(SourceId::Bitnodes);
+        assert!(m.contains(SourceId::Scamper));
+        assert!(!m.contains(SourceId::Ct));
+        assert!(SourceMask::default().is_empty());
+    }
+}

@@ -1,0 +1,228 @@
+//! Longitudinal responsiveness tracking (§6.3, Fig 8).
+//!
+//! "To analyze address responsiveness over time, we probe an address
+//! continuously even if it disappears from our hitlist's daily input
+//! sources... As a baseline for each source we take all responsive
+//! addresses on the first day."
+
+use crate::hitlist::Hitlist;
+use expanse_model::SourceId;
+use expanse_packet::{ProtoSet, Protocol};
+use std::collections::{HashMap, HashSet};
+use std::net::Ipv6Addr;
+
+/// Row keys of the Fig 8 matrix: sources, with CT/AXFR split into
+/// QUIC and non-QUIC rows (their QUIC response rates flap separately).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Fig8Row {
+    /// All-protocol view of one source's baseline.
+    Source(SourceId),
+    /// QUIC-only view of a source's baseline.
+    SourceQuic(SourceId),
+}
+
+impl Fig8Row {
+    /// Label.
+    pub fn label(self) -> String {
+        match self {
+            Fig8Row::Source(s) => s.name().to_string(),
+            Fig8Row::SourceQuic(s) => format!("{} QUIC", s.name()),
+        }
+    }
+
+    /// The paper's row set.
+    pub fn all() -> Vec<Fig8Row> {
+        let mut v = Vec::new();
+        for s in SourceId::ALL {
+            v.push(Fig8Row::Source(s));
+            if matches!(s, SourceId::Ct | SourceId::Axfr) {
+                v.push(Fig8Row::SourceQuic(s));
+            }
+        }
+        v
+    }
+}
+
+/// The responsiveness ledger.
+#[derive(Debug, Clone, Default)]
+pub struct Ledger {
+    /// Baseline (day-0 responsive) per row.
+    baselines: HashMap<Fig8Row, HashSet<Ipv6Addr>>,
+    /// Per day, per row: surviving fraction of the baseline.
+    survival: HashMap<Fig8Row, Vec<f64>>,
+    days_recorded: u16,
+}
+
+impl Ledger {
+    /// Create a new instance.
+    pub fn new() -> Self {
+        Ledger::default()
+    }
+
+    /// Record one day of battery results.
+    pub fn record_day(
+        &mut self,
+        day: u16,
+        responsive: &HashMap<Ipv6Addr, ProtoSet>,
+        hitlist: &Hitlist,
+        _multi: &expanse_zmap6::MultiScanResult,
+    ) {
+        if self.baselines.is_empty() {
+            // Establish baselines on the first recorded day (after any
+            // APD warmup the pipeline ran).
+            for row in Fig8Row::all() {
+                let set: HashSet<Ipv6Addr> = responsive
+                    .iter()
+                    .filter(|(a, protos)| match row {
+                        Fig8Row::Source(s) => {
+                            hitlist.sources_of(**a).contains(s) && !protos.is_empty()
+                        }
+                        Fig8Row::SourceQuic(s) => {
+                            hitlist.sources_of(**a).contains(s)
+                                && protos.contains(Protocol::Udp443)
+                        }
+                    })
+                    .map(|(a, _)| *a)
+                    .collect();
+                self.baselines.insert(row, set);
+            }
+        }
+        for row in Fig8Row::all() {
+            let baseline = self.baselines.entry(row).or_default();
+            let alive = if baseline.is_empty() {
+                f64::NAN
+            } else {
+                let n = baseline
+                    .iter()
+                    .filter(|a| match row {
+                        Fig8Row::Source(_) => {
+                            responsive.get(a).is_some_and(|p| !p.is_empty())
+                        }
+                        Fig8Row::SourceQuic(_) => responsive
+                            .get(a)
+                            .is_some_and(|p| p.contains(Protocol::Udp443)),
+                    })
+                    .count();
+                n as f64 / baseline.len() as f64
+            };
+            self.survival.entry(row).or_default().push(alive);
+        }
+        let _ = day;
+        self.days_recorded += 1;
+    }
+
+    /// The survival series for a row (`NaN` for empty baselines).
+    pub fn series(&self, row: Fig8Row) -> &[f64] {
+        self.survival.get(&row).map(|v| v.as_slice()).unwrap_or(&[])
+    }
+
+    /// Baseline size for a row.
+    pub fn baseline_len(&self, row: Fig8Row) -> usize {
+        self.baselines.get(&row).map_or(0, |s| s.len())
+    }
+
+    /// Days recorded so far.
+    pub fn days(&self) -> u16 {
+        self.days_recorded
+    }
+
+    /// Render the Fig 8 matrix.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("{:<14} base |", "source"));
+        for d in 0..self.days_recorded {
+            out.push_str(&format!(" d{d:<4}"));
+        }
+        out.push('\n');
+        for row in Fig8Row::all() {
+            let base = self.baseline_len(row);
+            if base == 0 {
+                continue;
+            }
+            out.push_str(&format!("{:<14} {:>4} |", row.label(), base));
+            for v in self.series(row) {
+                if v.is_nan() {
+                    out.push_str("    - ");
+                } else {
+                    out.push_str(&format!(" {v:.2} "));
+                }
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn addr(i: u32) -> Ipv6Addr {
+        expanse_addr::u128_to_addr((0x2001u128 << 112) | u128::from(i))
+    }
+
+    fn mk_responsive(addrs: &[Ipv6Addr], quic: bool) -> HashMap<Ipv6Addr, ProtoSet> {
+        addrs
+            .iter()
+            .map(|a| {
+                let mut p = ProtoSet::only(Protocol::Icmp);
+                if quic {
+                    p = p.with(Protocol::Udp443);
+                }
+                (*a, p)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn survival_fractions() {
+        let mut h = Hitlist::new();
+        let addrs: Vec<Ipv6Addr> = (0..10).map(addr).collect();
+        h.add_from(SourceId::DomainLists, &addrs);
+        let mut ledger = Ledger::new();
+        let multi = expanse_zmap6::MultiScanResult::default();
+
+        // Day 0: all 10 respond.
+        ledger.record_day(0, &mk_responsive(&addrs, false), &h, &multi);
+        assert_eq!(
+            ledger.baseline_len(Fig8Row::Source(SourceId::DomainLists)),
+            10
+        );
+        // Day 1: 8 respond.
+        ledger.record_day(1, &mk_responsive(&addrs[..8], false), &h, &multi);
+        let series = ledger.series(Fig8Row::Source(SourceId::DomainLists));
+        assert_eq!(series.len(), 2);
+        assert!((series[0] - 1.0).abs() < 1e-9);
+        assert!((series[1] - 0.8).abs() < 1e-9);
+    }
+
+    #[test]
+    fn quic_rows_track_quic_only() {
+        let mut h = Hitlist::new();
+        let addrs: Vec<Ipv6Addr> = (0..4).map(addr).collect();
+        h.add_from(SourceId::Ct, &addrs);
+        let mut ledger = Ledger::new();
+        let multi = expanse_zmap6::MultiScanResult::default();
+        ledger.record_day(0, &mk_responsive(&addrs, true), &h, &multi);
+        assert_eq!(ledger.baseline_len(Fig8Row::SourceQuic(SourceId::Ct)), 4);
+        // Day 1: QUIC flaps off but ICMP persists.
+        ledger.record_day(1, &mk_responsive(&addrs, false), &h, &multi);
+        let q = ledger.series(Fig8Row::SourceQuic(SourceId::Ct));
+        assert!((q[1] - 0.0).abs() < 1e-9, "QUIC survival should drop to 0");
+        let all = ledger.series(Fig8Row::Source(SourceId::Ct));
+        assert!((all[1] - 1.0).abs() < 1e-9, "general survival unaffected");
+    }
+
+    #[test]
+    fn render_has_rows() {
+        let mut h = Hitlist::new();
+        let addrs: Vec<Ipv6Addr> = (0..3).map(addr).collect();
+        h.add_from(SourceId::RipeAtlas, &addrs);
+        let mut ledger = Ledger::new();
+        let multi = expanse_zmap6::MultiScanResult::default();
+        ledger.record_day(0, &mk_responsive(&addrs, false), &h, &multi);
+        let s = ledger.render();
+        assert!(s.contains("RA"), "{s}");
+        assert!(s.contains("1.00"), "{s}");
+    }
+}

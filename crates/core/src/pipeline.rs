@@ -1,0 +1,295 @@
+//! The daily measurement pipeline (§6): collect → merge → de-alias →
+//! traceroute → probe → record.
+
+use crate::hitlist::Hitlist;
+use crate::longitudinal::Ledger;
+use expanse_addr::Prefix;
+use expanse_apd::{Apd, ApdConfig, PlanConfig};
+use expanse_model::{InternetModel, ModelConfig, Source, SourceId};
+use expanse_packet::ProtoSet;
+use expanse_scamper6::{TraceConfig, Tracer};
+use expanse_zmap6::{standard_battery, MultiScanResult, ScanConfig, Scanner};
+use std::collections::HashMap;
+use std::net::Ipv6Addr;
+
+/// Pipeline configuration.
+#[derive(Debug, Clone)]
+pub struct PipelineConfig {
+    /// Scan.
+    pub scan: ScanConfig,
+    /// Aliased-prefix detector state.
+    pub apd: ApdConfig,
+    /// Plan.
+    pub plan: PlanConfig,
+    /// Traceroute at most this many targets per day (the paper traces
+    /// everything; we subsample to keep virtual days cheap).
+    pub trace_budget: usize,
+    /// Re-run the full APD plan every N days (between full runs, only
+    /// prefixes that ever looked nearly-aliased are re-probed).
+    pub full_apd_every: u16,
+}
+
+impl Default for PipelineConfig {
+    fn default() -> Self {
+        PipelineConfig {
+            scan: ScanConfig::default(),
+            apd: ApdConfig::default(),
+            plan: PlanConfig::default(),
+            trace_budget: 200,
+            full_apd_every: 7,
+        }
+    }
+}
+
+/// One day's outcome.
+#[derive(Debug, Clone)]
+pub struct DailySnapshot {
+    /// Probing day.
+    pub day: u16,
+    /// Hitlist size before/after the aliased-prefix filter.
+    pub hitlist_total: usize,
+    /// Hitlist after apd.
+    pub hitlist_after_apd: usize,
+    /// Aliased prefixes currently classified.
+    pub aliased_prefixes: Vec<Prefix>,
+    /// Per-address responsive protocol sets (non-aliased targets only).
+    pub responsive: HashMap<Ipv6Addr, ProtoSet>,
+    /// Router addresses harvested by scamper today.
+    pub routers_found: usize,
+    /// Probes sent today (APD + battery + traceroute).
+    pub probes_sent: u64,
+}
+
+/// The full system: model + probers + state.
+pub struct Pipeline {
+    /// Configuration.
+    pub cfg: PipelineConfig,
+    /// The probing scanner.
+    pub scanner: Scanner<InternetModel>,
+    /// Aliased-prefix detector state.
+    pub apd: Apd,
+    /// The accumulated hitlist.
+    pub hitlist: Hitlist,
+    /// The seven source samplers.
+    pub sources: Vec<Source>,
+    /// Longitudinal responsiveness ledger.
+    pub ledger: Ledger,
+    /// Prefixes worth re-probing between full APD runs.
+    hot_prefixes: Vec<Prefix>,
+    day: u16,
+}
+
+impl Pipeline {
+    /// Build a pipeline over a fresh model.
+    pub fn new(model_cfg: ModelConfig, cfg: PipelineConfig) -> Self {
+        let model = InternetModel::build(model_cfg);
+        let sources = expanse_model::sources::build_sources(&model);
+        let scanner = Scanner::new(model, cfg.scan.clone());
+        Pipeline {
+            apd: Apd::new(cfg.apd.clone()),
+            cfg,
+            scanner,
+            hitlist: Hitlist::new(),
+            sources,
+            ledger: Ledger::new(),
+            hot_prefixes: Vec::new(),
+            day: 0,
+        }
+    }
+
+    /// The underlying model.
+    pub fn model(&mut self) -> &mut InternetModel {
+        self.scanner.network_mut()
+    }
+
+    /// Shared access to the underlying model.
+    pub fn model_ref(&self) -> &InternetModel {
+        self.scanner.network()
+    }
+
+    /// Ingest every source's addresses known by runup day `runup_day`.
+    pub fn collect_sources(&mut self, runup_day: u32) {
+        // Clone the reveal slices out to appease the borrow checker.
+        let batches: Vec<(SourceId, Vec<Ipv6Addr>)> = self
+            .sources
+            .iter()
+            .map(|s| (s.id, s.addrs_on_day(runup_day).to_vec()))
+            .collect();
+        for (id, addrs) in batches {
+            self.hitlist.add_from(id, &addrs);
+        }
+    }
+
+    /// Run `days` of APD-only probing to warm up the aliased-prefix
+    /// filter before responsiveness tracking starts. The paper's
+    /// longitudinal window (Fig 8) opens with months of APD history; a
+    /// cold filter would otherwise pollute the day-0 baseline with
+    /// aliased addresses that later "die" when the filter catches them.
+    pub fn warmup_apd(&mut self, days: u16) {
+        for _ in 0..days {
+            let day = self.day;
+            self.scanner.network_mut().set_day(day);
+            let plan = expanse_apd::plan_targets(self.hitlist.addrs(), &self.cfg.plan);
+            if !plan.is_empty() {
+                self.apd.run_day(&mut self.scanner, &plan);
+            }
+            self.day += 1;
+        }
+    }
+
+    /// Run one probing day: APD, filter, traceroute subsample, battery
+    /// scan of non-aliased targets, ledger update.
+    pub fn run_day(&mut self) -> DailySnapshot {
+        let day = self.day;
+        self.scanner.network_mut().set_day(day);
+        let mut probes = 0u64;
+
+        // ---- aliased prefix detection --------------------------------
+        let plan: Vec<Prefix> = if day.is_multiple_of(self.cfg.full_apd_every) {
+            expanse_apd::plan_targets(self.hitlist.addrs(), &self.cfg.plan)
+        } else {
+            self.hot_prefixes.clone()
+        };
+        if !plan.is_empty() {
+            let report = self.apd.run_day(&mut self.scanner, &plan);
+            probes += report.probes_sent;
+            // Prefixes ≥ 14/16 branches once are worth daily attention.
+            let mut hot: Vec<Prefix> = report
+                .observations
+                .iter()
+                .filter(|(_, o)| o.merged().count_ones() >= 14)
+                .map(|(p, _)| *p)
+                .collect();
+            hot.sort();
+            for p in hot {
+                if !self.hot_prefixes.contains(&p) {
+                    self.hot_prefixes.push(p);
+                }
+            }
+        }
+        let filter = self.apd.filter();
+        let (kept, _removed) = filter.split(self.hitlist.addrs());
+
+        // ---- scamper: learn router addresses -------------------------
+        let trace_targets: Vec<Ipv6Addr> = kept
+            .iter()
+            .copied()
+            .take(self.cfg.trace_budget)
+            .collect();
+        let routers = {
+            let mut tracer = Tracer::new(
+                self.scanner.network_mut(),
+                TraceConfig {
+                    src: self.cfg.scan.src,
+                    seed: self.cfg.scan.seed ^ 0x7ace,
+                    ..TraceConfig::default()
+                },
+            );
+            let harvest = tracer.harvest(&trace_targets);
+            probes += harvest.probes_sent;
+            harvest.routers
+        };
+        let routers_found = routers.len();
+        self.hitlist.add_from(SourceId::Scamper, &routers);
+
+        // ---- responsiveness battery ----------------------------------
+        let battery = standard_battery();
+        let multi: MultiScanResult = self.scanner.scan_battery(&kept, &battery);
+        probes += multi.total_sent();
+        let responsive: HashMap<Ipv6Addr, ProtoSet> = multi.responsive.clone();
+
+        // ---- ledger ---------------------------------------------------
+        self.ledger
+            .record_day(day, &responsive, &self.hitlist, &multi);
+        for a in responsive.keys() {
+            self.hitlist.mark_responsive(*a, day);
+        }
+
+        let snapshot = DailySnapshot {
+            day,
+            hitlist_total: self.hitlist.len(),
+            hitlist_after_apd: kept.len(),
+            aliased_prefixes: self.apd.aliased_prefixes(),
+            responsive,
+            routers_found,
+            probes_sent: probes,
+        };
+        self.day += 1;
+        snapshot
+    }
+
+    /// Current probing day (next `run_day` uses this).
+    pub fn day(&self) -> u16 {
+        self.day
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_pipeline() -> Pipeline {
+        let mut cfg = PipelineConfig::default();
+        // Keep test days cheap.
+        cfg.trace_budget = 30;
+        cfg.plan.min_targets = 30;
+        Pipeline::new(ModelConfig::tiny(77), cfg)
+    }
+
+    #[test]
+    fn full_day_cycle() {
+        let mut p = tiny_pipeline();
+        p.collect_sources(30); // full runup in tiny config
+        assert!(p.hitlist.len() > 3000, "hitlist={}", p.hitlist.len());
+        let snap = p.run_day();
+        assert_eq!(snap.day, 0);
+        assert!(snap.hitlist_after_apd < snap.hitlist_total);
+        assert!(
+            !snap.aliased_prefixes.is_empty(),
+            "APD should find the CDN hooks"
+        );
+        assert!(!snap.responsive.is_empty(), "someone must answer");
+        assert!(snap.probes_sent > 1000);
+        assert_eq!(p.day(), 1);
+    }
+
+    #[test]
+    fn apd_removes_roughly_the_aliased_share() {
+        let mut p = tiny_pipeline();
+        p.collect_sources(30);
+        let snap = p.run_day();
+        let removed = snap.hitlist_total - snap.hitlist_after_apd;
+        let share = removed as f64 / snap.hitlist_total as f64;
+        // Paper: 46.6 % of addresses fall in aliased prefixes. The tiny
+        // model is noisier; accept a broad band around it.
+        assert!(
+            (0.25..=0.65).contains(&share),
+            "removed share {share} (total {}, removed {removed})",
+            snap.hitlist_total
+        );
+    }
+
+    #[test]
+    fn scamper_feeds_hitlist() {
+        let mut p = tiny_pipeline();
+        p.collect_sources(30);
+        let before = p.hitlist.len();
+        let snap = p.run_day();
+        assert!(snap.routers_found > 0);
+        assert!(p.hitlist.len() >= before);
+    }
+
+    #[test]
+    fn responsive_subset_of_kept() {
+        let mut p = tiny_pipeline();
+        p.collect_sources(10);
+        let snap = p.run_day();
+        let filter = p.apd.filter();
+        for addr in snap.responsive.keys() {
+            assert!(
+                !filter.is_aliased(*addr),
+                "{addr} responsive but aliased-filtered"
+            );
+        }
+    }
+}

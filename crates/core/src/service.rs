@@ -1,0 +1,126 @@
+//! The hitlist service outputs (§11): daily responsive-address lists and
+//! the aliased-prefix list, in the file formats the paper publishes at
+//! ipv6hitlist.github.io.
+
+use crate::pipeline::DailySnapshot;
+use expanse_addr::format::{expanded, prefix_lines};
+use expanse_packet::Protocol;
+
+/// Render the daily responsive hitlist file: one expanded address per
+/// line, preceded by a provenance header.
+pub fn hitlist_file(snap: &DailySnapshot) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "# expanse IPv6 hitlist — day {} — {} responsive of {} non-aliased targets\n",
+        snap.day,
+        snap.responsive.len(),
+        snap.hitlist_after_apd,
+    ));
+    let mut addrs: Vec<_> = snap.responsive.keys().copied().collect();
+    addrs.sort();
+    for a in addrs {
+        out.push_str(&expanded(a));
+        out.push('\n');
+    }
+    out
+}
+
+/// Render the aliased-prefix file. Detection granularity (thousands of
+/// sibling /64s under one aliased /48) is aggregated away so the file
+/// describes the phenomenon, not the probing schedule.
+pub fn aliased_prefixes_file(snap: &DailySnapshot) -> String {
+    let aggregated = expanse_trie::aggregate(&snap.aliased_prefixes);
+    let mut out = String::new();
+    out.push_str(&format!(
+        "# expanse aliased prefixes — day {} — {} prefixes ({} before aggregation)\n",
+        snap.day,
+        aggregated.len(),
+        snap.aliased_prefixes.len()
+    ));
+    out.push_str(&prefix_lines(&aggregated));
+    out
+}
+
+/// Render per-protocol responsive lists (the service offers per-service
+/// views, e.g. only HTTPS servers — "Hitlist Tailoring", §11).
+pub fn protocol_file(snap: &DailySnapshot, proto: Protocol) -> String {
+    let mut addrs: Vec<_> = snap
+        .responsive
+        .iter()
+        .filter(|(_, set)| set.contains(proto))
+        .map(|(a, _)| *a)
+        .collect();
+    addrs.sort();
+    let mut out = String::new();
+    out.push_str(&format!(
+        "# expanse {} responders — day {} — {} addresses\n",
+        proto,
+        snap.day,
+        addrs.len()
+    ));
+    for a in addrs {
+        out.push_str(&expanded(a));
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use expanse_packet::ProtoSet;
+    use std::collections::HashMap;
+    use std::net::Ipv6Addr;
+
+    fn snap() -> DailySnapshot {
+        let mut responsive: HashMap<Ipv6Addr, ProtoSet> = HashMap::new();
+        responsive.insert(
+            "2001:db8::1".parse().unwrap(),
+            ProtoSet::only(Protocol::Icmp).with(Protocol::Tcp443),
+        );
+        responsive.insert(
+            "2001:db8::2".parse().unwrap(),
+            ProtoSet::only(Protocol::Icmp),
+        );
+        DailySnapshot {
+            day: 3,
+            hitlist_total: 100,
+            hitlist_after_apd: 50,
+            aliased_prefixes: vec!["2001:db8:47::/48".parse().unwrap()],
+            responsive,
+            routers_found: 0,
+            probes_sent: 500,
+        }
+    }
+
+    #[test]
+    fn hitlist_file_format() {
+        let f = hitlist_file(&snap());
+        assert!(f.starts_with("# expanse IPv6 hitlist — day 3"));
+        assert!(f.contains("2001:0db8:0000:0000:0000:0000:0000:0001\n"));
+        assert_eq!(f.lines().count(), 3);
+        // Sorted ascending.
+        let lines: Vec<&str> = f.lines().skip(1).collect();
+        let mut sorted = lines.clone();
+        sorted.sort();
+        assert_eq!(lines, sorted);
+    }
+
+    #[test]
+    fn aliased_file_format() {
+        let f = aliased_prefixes_file(&snap());
+        assert!(f.contains("1 prefixes"));
+        assert!(f.contains("2001:db8:47::/48\n"));
+    }
+
+    #[test]
+    fn protocol_views() {
+        let https = protocol_file(&snap(), Protocol::Tcp443);
+        assert!(https.contains("0001"));
+        assert!(!https.contains("0002"));
+        let icmp = protocol_file(&snap(), Protocol::Icmp);
+        assert_eq!(icmp.lines().count(), 3);
+        let dns = protocol_file(&snap(), Protocol::Udp53);
+        assert_eq!(dns.lines().count(), 1, "header only");
+    }
+}

@@ -1,0 +1,205 @@
+//! Model configuration: every knob of the synthetic Internet.
+//!
+//! The defaults target the paper's *proportions* at roughly 1:100 of its
+//! absolute scale (≈550 k hitlist addresses instead of 55.1 M). Tests use
+//! [`ModelConfig::tiny`]; the experiment harness uses
+//! [`ModelConfig::default`] (or `paper_scale(f)` for sweeps).
+
+use serde::{Deserialize, Serialize};
+
+/// Top-level configuration for [`crate::InternetModel`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ModelConfig {
+    /// Master seed; all randomness derives from it.
+    pub seed: u64,
+
+    // ---- topology ----------------------------------------------------
+    /// Number of autonomous systems.
+    pub n_as: usize,
+    /// Mean announced prefixes per AS (skewed: a few ASes announce many).
+    pub mean_prefixes_per_as: f64,
+
+    // ---- population ---------------------------------------------------
+    /// Target number of *live* (responsive) hosts across all networks.
+    pub n_live_hosts: usize,
+    /// Ratio of ghost (known-but-unresponsive) to live addresses in
+    /// the address pools sources sample from. The paper observes only
+    /// ≈6.5 % of non-aliased hitlist addresses responding (§6.1), i.e.
+    /// ≈14 ghosts per live host.
+    pub ghost_ratio: f64,
+
+    // ---- aliasing (§5) -------------------------------------------------
+    /// Fraction of announced prefixes that contain an aliased region.
+    /// Paper: 1.5 % of prefixes are aliased.
+    pub aliased_prefix_fraction: f64,
+    /// Number of Amazon-like aliased /48s under the dominant CDN AS
+    /// (the "hook" of Fig 5b; 189 in the paper).
+    pub cdn_aliased_48s: usize,
+    /// Fraction of the hitlist address volume that the sources draw from
+    /// inside aliased prefixes. Paper: 46.6 % of addresses fall away when
+    /// aliased prefixes are filtered.
+    pub aliased_addr_share: f64,
+    /// Fraction of aliased machines with a fingerprint pathology
+    /// (time-variant option values; Table 5 finds ≈5.7 % inconsistent).
+    pub alias_pathology_rate: f64,
+
+    // ---- network weather ------------------------------------------------
+    /// Base per-packet loss probability on clean paths.
+    pub base_loss: f64,
+    /// Fraction of prefixes with high-loss paths (candidates for the
+    /// sliding-window rescue of §5.2).
+    pub lossy_prefix_fraction: f64,
+    /// Loss probability within high-loss prefixes.
+    pub lossy_prefix_loss: f64,
+    /// Number of ICMP-rate-limited /120 prefixes (§5.1 case 4: six
+    /// neighbouring /120s flapping).
+    pub rate_limited_120s: usize,
+    /// Number of SYN-proxy-protected /80 prefixes (§5.1 case).
+    pub syn_proxy_80s: usize,
+
+    // ---- longitudinal behaviour (Fig 8) ---------------------------------
+    /// Daily survival probability of server addresses (DL/FDNS/CT/AXFR).
+    pub server_daily_survival: f64,
+    /// Daily survival probability of CPE/scamper router addresses.
+    pub cpe_daily_survival: f64,
+    /// Daily survival probability of client addresses (Bitnodes).
+    pub client_daily_survival: f64,
+    /// Probability a QUIC-flaky prefix answers QUIC on a given day
+    /// (the Akamai/HDNet flapping of §6.3).
+    pub quic_flap_up_rate: f64,
+
+    // ---- simulated days --------------------------------------------------
+    /// Length of the source runup history (Fig 1a), in days.
+    pub runup_days: u32,
+}
+
+impl Default for ModelConfig {
+    fn default() -> Self {
+        ModelConfig {
+            seed: 0x6a5c_e227_53d1_90bb,
+            n_as: 1000,
+            mean_prefixes_per_as: 4.0,
+            n_live_hosts: 40_000,
+            ghost_ratio: 9.0,
+            aliased_prefix_fraction: 0.015,
+            cdn_aliased_48s: 189,
+            aliased_addr_share: 0.466,
+            alias_pathology_rate: 0.057,
+            base_loss: 0.01,
+            lossy_prefix_fraction: 0.01,
+            lossy_prefix_loss: 0.35,
+            rate_limited_120s: 6,
+            syn_proxy_80s: 1,
+            server_daily_survival: 0.9985,
+            cpe_daily_survival: 0.973,
+            client_daily_survival: 0.984,
+            quic_flap_up_rate: 0.78,
+            runup_days: 280,
+        }
+    }
+}
+
+impl ModelConfig {
+    /// A small configuration for unit/integration tests: builds in
+    /// milliseconds, still exhibits every phenomenon (aliasing, schemes,
+    /// churn, rate limiting).
+    pub fn tiny(seed: u64) -> Self {
+        ModelConfig {
+            seed,
+            n_as: 60,
+            mean_prefixes_per_as: 2.5,
+            n_live_hosts: 2_500,
+            ghost_ratio: 4.0,
+            cdn_aliased_48s: 12,
+            // Few alias machines exist at tiny scale; a higher pathology
+            // rate keeps Table 5's inconsistency mechanics observable.
+            alias_pathology_rate: 0.25,
+            rate_limited_120s: 2,
+            syn_proxy_80s: 1,
+            runup_days: 30,
+            ..ModelConfig::default()
+        }
+    }
+
+    /// Scale population counts by `f` relative to the defaults.
+    pub fn paper_scale(f: f64) -> Self {
+        let base = ModelConfig::default();
+        ModelConfig {
+            n_as: ((base.n_as as f64) * f).max(20.0) as usize,
+            n_live_hosts: ((base.n_live_hosts as f64) * f).max(500.0) as usize,
+            cdn_aliased_48s: ((base.cdn_aliased_48s as f64) * f).max(4.0) as usize,
+            ..base
+        }
+    }
+
+    /// Sanity-check invariants; called by the builder.
+    ///
+    /// # Panics
+    /// Panics on out-of-range probabilities or empty populations.
+    pub fn validate(&self) {
+        for (name, p) in [
+            ("aliased_prefix_fraction", self.aliased_prefix_fraction),
+            ("aliased_addr_share", self.aliased_addr_share),
+            ("alias_pathology_rate", self.alias_pathology_rate),
+            ("base_loss", self.base_loss),
+            ("lossy_prefix_fraction", self.lossy_prefix_fraction),
+            ("lossy_prefix_loss", self.lossy_prefix_loss),
+            ("server_daily_survival", self.server_daily_survival),
+            ("cpe_daily_survival", self.cpe_daily_survival),
+            ("client_daily_survival", self.client_daily_survival),
+            ("quic_flap_up_rate", self.quic_flap_up_rate),
+        ] {
+            assert!((0.0..=1.0).contains(&p), "{name} = {p} out of [0,1]");
+        }
+        assert!(self.n_as >= 10, "need at least 10 ASes");
+        assert!(self.n_live_hosts >= 100, "need at least 100 live hosts");
+        assert!(self.ghost_ratio >= 0.0, "ghost_ratio must be non-negative");
+        assert!(self.runup_days >= 14, "need at least 14 days of history");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_validate() {
+        ModelConfig::default().validate();
+        ModelConfig::tiny(1).validate();
+        ModelConfig::paper_scale(0.5).validate();
+    }
+
+    #[test]
+    fn tiny_is_small() {
+        let t = ModelConfig::tiny(0);
+        assert!(t.n_live_hosts < 10_000);
+        assert!(t.n_as < 100);
+    }
+
+    #[test]
+    fn paper_scale_floors() {
+        let s = ModelConfig::paper_scale(0.0001);
+        s.validate();
+        assert!(s.n_as >= 20);
+        assert!(s.n_live_hosts >= 500);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of [0,1]")]
+    fn bad_probability_caught() {
+        let cfg = ModelConfig {
+            base_loss: 1.5,
+            ..ModelConfig::default()
+        };
+        cfg.validate();
+    }
+
+    #[test]
+    fn distinct_seeds_distinct_configs() {
+        let a = ModelConfig::tiny(1);
+        let b = ModelConfig::tiny(2);
+        assert_ne!(a.seed, b.seed);
+        // Everything else identical.
+        assert_eq!(a.n_as, b.n_as);
+    }
+}

@@ -1,0 +1,722 @@
+//! The packet-answering engine: `InternetModel` as a [`Network`].
+//!
+//! Every probe the scanners emit lands here as raw IPv6 bytes. The engine
+//! routes it (BGP + hop model), applies weather (loss, ICMP rate limits,
+//! SYN proxies), resolves the responder (aliased region, live host, or
+//! nobody), and emits byte-exact replies.
+
+use crate::churn;
+use crate::fingerprint::MachineId;
+use crate::host::HostKind;
+use crate::InternetModel;
+use expanse_addr::fanout::splitmix64;
+use expanse_addr::{addr_to_u128, Prefix};
+use expanse_netsim::{Delivery, Duration, Network, SynProxy, Time, TokenBucket};
+use expanse_packet::{
+    dns, icmpv6, quic, Datagram, Icmpv6Message, ProtoSet, Protocol, TcpFlags, TcpSegment,
+    Transport, UdpDatagram,
+};
+use std::net::Ipv6Addr;
+
+/// Per-day mutable middlebox state, rebuilt on `set_day`.
+#[derive(Debug)]
+pub(crate) struct DayState {
+    pub day: u16,
+    pub icmp_buckets: Vec<(Prefix, TokenBucket)>,
+    pub syn_proxies: Vec<(Prefix, SynProxy)>,
+}
+
+impl DayState {
+    pub(crate) fn new(model: &InternetModel, day: u16) -> Self {
+        let icmp_buckets = std::iter::once(model.population.special.rate_limit_parent)
+            .map(|p| {
+                let tokens = churn::rate_limit_day_tokens(model.config.seed, day);
+                (
+                    p,
+                    TokenBucket::new(f64::from(tokens), 0.02), // barely refills
+                )
+            })
+            .collect();
+        let syn_proxies = model
+            .population
+            .special
+            .syn_proxy
+            .iter()
+            .map(|p| {
+                (
+                    *p,
+                    SynProxy::new(Duration::from_secs(20), 12, Duration::from_secs(120)),
+                )
+            })
+            .collect();
+        DayState {
+            day,
+            icmp_buckets,
+            syn_proxies,
+        }
+    }
+}
+
+/// Which responder answers a destination address.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Responder {
+    Alias {
+        machine: MachineId,
+        protos: ProtoSet,
+    },
+    Host {
+        machine: MachineId,
+        protos: ProtoSet,
+        kind: HostKind,
+    },
+    Nobody,
+}
+
+impl InternetModel {
+    /// Absolute nanoseconds for timestamp counters: day offset + intra-day
+    /// virtual time.
+    fn abs_ns(&self, now: Time) -> u64 {
+        u64::from(self.day_state.day) * churn::DAY_SECS * 1_000_000_000 + now.0
+    }
+
+    /// Path latency to a destination: keyed per /32, 8–120 ms round trip,
+    /// plus per-packet jitter.
+    fn rtt(&self, dst: Ipv6Addr, key: u64) -> Duration {
+        let net = addr_to_u128(dst) >> 96;
+        let base_ms = 8 + splitmix64(net as u64 ^ self.config.seed) % 112;
+        let jitter_us = splitmix64(key) % 8_000;
+        Duration::from_micros(base_ms * 1000 + jitter_us)
+    }
+
+    /// Forward+reverse loss decision for a (dst, protocol, day) key. The
+    /// key deliberately ignores retransmission attempts: a same-day retry
+    /// of the same probe meets the same fate, which is why the paper
+    /// merges across *protocols* and *days* instead (§5.2).
+    fn lost(&self, dst: Ipv6Addr, proto_tag: u8, extra: u64) -> bool {
+        let mut p = self.config.base_loss;
+        if self.lossy_trie.longest_match(dst).is_some() {
+            p = self.config.lossy_prefix_loss;
+        }
+        let key = splitmix64(
+            (addr_to_u128(dst) as u64)
+                ^ (addr_to_u128(dst) >> 64) as u64
+                ^ (u64::from(proto_tag) << 56)
+                ^ (u64::from(self.day_state.day) << 40)
+                ^ extra,
+        );
+        expanse_netsim::KeyedLoss::new(self.config.seed ^ 0x10c5, p).drops(key)
+    }
+
+    /// Resolve who answers `dst` at probe-day granularity.
+    fn resolve(&self, dst: Ipv6Addr) -> Responder {
+        if let Some((_, region)) = self.population.aliases.resolve(dst) {
+            return Responder::Alias {
+                machine: region.machine,
+                protos: region.protos,
+            };
+        }
+        if let Some(h) = self.population.hosts.get(&addr_to_u128(dst)) {
+            if h.online(self.day_state.day) {
+                return Responder::Host {
+                    machine: h.machine,
+                    protos: h.protos,
+                    kind: h.kind,
+                };
+            }
+        }
+        Responder::Nobody
+    }
+
+    /// Does `protos` serve `proto` *today* (QUIC flapping applied)?
+    fn serves_today(&self, dst: Ipv6Addr, protos: ProtoSet, proto: Protocol) -> bool {
+        if !protos.contains(proto) {
+            return false;
+        }
+        if proto == Protocol::Udp443 {
+            // QUIC-flaky prefixes: service comes and goes by day (§6.3).
+            let net48 = addr_to_u128(dst) >> 80;
+            if splitmix64(net48 as u64 ^ self.config.seed ^ 0xf1a9) % 100 < 35 {
+                return churn::quic_up(
+                    net48 as u64 ^ self.config.seed,
+                    self.day_state.day,
+                    self.config.quic_flap_up_rate,
+                );
+            }
+        }
+        true
+    }
+
+    /// Sub-day gate for client hosts (privacy-extension uptime sessions).
+    fn client_gate(&self, dst: Ipv6Addr, kind: HostKind, now: Time) -> bool {
+        if kind != HostKind::Client {
+            return true;
+        }
+        let salt = splitmix64(addr_to_u128(dst) as u64 ^ self.config.seed);
+        churn::client_online(salt, self.day_state.day, now.0 / 1_000_000_000)
+    }
+
+    fn reply(
+        &self,
+        now: Time,
+        probe_dst: Ipv6Addr,
+        reply_src: Ipv6Addr,
+        reply_dst: Ipv6Addr,
+        hop_limit: u8,
+        body: Transport,
+    ) -> Delivery {
+        let key = splitmix64(addr_to_u128(probe_dst) as u64 ^ now.0);
+        let at = now + self.rtt(probe_dst, key);
+        let datagram = match body {
+            Transport::Icmpv6(m) => Datagram::icmpv6(reply_src, reply_dst, hop_limit, m),
+            Transport::Tcp(s) => Datagram::tcp(reply_src, reply_dst, hop_limit, &s),
+            Transport::Udp(u) => Datagram::udp(reply_src, reply_dst, hop_limit, &u),
+            Transport::Other(nh, payload) => {
+                Datagram::new(reply_src, reply_dst, nh, hop_limit, payload)
+            }
+        };
+        Delivery::new(at, datagram.emit())
+    }
+
+    /// The hop limit a reply arrives with: machine initial TTL minus the
+    /// return path length.
+    fn observed_ttl(&self, dst: Ipv6Addr, ittl: u8) -> u8 {
+        let cat = self
+            .bgp
+            .origin(dst)
+            .and_then(|asn| self.as_category(asn))
+            .unwrap_or(crate::ids::AsCategory::Enterprise);
+        let plen = self.paths.path_len(dst, cat);
+        ittl.saturating_sub(plen)
+    }
+
+    fn handle_icmp(
+        &mut self,
+        now: Time,
+        hdr: &expanse_packet::Ipv6Header,
+        ident: u16,
+        seq: u16,
+        payload: Vec<u8>,
+    ) -> Vec<Delivery> {
+        let dst = hdr.dst;
+        // ICMP rate limiting (§5.1 case 4).
+        for (p, bucket) in &mut self.day_state.icmp_buckets {
+            if p.contains(dst) && !bucket.try_consume(now) {
+                return Vec::new();
+            }
+        }
+        let responder = self.resolve(dst);
+        let (machine, protos, kind) = match responder {
+            Responder::Alias { machine, protos } => (machine, protos, None),
+            Responder::Host {
+                machine,
+                protos,
+                kind,
+            } => (machine, protos, Some(kind)),
+            Responder::Nobody => return Vec::new(),
+        };
+        if !self.serves_today(dst, protos, Protocol::Icmp) {
+            return Vec::new();
+        }
+        if let Some(k) = kind {
+            if !self.client_gate(dst, k, now) {
+                return Vec::new();
+            }
+        }
+        if self.lost(dst, 0, u64::from(ident) << 16 | u64::from(seq)) {
+            return Vec::new();
+        }
+        let m = &self.population.machines[machine.0 as usize];
+        let flavor = splitmix64(addr_to_u128(dst) as u64 ^ now.0 ^ 0x1c1c);
+        let ttl = self.observed_ttl(dst, m.reply_ittl(flavor));
+        vec![self.reply(
+            now,
+            dst,
+            dst,
+            hdr.src,
+            ttl,
+            Transport::Icmpv6(Icmpv6Message::EchoReply {
+                ident,
+                seq,
+                payload,
+            }),
+        )]
+    }
+
+    fn handle_tcp(
+        &mut self,
+        now: Time,
+        hdr: &expanse_packet::Ipv6Header,
+        seg: TcpSegment,
+    ) -> Vec<Delivery> {
+        if !seg.flags.contains(TcpFlags::SYN) || seg.flags.contains(TcpFlags::ACK) {
+            // Only SYN probes are modelled; ACK/RST probes get nothing.
+            return Vec::new();
+        }
+        let dst = hdr.dst;
+        let proto = match seg.dst_port {
+            80 => Protocol::Tcp80,
+            443 => Protocol::Tcp443,
+            _ => Protocol::Tcp80, // treated as generic TCP below
+        };
+        let tuple_key = splitmix64(
+            addr_to_u128(hdr.src) as u64
+                ^ (addr_to_u128(hdr.src) >> 64) as u64
+                ^ addr_to_u128(dst) as u64
+                ^ (addr_to_u128(dst) >> 64) as u64,
+        );
+        // SYN proxy (§5.1's /80 case): counts SYNs to the protected
+        // prefix; when hot, answers everything.
+        for (p, proxy) in &mut self.day_state.syn_proxies {
+            if p.contains(dst) {
+                if proxy.on_syn(now) {
+                    let m = &self.population.machines[0];
+                    let reply = m.syn_ack(&seg, self.abs_ns(now), tuple_key, 0);
+                    let ttl = self.observed_ttl(dst, 64);
+                    return vec![self.reply(now, dst, dst, hdr.src, ttl, Transport::Tcp(reply))];
+                }
+                return Vec::new();
+            }
+        }
+        let responder = self.resolve(dst);
+        let (machine, protos, kind) = match responder {
+            Responder::Alias { machine, protos } => (machine, protos, None),
+            Responder::Host {
+                machine,
+                protos,
+                kind,
+            } => (machine, protos, Some(kind)),
+            Responder::Nobody => return Vec::new(),
+        };
+        if self.lost(dst, 1 + (seg.dst_port % 7) as u8, u64::from(seg.seq)) {
+            return Vec::new();
+        }
+        let serves = matches!(seg.dst_port, 80 | 443)
+            && self.serves_today(dst, protos, proto)
+            && kind.is_none_or(|k| self.client_gate(dst, k, now));
+        let m = &self.population.machines[machine.0 as usize];
+        let flavor = splitmix64(addr_to_u128(dst) as u64 ^ now.0 ^ u64::from(seg.dst_port));
+        if serves {
+            let reply = m.syn_ack(&seg, self.abs_ns(now), tuple_key, flavor);
+            let ttl = self.observed_ttl(dst, m.reply_ittl(flavor));
+            vec![self.reply(now, dst, dst, hdr.src, ttl, Transport::Tcp(reply))]
+        } else if kind.is_some() {
+            // Live host, closed port: RST-ACK.
+            let rst = TcpSegment {
+                src_port: seg.dst_port,
+                dst_port: seg.src_port,
+                seq: 0,
+                ack: seg.seq.wrapping_add(1),
+                flags: TcpFlags::RST_ACK,
+                window: 0,
+                urgent: 0,
+                options: Vec::new(),
+                payload: Vec::new(),
+            };
+            let ttl = self.observed_ttl(dst, m.reply_ittl(flavor));
+            vec![self.reply(now, dst, dst, hdr.src, ttl, Transport::Tcp(rst))]
+        } else {
+            Vec::new()
+        }
+    }
+
+    fn handle_udp(
+        &mut self,
+        now: Time,
+        hdr: &expanse_packet::Ipv6Header,
+        u: UdpDatagram,
+    ) -> Vec<Delivery> {
+        let dst = hdr.dst;
+        let responder = self.resolve(dst);
+        let (machine, protos, kind) = match responder {
+            Responder::Alias { machine, protos } => (machine, protos, None),
+            Responder::Host {
+                machine,
+                protos,
+                kind,
+            } => (machine, protos, Some(kind)),
+            Responder::Nobody => return Vec::new(),
+        };
+        if self.lost(dst, 3 + (u.dst_port % 5) as u8, u64::from(u.src_port)) {
+            return Vec::new();
+        }
+        if kind.is_some_and(|k| !self.client_gate(dst, k, now)) {
+            return Vec::new();
+        }
+        let m = &self.population.machines[machine.0 as usize];
+        let flavor = splitmix64(addr_to_u128(dst) as u64 ^ 0xd4d4);
+        let ttl = self.observed_ttl(dst, m.reply_ittl(flavor));
+        match u.dst_port {
+            53 if self.serves_today(dst, protos, Protocol::Udp53) => {
+                let Ok(resp) = dns::build_response(&u.payload, 0, 1) else {
+                    return Vec::new();
+                };
+                let reply = UdpDatagram::new(53, u.src_port, resp);
+                vec![self.reply(now, dst, dst, hdr.src, ttl, Transport::Udp(reply))]
+            }
+            443 if self.serves_today(dst, protos, Protocol::Udp443) => {
+                let Ok(init) = quic::QuicLongHeader::parse(&u.payload) else {
+                    return Vec::new();
+                };
+                let vn = quic::QuicLongHeader::version_negotiation(
+                    &init.scid,
+                    &init.dcid,
+                    &[1, 0x6b33_43cf],
+                );
+                let reply = UdpDatagram::new(443, u.src_port, vn);
+                vec![self.reply(now, dst, dst, hdr.src, ttl, Transport::Udp(reply))]
+            }
+            _ if kind.is_some() => {
+                // Live host, closed UDP port: ICMPv6 port unreachable.
+                let mut invoking = hdr.emit().to_vec();
+                invoking.extend_from_slice(&u.emit(hdr.src, hdr.dst));
+                invoking.truncate(88);
+                let msg = Icmpv6Message::DestUnreachable {
+                    code: icmpv6::unreach_code::PORT_UNREACHABLE,
+                    invoking,
+                };
+                vec![self.reply(now, dst, dst, hdr.src, ttl, Transport::Icmpv6(msg))]
+            }
+            _ => Vec::new(),
+        }
+    }
+
+    /// Time-exceeded handling for traceroute (hop_limit shorter than the
+    /// path).
+    fn handle_hops(
+        &mut self,
+        now: Time,
+        hdr: &expanse_packet::Ipv6Header,
+        frame: &[u8],
+    ) -> Option<Vec<Delivery>> {
+        let dst = hdr.dst;
+        let (dst_prefix, asn) = self.bgp.lookup(dst)?;
+        let cat = self.as_category(asn)?;
+        let plen = self.paths.path_len(dst, cat);
+        if hdr.hop_limit >= plen {
+            return None; // reaches the destination; caller continues
+        }
+        let hop = hdr.hop_limit.max(1);
+        // Per-hop responsiveness: some routers never answer, and hop
+        // replies are themselves lossy.
+        let hop_key = splitmix64(
+            (addr_to_u128(dst) >> 80) as u64 ^ u64::from(hop) ^ self.config.seed ^ 0x40b5,
+        );
+        if hop_key % 100 < 12 {
+            return Some(Vec::new()); // silent router
+        }
+        if self.lost(dst, 0x70 ^ hop, u64::from(hop)) {
+            return Some(Vec::new());
+        }
+        let hop_addr = self.paths.hop_addr(dst, dst_prefix, cat, hop);
+        let mut invoking = frame.to_vec();
+        invoking.truncate(88); // header + leading payload bytes
+        let msg = Icmpv6Message::TimeExceeded { code: 0, invoking };
+        let ttl = 255u8.saturating_sub(hop);
+        Some(vec![self.reply(
+            now,
+            dst,
+            hop_addr,
+            hdr.src,
+            ttl,
+            Transport::Icmpv6(msg),
+        )])
+    }
+}
+
+impl Network for InternetModel {
+    fn inject(&mut self, now: Time, frame: &[u8]) -> Vec<Delivery> {
+        let Ok((hdr, transport)) = Datagram::parse_transport(frame) else {
+            return Vec::new();
+        };
+        // Unrouted space: silence (border routers dropping martians).
+        if self.bgp.lookup(hdr.dst).is_none() {
+            return Vec::new();
+        }
+        // Hop-limited probes burn out in transit.
+        if let Some(out) = self.handle_hops(now, &hdr, frame) {
+            return out;
+        }
+        match transport {
+            Transport::Icmpv6(Icmpv6Message::EchoRequest {
+                ident,
+                seq,
+                payload,
+            }) => self.handle_icmp(now, &hdr, ident, seq, payload),
+            Transport::Tcp(seg) => self.handle_tcp(now, &hdr, seg),
+            Transport::Udp(u) => self.handle_udp(now, &hdr, u),
+            _ => Vec::new(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{InternetModel, ModelConfig};
+    use expanse_packet::Datagram;
+
+    fn model() -> InternetModel {
+        InternetModel::build(ModelConfig::tiny(11))
+    }
+
+    fn vantage() -> Ipv6Addr {
+        "2001:db8:ffff::1".parse().unwrap()
+    }
+
+    fn echo(dst: Ipv6Addr, hop: u8) -> Vec<u8> {
+        Datagram::icmpv6(
+            vantage(),
+            dst,
+            hop,
+            Icmpv6Message::EchoRequest {
+                ident: 0x42,
+                seq: 7,
+                payload: vec![0xab; 8],
+            },
+        )
+        .emit()
+    }
+
+    #[test]
+    fn live_host_answers_echo() {
+        let mut m = model();
+        // Candidate live ICMP hosts (non-client, not aliased), in a
+        // deterministic order. Individual hosts can sit behind lossy
+        // paths, so try several candidates across several days.
+        let mut keys: Vec<u128> = m
+            .population
+            .hosts
+            .iter()
+            .filter(|(k, h)| {
+                h.protos.contains(Protocol::Icmp)
+                    && h.online(0)
+                    && h.kind != HostKind::Client
+                    && m.population
+                        .aliases
+                        .resolve(expanse_addr::u128_to_addr(**k))
+                        .is_none()
+            })
+            .map(|(k, _)| *k)
+            .collect();
+        keys.sort_unstable();
+        let mut got = false;
+        'outer: for key in keys.into_iter().take(8) {
+            let addr = expanse_addr::u128_to_addr(key);
+            for day in 0..5 {
+                m.set_day(day);
+                let out = m.inject(Time::from_millis(u64::from(day) * 10), &echo(addr, 64));
+                if let Some(d) = out.first() {
+                    let (h, t) = Datagram::parse_transport(&d.frame).unwrap();
+                    assert_eq!(h.src, addr);
+                    assert_eq!(h.dst, vantage());
+                    match t {
+                        Transport::Icmpv6(Icmpv6Message::EchoReply { ident, seq, .. }) => {
+                            assert_eq!((ident, seq), (0x42, 7));
+                        }
+                        other => panic!("wrong reply {other:?}"),
+                    }
+                    assert!(d.at > Time::ZERO);
+                    got = true;
+                    break 'outer;
+                }
+            }
+        }
+        assert!(got, "a live host should answer within 5 days of probing");
+    }
+
+    #[test]
+    fn unrouted_space_is_silent() {
+        let mut m = model();
+        let out = m.inject(Time::ZERO, &echo("3fff::1".parse().unwrap(), 64));
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn aliased_region_answers_any_address() {
+        let mut m = model();
+        let p48 = m.population.special.cdn_hook_48s[0];
+        let mut answered = 0;
+        for i in 0..20u64 {
+            let addr = expanse_addr::keyed_random_addr(p48, i);
+            if !m.inject(Time::from_millis(i), &echo(addr, 64)).is_empty() {
+                answered += 1;
+            }
+        }
+        assert!(answered >= 17, "aliased /48 answered {answered}/20");
+    }
+
+    #[test]
+    fn low_hop_limit_triggers_time_exceeded() {
+        let mut m = model();
+        let addr = m.population.sites[0].addrs[0];
+        let mut te = 0;
+        for hop in 1..=3u8 {
+            let out = m.inject(Time::from_millis(u64::from(hop)), &echo(addr, hop));
+            for d in out {
+                let (h, t) = Datagram::parse_transport(&d.frame).unwrap();
+                if let Transport::Icmpv6(Icmpv6Message::TimeExceeded { .. }) = t {
+                    te += 1;
+                    assert_ne!(h.src, addr, "TE must come from a router, not the target");
+                }
+            }
+        }
+        assert!(te >= 1, "expected at least one TimeExceeded");
+    }
+
+    #[test]
+    fn ghost_addresses_silent() {
+        let mut m = model();
+        // Ghost = pool address that is not a host and not aliased.
+        let ghost = m
+            .population
+            .sites
+            .iter()
+            .flat_map(|s| s.addrs.iter())
+            .find(|a| {
+                !m.population.hosts.contains_key(&addr_to_u128(**a))
+                    && m.population.aliases.resolve(**a).is_none()
+            })
+            .copied()
+            .expect("a ghost exists");
+        for day in 0..3 {
+            m.set_day(day);
+            assert!(m.inject(Time::ZERO, &echo(ghost, 64)).is_empty());
+        }
+    }
+
+    #[test]
+    fn dns_host_answers_udp53() {
+        let mut m = model();
+        let addr = m
+            .population
+            .hosts
+            .iter()
+            .filter(|(k, h)| {
+                h.protos.contains(Protocol::Udp53)
+                    && h.online(0)
+                    && m.population
+                        .aliases
+                        .resolve(expanse_addr::u128_to_addr(**k))
+                        .is_none()
+            })
+            .map(|(k, _)| expanse_addr::u128_to_addr(*k))
+            .next()
+            .expect("dns host");
+        let q = dns::DnsQuery::new(0x1234, "example.com", dns::qtype::AAAA).emit();
+        let u = UdpDatagram::new(40000, 53, q);
+        let frame = Datagram::udp(vantage(), addr, 64, &u).emit();
+        let mut got = false;
+        for day in 0..5 {
+            m.set_day(day);
+            let out = m.inject(Time::from_millis(1), &frame);
+            if let Some(d) = out.first() {
+                let (_, t) = Datagram::parse_transport(&d.frame).unwrap();
+                match t {
+                    Transport::Udp(r) => {
+                        assert_eq!(r.src_port, 53);
+                        assert_eq!(r.dst_port, 40000);
+                        let h = dns::DnsHeader::parse(&r.payload).unwrap();
+                        assert!(h.qr);
+                        assert_eq!(h.id, 0x1234);
+                    }
+                    other => panic!("wrong reply {other:?}"),
+                }
+                got = true;
+                break;
+            }
+        }
+        assert!(got);
+    }
+
+    #[test]
+    fn syn_probe_to_alias_gets_syn_ack_with_options() {
+        let mut m = model();
+        let p48 = m.population.special.cdn_hook_48s[0];
+        let addr = expanse_addr::keyed_random_addr(p48, 9);
+        let seg = TcpSegment::syn_with_options(54321, 80, 1000, 77);
+        let frame = Datagram::tcp(vantage(), addr, 64, &seg).emit();
+        let mut got = false;
+        for day in 0..5 {
+            m.set_day(day);
+            if let Some(d) = m.inject(Time::from_millis(2), &frame).first() {
+                let (_, t) = Datagram::parse_transport(&d.frame).unwrap();
+                match t {
+                    Transport::Tcp(r) => {
+                        assert!(r.flags.contains(TcpFlags::SYN_ACK));
+                        assert_eq!(r.ack, 1001);
+                        assert!(!r.options.is_empty());
+                    }
+                    other => panic!("wrong reply {other:?}"),
+                }
+                got = true;
+                break;
+            }
+        }
+        assert!(got);
+    }
+
+    #[test]
+    fn carved_branch_is_silent_other_branches_answer() {
+        let mut m = model();
+        let p116 = m.population.special.carve116;
+        let carved = expanse_addr::keyed_random_addr(p116.subprefix(4, 0), 3);
+        for day in 0..4 {
+            m.set_day(day);
+            assert!(
+                m.inject(Time::ZERO, &echo(carved, 64)).is_empty(),
+                "carved branch answered on day {day}"
+            );
+        }
+        let mut answered = 0;
+        for b in 1..16u128 {
+            let a = expanse_addr::keyed_random_addr(p116.subprefix(4, b), 3);
+            if !m.inject(Time::from_millis(b as u64), &echo(a, 64)).is_empty() {
+                answered += 1;
+            }
+        }
+        assert!(answered >= 12, "only {answered}/15 branches answered");
+    }
+
+    #[test]
+    fn rate_limited_prefix_partially_answers() {
+        let mut m = model();
+        let parent = m.population.special.rate_limit_parent;
+        // Fire 16 ICMP probes quickly: only ~4-10 tokens are available.
+        let mut answered = 0;
+        for i in 0..16u128 {
+            let a = expanse_addr::keyed_random_addr(parent.subprefix(4, i % 16), i as u64);
+            if !m
+                .inject(Time::from_millis(i as u64), &echo(a, 64))
+                .is_empty()
+            {
+                answered += 1;
+            }
+        }
+        assert!(
+            (2..=11).contains(&answered),
+            "rate limiter should clip responses, got {answered}/16"
+        );
+    }
+
+    #[test]
+    fn set_day_changes_rate_limit_budget() {
+        let mut m = model();
+        let parent = m.population.special.rate_limit_parent;
+        let count_day = |m: &mut InternetModel, day: u16| {
+            m.set_day(day);
+            (0..16u128)
+                .filter(|i| {
+                    let a =
+                        expanse_addr::keyed_random_addr(parent.subprefix(4, i % 16), *i as u64);
+                    !m.inject(Time::from_millis(*i as u64), &echo(a, 64)).is_empty()
+                })
+                .count()
+        };
+        let counts: Vec<usize> = (0..6).map(|d| count_day(&mut m, d)).collect();
+        // Not all days answer the same branches/counts.
+        assert!(
+            counts.iter().collect::<std::collections::HashSet<_>>().len() > 1,
+            "daily variation expected: {counts:?}"
+        );
+    }
+}

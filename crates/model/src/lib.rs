@@ -1,0 +1,248 @@
+//! A synthetic IPv6 Internet for measurement-system experiments.
+//!
+//! This crate is the substitute substrate for the paper's real-world
+//! vantage (see `DESIGN.md` §1): a deterministic, generative model of
+//! autonomous systems, BGP announcements, addressing schemes, live hosts
+//! with TCP/IP personalities, aliased CDN prefixes, lossy and
+//! rate-limited corners, hitlist sources, an rDNS tree, and crowdsourcing
+//! panels.
+//!
+//! The model implements [`expanse_netsim::Network`]: probers inject raw
+//! IPv6 frames and receive raw reply frames, exactly as they would from a
+//! raw socket.
+//!
+//! ```
+//! use expanse_model::{InternetModel, ModelConfig};
+//! use expanse_netsim::{Network, Time};
+//! use expanse_packet::{Datagram, Icmpv6Message};
+//!
+//! let mut net = InternetModel::build(ModelConfig::tiny(42));
+//! let target = net.population.special.cdn_hook_48s[0].first();
+//! let probe = Datagram::icmpv6(
+//!     "2001:db8:ffff::1".parse().unwrap(),
+//!     target,
+//!     64,
+//!     Icmpv6Message::EchoRequest { ident: 1, seq: 1, payload: vec![] },
+//! );
+//! let replies = net.inject(Time::ZERO, &probe.emit());
+//! assert!(!replies.is_empty(), "aliased prefixes answer everything");
+//! ```
+
+pub mod alias;
+pub mod bgp;
+pub mod churn;
+pub mod config;
+pub mod crowd;
+pub mod engine;
+pub mod fingerprint;
+pub mod host;
+pub mod ids;
+pub mod paths;
+pub mod population;
+pub mod rdns;
+pub mod scheme;
+pub mod sources;
+
+pub use config::ModelConfig;
+pub use ids::{AsCategory, AsInfo, Asn};
+pub use population::{Population, SitePool, SpecialPrefixes};
+pub use scheme::Scheme;
+pub use sources::{Source, SourceId};
+
+use expanse_addr::Prefix;
+use expanse_trie::PrefixTrie;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashMap;
+
+/// The assembled synthetic Internet.
+#[derive(Debug)]
+pub struct InternetModel {
+    /// Plot configuration used for layout.
+    pub config: ModelConfig,
+    /// The AS roster.
+    pub ases: Vec<AsInfo>,
+    /// The global routing table.
+    pub bgp: bgp::BgpTable,
+    /// Population.
+    pub population: Population,
+    /// Forwarding-path model (hop counts, router identities).
+    pub paths: paths::PathModel,
+    /// Lossy prefixes as a trie for per-packet lookup.
+    pub(crate) lossy_trie: PrefixTrie<()>,
+    pub(crate) day_state: engine::DayState,
+    as_index: HashMap<Asn, usize>,
+}
+
+impl InternetModel {
+    /// Build the model from a configuration. Deterministic in
+    /// `config.seed`.
+    pub fn build(config: ModelConfig) -> Self {
+        config.validate();
+        let ases = build_ases(&config);
+        let mut announcements = bgp::allocate(&ases, config.mean_prefixes_per_as, config.seed);
+        let paths = paths::PathModel::new(config.seed);
+        let population = population::Builder::new(&config).build(&ases, &announcements, &paths);
+        // CDNs announce their aliased /48s in BGP, as Amazon does — this
+        // is what makes the Fig 5 "hook" visible at BGP granularity and
+        // lets BGP-based APD (§5.1) see the phenomenon without targets.
+        {
+            let tmp = bgp::BgpTable::new(announcements.clone());
+            for (p48, _) in population.aliases.iter() {
+                if p48.len() == 48 {
+                    if let Some((_, asn)) = tmp.lookup(p48.first()) {
+                        announcements.push((p48, asn));
+                    }
+                }
+            }
+            announcements.sort();
+            announcements.dedup();
+        }
+        let bgp_table = bgp::BgpTable::new(announcements);
+        let mut lossy_trie = PrefixTrie::new();
+        for p in &population.lossy {
+            lossy_trie.insert(*p, ());
+        }
+        let as_index = ases.iter().enumerate().map(|(i, a)| (a.asn, i)).collect();
+        let mut model = InternetModel {
+            config,
+            ases,
+            bgp: bgp_table,
+            population,
+            paths,
+            lossy_trie,
+            // placeholder, replaced below (DayState::new needs &self)
+            day_state: engine::DayState {
+                day: 0,
+                icmp_buckets: Vec::new(),
+                syn_proxies: Vec::new(),
+            },
+            as_index,
+        };
+        model.day_state = engine::DayState::new(&model, 0);
+        model
+    }
+
+    /// Advance the model to probing day `day` (resets middlebox state,
+    /// changes churn/flapping outcomes).
+    pub fn set_day(&mut self, day: u16) {
+        self.day_state = engine::DayState::new(self, day);
+    }
+
+    /// Current probing day.
+    pub fn day(&self) -> u16 {
+        self.day_state.day
+    }
+
+    /// Category of an AS.
+    pub fn as_category(&self, asn: Asn) -> Option<AsCategory> {
+        self.as_index.get(&asn).map(|i| self.ases[*i].category)
+    }
+
+    /// Org name of an AS.
+    pub fn as_name(&self, asn: Asn) -> Option<&str> {
+        self.as_index.get(&asn).map(|i| self.ases[*i].name.as_str())
+    }
+
+    /// Ground truth: is `addr` inside a (served) aliased region?
+    pub fn truth_aliased(&self, addr: std::net::Ipv6Addr) -> bool {
+        self.population.aliases.resolve(addr).is_some()
+    }
+
+    /// Ground truth: covering BGP prefix.
+    pub fn bgp_prefix_of(&self, addr: std::net::Ipv6Addr) -> Option<Prefix> {
+        self.bgp.lookup(addr).map(|(p, _)| p)
+    }
+}
+
+/// Build the AS roster with category mix per
+/// [`AsCategory::population_share`].
+pub fn build_ases(config: &ModelConfig) -> Vec<AsInfo> {
+    let mut rng = StdRng::seed_from_u64(config.seed ^ 0xa5e5);
+    let mut out = Vec::with_capacity(config.n_as);
+    let mut next_asn = 64500u32;
+    let mut ordinals: HashMap<AsCategory, usize> = HashMap::new();
+    // Guarantee at least 2 CDNs (hook + inner hook), 1 transit, 1 hoster,
+    // eyeballs regardless of scale. (Popped back-to-front.)
+    let mut forced = vec![
+        AsCategory::IspEyeball,
+        AsCategory::IspEyeball,
+        AsCategory::IspEyeball,
+        AsCategory::Hoster,
+        AsCategory::Transit,
+        AsCategory::Cdn,
+        AsCategory::Cdn,
+    ];
+    for _ in 0..config.n_as {
+        let cat = forced.pop().unwrap_or_else(|| {
+            let x: f64 = rng.random_range(0.0..1.0);
+            let mut acc = 0.0;
+            let mut chosen = AsCategory::Enterprise;
+            for c in AsCategory::ALL {
+                acc += c.population_share();
+                if x < acc {
+                    chosen = c;
+                    break;
+                }
+            }
+            chosen
+        });
+        let ord = ordinals.entry(cat).or_insert(0);
+        out.push(AsInfo::new(Asn(next_asn), cat, *ord));
+        *ord += 1;
+        next_asn += 1 + (rng.random_range(0..10u32));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_deterministically() {
+        let a = InternetModel::build(ModelConfig::tiny(1));
+        let b = InternetModel::build(ModelConfig::tiny(1));
+        assert_eq!(a.ases.len(), b.ases.len());
+        assert_eq!(a.bgp.len(), b.bgp.len());
+        assert_eq!(a.population.live_hosts(), b.population.live_hosts());
+    }
+
+    #[test]
+    fn forced_categories_present() {
+        let m = InternetModel::build(ModelConfig::tiny(2));
+        let cdns = m
+            .ases
+            .iter()
+            .filter(|a| a.category == AsCategory::Cdn)
+            .count();
+        assert!(cdns >= 2, "need ≥2 CDN ASes, got {cdns}");
+        assert!(m.ases.iter().any(|a| a.category == AsCategory::IspEyeball));
+    }
+
+    #[test]
+    fn as_lookup_helpers() {
+        let m = InternetModel::build(ModelConfig::tiny(3));
+        let first = &m.ases[0];
+        assert_eq!(m.as_category(first.asn), Some(first.category));
+        assert_eq!(m.as_name(first.asn), Some(first.name.as_str()));
+        assert_eq!(m.as_category(Asn(1)), None);
+    }
+
+    #[test]
+    fn truth_helpers() {
+        let m = InternetModel::build(ModelConfig::tiny(4));
+        let hook = m.population.special.cdn_hook_48s[0];
+        assert!(m.truth_aliased(hook.first()));
+        let p = m.bgp_prefix_of(hook.first()).unwrap();
+        assert!(p.covers(&hook) || hook.covers(&p));
+    }
+
+    #[test]
+    fn day_advances() {
+        let mut m = InternetModel::build(ModelConfig::tiny(5));
+        assert_eq!(m.day(), 0);
+        m.set_day(7);
+        assert_eq!(m.day(), 7);
+    }
+}

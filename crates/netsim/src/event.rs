@@ -1,0 +1,133 @@
+//! A stable min-heap event queue.
+//!
+//! Events at equal times pop in insertion order — required for
+//! reproducibility when many probe replies land on the same nanosecond.
+
+use crate::time::Time;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// A time-ordered queue of events.
+#[derive(Debug, Clone)]
+pub struct EventQueue<T> {
+    heap: BinaryHeap<Reverse<(Time, u64, EventSlot<T>)>>,
+    seq: u64,
+}
+
+/// Wrapper that excludes the payload from ordering.
+#[derive(Debug, Clone)]
+struct EventSlot<T>(T);
+
+impl<T> PartialEq for EventSlot<T> {
+    fn eq(&self, _: &Self) -> bool {
+        true
+    }
+}
+impl<T> Eq for EventSlot<T> {}
+impl<T> PartialOrd for EventSlot<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<T> Ord for EventSlot<T> {
+    fn cmp(&self, _: &Self) -> std::cmp::Ordering {
+        std::cmp::Ordering::Equal
+    }
+}
+
+impl<T> Default for EventQueue<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> EventQueue<T> {
+    /// An empty queue.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            seq: 0,
+        }
+    }
+
+    /// Schedule `event` at time `at`.
+    pub fn push(&mut self, at: Time, event: T) {
+        self.heap.push(Reverse((at, self.seq, EventSlot(event))));
+        self.seq += 1;
+    }
+
+    /// Pop the earliest event, if any.
+    pub fn pop(&mut self) -> Option<(Time, T)> {
+        self.heap.pop().map(|Reverse((t, _, e))| (t, e.0))
+    }
+
+    /// Pop the earliest event only if it is due at or before `now`.
+    pub fn pop_due(&mut self, now: Time) -> Option<(Time, T)> {
+        if self.peek_time()? <= now {
+            self.pop()
+        } else {
+            None
+        }
+    }
+
+    /// Time of the earliest event.
+    pub fn peek_time(&self) -> Option<Time> {
+        self.heap.peek().map(|Reverse((t, _, _))| *t)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Is the queue empty?
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(Time::from_secs(3), "c");
+        q.push(Time::from_secs(1), "a");
+        q.push(Time::from_secs(2), "b");
+        assert_eq!(q.pop(), Some((Time::from_secs(1), "a")));
+        assert_eq!(q.pop(), Some((Time::from_secs(2), "b")));
+        assert_eq!(q.pop(), Some((Time::from_secs(3), "c")));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn stable_at_equal_times() {
+        let mut q = EventQueue::new();
+        for i in 0..100 {
+            q.push(Time::from_secs(5), i);
+        }
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn pop_due_respects_now() {
+        let mut q = EventQueue::new();
+        q.push(Time::from_secs(10), "later");
+        assert_eq!(q.pop_due(Time::from_secs(5)), None);
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.pop_due(Time::from_secs(10)), Some((Time::from_secs(10), "later")));
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn peek_time() {
+        let mut q = EventQueue::new();
+        assert_eq!(q.peek_time(), None);
+        q.push(Time::from_secs(2), ());
+        q.push(Time::from_secs(1), ());
+        assert_eq!(q.peek_time(), Some(Time::from_secs(1)));
+    }
+}

@@ -1,0 +1,34 @@
+//! Deterministic discrete-event network simulation substrate.
+//!
+//! The probers in this workspace (`expanse-zmap6`, `expanse-scamper6`)
+//! are *sans-IO*: they build byte-exact packets and hand them to a
+//! [`Network`] — the one trait a raw socket would otherwise implement. The
+//! synthetic Internet (`expanse-model`) implements [`Network`]; this crate
+//! provides the shared machinery:
+//!
+//! - [`time`]: virtual time ([`Time`]), nanosecond precision
+//! - [`event`]: a stable min-heap event queue
+//! - [`ratelimit`]: token buckets (ICMP rate limiting, §5.1's /120 case)
+//! - [`loss`]: deterministic keyed packet loss (Bernoulli and bursty)
+//! - [`synproxy`]: the SYN-proxy middlebox of §5.1's /80 anomaly
+//! - [`network`]: the [`Network`] trait plus composable wrappers for
+//!   fault injection and packet tracing (the smoltcp `--drop-chance` /
+//!   `--pcap` idioms)
+//!
+//! Everything is deterministic: "randomness" is keyed hashing of packet
+//! bytes and a seed, so a simulation re-run reproduces byte-identical
+//! traces.
+
+pub mod event;
+pub mod loss;
+pub mod network;
+pub mod ratelimit;
+pub mod synproxy;
+pub mod time;
+
+pub use event::EventQueue;
+pub use loss::{BurstLoss, KeyedLoss};
+pub use network::{Delivery, FaultInjector, Network, TraceRecorder};
+pub use ratelimit::TokenBucket;
+pub use synproxy::SynProxy;
+pub use time::{Duration, Time};

@@ -1,0 +1,120 @@
+//! The Internet checksum (RFC 1071) with the IPv6 pseudo-header (RFC 8200 §8.1).
+
+use std::net::Ipv6Addr;
+
+/// Accumulate 16-bit one's-complement words.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct Accum(u32);
+
+impl Accum {
+    /// Fresh accumulator.
+    pub fn new() -> Self {
+        Accum(0)
+    }
+
+    /// Add a big-endian byte slice (odd tail is zero-padded).
+    pub fn data(mut self, bytes: &[u8]) -> Self {
+        let mut chunks = bytes.chunks_exact(2);
+        for c in &mut chunks {
+            self.0 += u32::from(u16::from_be_bytes([c[0], c[1]]));
+        }
+        if let [last] = chunks.remainder() {
+            self.0 += u32::from(u16::from_be_bytes([*last, 0]));
+        }
+        self
+    }
+
+    /// Add one 16-bit word.
+    pub fn word(mut self, w: u16) -> Self {
+        self.0 += u32::from(w);
+        self
+    }
+
+    /// Add a 32-bit value as two words.
+    pub fn dword(self, d: u32) -> Self {
+        self.word((d >> 16) as u16).word(d as u16)
+    }
+
+    /// Add the IPv6 pseudo-header for an upper-layer packet.
+    pub fn pseudo_header(self, src: Ipv6Addr, dst: Ipv6Addr, next_header: u8, len: u32) -> Self {
+        self.data(&src.octets())
+            .data(&dst.octets())
+            .dword(len)
+            .dword(u32::from(next_header))
+    }
+
+    /// Fold and complement into the final checksum value.
+    pub fn finish(self) -> u16 {
+        let mut s = self.0;
+        while s >> 16 != 0 {
+            s = (s & 0xffff) + (s >> 16);
+        }
+        !(s as u16)
+    }
+}
+
+/// Checksum of an upper-layer packet (`payload` must contain the transport
+/// header with its checksum field zeroed).
+pub fn transport_checksum(src: Ipv6Addr, dst: Ipv6Addr, next_header: u8, payload: &[u8]) -> u16 {
+    Accum::new()
+        .pseudo_header(src, dst, next_header, payload.len() as u32)
+        .data(payload)
+        .finish()
+}
+
+/// Verify an upper-layer packet whose checksum field is in place: the sum
+/// over pseudo-header + payload must fold to zero (i.e. `finish() == 0`
+/// before complementing ⇒ complemented result is 0xffff... we check by
+/// recomputing).
+pub fn verify_transport(src: Ipv6Addr, dst: Ipv6Addr, next_header: u8, payload: &[u8]) -> bool {
+    // Sum including the transmitted checksum must be 0xffff before the
+    // final complement; `finish` complements, so the result must be 0.
+    Accum::new()
+        .pseudo_header(src, dst, next_header, payload.len() as u32)
+        .data(payload)
+        .finish()
+        == 0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rfc1071_example() {
+        // RFC 1071 example words: 0x0001 0xf203 0xf4f5 0xf6f7 -> sum 0xddf2,
+        // checksum = !0xddf2 = 0x220d.
+        let data = [0x00, 0x01, 0xf2, 0x03, 0xf4, 0xf5, 0xf6, 0xf7];
+        assert_eq!(Accum::new().data(&data).finish(), 0x220d);
+    }
+
+    #[test]
+    fn odd_length_padding() {
+        // Trailing odd byte acts as high byte of a zero-padded word.
+        let a = Accum::new().data(&[0xab]).finish();
+        let b = Accum::new().data(&[0xab, 0x00]).finish();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn verify_roundtrip() {
+        let src: Ipv6Addr = "2001:db8::1".parse().unwrap();
+        let dst: Ipv6Addr = "2001:db8::2".parse().unwrap();
+        let mut packet = vec![0x80, 0x00, 0x00, 0x00, 0x12, 0x34, 0x00, 0x01, 0xde, 0xad];
+        let ck = transport_checksum(src, dst, 58, &packet);
+        packet[2..4].copy_from_slice(&ck.to_be_bytes());
+        assert!(verify_transport(src, dst, 58, &packet));
+        packet[9] ^= 0xff;
+        assert!(!verify_transport(src, dst, 58, &packet));
+    }
+
+    #[test]
+    fn pseudo_header_depends_on_addrs() {
+        let a: Ipv6Addr = "2001:db8::1".parse().unwrap();
+        let b: Ipv6Addr = "2001:db8::2".parse().unwrap();
+        let payload = [1u8, 2, 3, 4];
+        let c1 = transport_checksum(a, b, 6, &payload);
+        let c2 = transport_checksum(a, a, 6, &payload);
+        assert_ne!(c1, c2);
+    }
+}

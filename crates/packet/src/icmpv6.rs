@@ -1,0 +1,269 @@
+//! ICMPv6 messages (RFC 4443): the subset active measurement needs.
+
+use crate::checksum::{transport_checksum, verify_transport};
+use crate::{proto, PacketError};
+use std::net::Ipv6Addr;
+
+/// ICMPv6 type numbers.
+pub mod types {
+    /// Destination unreachable.
+    pub const DEST_UNREACHABLE: u8 = 1;
+    /// Packet too big.
+    pub const PACKET_TOO_BIG: u8 = 2;
+    /// Time (hop limit) exceeded in transit.
+    pub const TIME_EXCEEDED: u8 = 3;
+    /// Echo request (ping).
+    pub const ECHO_REQUEST: u8 = 128;
+    /// Echo reply (pong).
+    pub const ECHO_REPLY: u8 = 129;
+}
+
+/// Destination-unreachable codes (RFC 4443 §3.1).
+pub mod unreach_code {
+    /// No route to destination.
+    pub const NO_ROUTE: u8 = 0;
+    /// Communication administratively prohibited.
+    pub const ADMIN_PROHIBITED: u8 = 1;
+    /// Address unreachable.
+    pub const ADDR_UNREACHABLE: u8 = 3;
+    /// Port unreachable.
+    pub const PORT_UNREACHABLE: u8 = 4;
+}
+
+/// A parsed ICMPv6 message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Icmpv6Message {
+    /// Echo request with identifier, sequence number, and payload.
+    EchoRequest {
+        /// Echo identifier (zmap validation field).
+        ident: u16,
+        /// Echo sequence number.
+        seq: u16,
+        /// Opaque payload bytes, echoed back by the peer.
+        payload: Vec<u8>,
+    },
+    /// Echo reply mirroring the request's fields.
+    EchoReply {
+        /// Echoed identifier.
+        ident: u16,
+        /// Echoed sequence number.
+        seq: u16,
+        /// Echoed payload.
+        payload: Vec<u8>,
+    },
+    /// Destination unreachable; carries the leading bytes of the invoking
+    /// packet (used by traceroute and UDP port-closed detection).
+    DestUnreachable {
+        /// Unreachable code (see [`unreach_code`]).
+        code: u8,
+        /// Leading bytes of the packet that triggered the error.
+        invoking: Vec<u8>,
+    },
+    /// Hop limit exceeded in transit; carries the invoking packet — the
+    /// bread and butter of traceroute.
+    TimeExceeded {
+        /// Time-exceeded code (0 = hop limit exceeded in transit).
+        code: u8,
+        /// Leading bytes of the packet that triggered the error.
+        invoking: Vec<u8>,
+    },
+    /// Any other type, preserved raw.
+    Other {
+        /// Raw ICMPv6 type.
+        icmp_type: u8,
+        /// Raw code.
+        code: u8,
+        /// Message body after the 4-byte header.
+        body: Vec<u8>,
+    },
+}
+
+impl Icmpv6Message {
+    /// The ICMPv6 type byte.
+    pub fn msg_type(&self) -> u8 {
+        match self {
+            Icmpv6Message::EchoRequest { .. } => types::ECHO_REQUEST,
+            Icmpv6Message::EchoReply { .. } => types::ECHO_REPLY,
+            Icmpv6Message::DestUnreachable { .. } => types::DEST_UNREACHABLE,
+            Icmpv6Message::TimeExceeded { .. } => types::TIME_EXCEEDED,
+            Icmpv6Message::Other { icmp_type, .. } => *icmp_type,
+        }
+    }
+
+    /// Encode with checksum for transmission between `src` and `dst`.
+    pub fn emit(&self, src: Ipv6Addr, dst: Ipv6Addr) -> Vec<u8> {
+        let mut out = vec![0u8; 4]; // type, code, checksum placeholder
+        match self {
+            Icmpv6Message::EchoRequest {
+                ident,
+                seq,
+                payload,
+            }
+            | Icmpv6Message::EchoReply {
+                ident,
+                seq,
+                payload,
+            } => {
+                out[0] = self.msg_type();
+                out.extend_from_slice(&ident.to_be_bytes());
+                out.extend_from_slice(&seq.to_be_bytes());
+                out.extend_from_slice(payload);
+            }
+            Icmpv6Message::DestUnreachable { code, invoking }
+            | Icmpv6Message::TimeExceeded { code, invoking } => {
+                out[0] = self.msg_type();
+                out[1] = *code;
+                out.extend_from_slice(&[0u8; 4]); // unused field
+                out.extend_from_slice(invoking);
+            }
+            Icmpv6Message::Other {
+                icmp_type,
+                code,
+                body,
+            } => {
+                out[0] = *icmp_type;
+                out[1] = *code;
+                out.extend_from_slice(body);
+            }
+        }
+        let ck = transport_checksum(src, dst, proto::ICMPV6, &out);
+        out[2..4].copy_from_slice(&ck.to_be_bytes());
+        out
+    }
+
+    /// Parse and verify the checksum.
+    pub fn parse(src: Ipv6Addr, dst: Ipv6Addr, buf: &[u8]) -> Result<Icmpv6Message, PacketError> {
+        if buf.len() < 4 {
+            return Err(PacketError::Truncated);
+        }
+        if !verify_transport(src, dst, proto::ICMPV6, buf) {
+            return Err(PacketError::BadChecksum);
+        }
+        let (icmp_type, code) = (buf[0], buf[1]);
+        match icmp_type {
+            types::ECHO_REQUEST | types::ECHO_REPLY => {
+                if buf.len() < 8 {
+                    return Err(PacketError::Truncated);
+                }
+                let ident = u16::from_be_bytes([buf[4], buf[5]]);
+                let seq = u16::from_be_bytes([buf[6], buf[7]]);
+                let payload = buf[8..].to_vec();
+                Ok(if icmp_type == types::ECHO_REQUEST {
+                    Icmpv6Message::EchoRequest {
+                        ident,
+                        seq,
+                        payload,
+                    }
+                } else {
+                    Icmpv6Message::EchoReply {
+                        ident,
+                        seq,
+                        payload,
+                    }
+                })
+            }
+            types::DEST_UNREACHABLE | types::TIME_EXCEEDED => {
+                if buf.len() < 8 {
+                    return Err(PacketError::Truncated);
+                }
+                let invoking = buf[8..].to_vec();
+                Ok(if icmp_type == types::DEST_UNREACHABLE {
+                    Icmpv6Message::DestUnreachable { code, invoking }
+                } else {
+                    Icmpv6Message::TimeExceeded { code, invoking }
+                })
+            }
+            _ => Ok(Icmpv6Message::Other {
+                icmp_type,
+                code,
+                body: buf[4..].to_vec(),
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pair() -> (Ipv6Addr, Ipv6Addr) {
+        ("2001:db8::1".parse().unwrap(), "2001:db8::2".parse().unwrap())
+    }
+
+    #[test]
+    fn echo_roundtrip() {
+        let (s, d) = pair();
+        let msg = Icmpv6Message::EchoRequest {
+            ident: 0xbeef,
+            seq: 42,
+            payload: b"expanse".to_vec(),
+        };
+        let bytes = msg.emit(s, d);
+        assert_eq!(bytes[0], 128);
+        assert_eq!(Icmpv6Message::parse(s, d, &bytes).unwrap(), msg);
+    }
+
+    #[test]
+    fn reply_roundtrip() {
+        let (s, d) = pair();
+        let msg = Icmpv6Message::EchoReply {
+            ident: 1,
+            seq: 2,
+            payload: vec![],
+        };
+        let bytes = msg.emit(s, d);
+        assert_eq!(Icmpv6Message::parse(s, d, &bytes).unwrap(), msg);
+    }
+
+    #[test]
+    fn time_exceeded_carries_invoking_packet() {
+        let (s, d) = pair();
+        let invoking = vec![0x60, 0, 0, 0, 0, 0];
+        let msg = Icmpv6Message::TimeExceeded {
+            code: 0,
+            invoking: invoking.clone(),
+        };
+        let bytes = msg.emit(s, d);
+        match Icmpv6Message::parse(s, d, &bytes).unwrap() {
+            Icmpv6Message::TimeExceeded { code: 0, invoking: inv } => {
+                assert_eq!(inv, invoking)
+            }
+            other => panic!("wrong parse: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn checksum_enforced() {
+        let (s, d) = pair();
+        let msg = Icmpv6Message::EchoRequest {
+            ident: 1,
+            seq: 1,
+            payload: vec![1, 2, 3, 4],
+        };
+        let mut bytes = msg.emit(s, d);
+        bytes[9] ^= 0x01;
+        assert_eq!(
+            Icmpv6Message::parse(s, d, &bytes),
+            Err(PacketError::BadChecksum)
+        );
+        // Also: valid bytes but wrong addresses (checksum covers them).
+        let bytes = msg.emit(s, d);
+        let e: Ipv6Addr = "2001:db8::3".parse().unwrap();
+        assert_eq!(
+            Icmpv6Message::parse(s, e, &bytes),
+            Err(PacketError::BadChecksum)
+        );
+    }
+
+    #[test]
+    fn other_type_preserved() {
+        let (s, d) = pair();
+        let msg = Icmpv6Message::Other {
+            icmp_type: 135, // neighbor solicitation
+            code: 0,
+            body: vec![9, 9],
+        };
+        let bytes = msg.emit(s, d);
+        assert_eq!(Icmpv6Message::parse(s, d, &bytes).unwrap(), msg);
+    }
+}

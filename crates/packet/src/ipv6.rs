@@ -1,0 +1,231 @@
+//! The fixed IPv6 header (RFC 8200) and full-datagram framing.
+
+use crate::icmpv6::Icmpv6Message;
+use crate::tcp::TcpSegment;
+use crate::udp::UdpDatagram;
+use crate::{proto, PacketError};
+use std::net::Ipv6Addr;
+
+/// Length of the fixed IPv6 header in bytes.
+pub const HEADER_LEN: usize = 40;
+
+/// The fixed IPv6 header. Extension headers are not modelled — the paper's
+/// probes never emit them and the simulator never needs them (documented
+/// omission, smoltcp-style).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Ipv6Header {
+    /// Source address.
+    pub src: Ipv6Addr,
+    /// Destination address.
+    pub dst: Ipv6Addr,
+    /// IANA next-header value.
+    pub next_header: u8,
+    /// Remaining hop budget.
+    pub hop_limit: u8,
+    /// Traffic class byte.
+    pub traffic_class: u8,
+    /// 20-bit flow label.
+    pub flow_label: u32,
+    /// Payload length in bytes.
+    pub payload_len: u16,
+}
+
+impl Ipv6Header {
+    /// Emit the 40 header bytes.
+    pub fn emit(&self) -> [u8; HEADER_LEN] {
+        let mut b = [0u8; HEADER_LEN];
+        let vtf: u32 = (6u32 << 28)
+            | (u32::from(self.traffic_class) << 20)
+            | (self.flow_label & 0x000f_ffff);
+        b[0..4].copy_from_slice(&vtf.to_be_bytes());
+        b[4..6].copy_from_slice(&self.payload_len.to_be_bytes());
+        b[6] = self.next_header;
+        b[7] = self.hop_limit;
+        b[8..24].copy_from_slice(&self.src.octets());
+        b[24..40].copy_from_slice(&self.dst.octets());
+        b
+    }
+
+    /// Parse the fixed header from the front of `buf`.
+    pub fn parse(buf: &[u8]) -> Result<Ipv6Header, PacketError> {
+        if buf.len() < HEADER_LEN {
+            return Err(PacketError::Truncated);
+        }
+        let vtf = u32::from_be_bytes([buf[0], buf[1], buf[2], buf[3]]);
+        let version = (vtf >> 28) as u8;
+        if version != 6 {
+            return Err(PacketError::BadVersion(version));
+        }
+        let mut src = [0u8; 16];
+        src.copy_from_slice(&buf[8..24]);
+        let mut dst = [0u8; 16];
+        dst.copy_from_slice(&buf[24..40]);
+        Ok(Ipv6Header {
+            src: Ipv6Addr::from(src),
+            dst: Ipv6Addr::from(dst),
+            next_header: buf[6],
+            hop_limit: buf[7],
+            traffic_class: ((vtf >> 20) & 0xff) as u8,
+            flow_label: vtf & 0x000f_ffff,
+            payload_len: u16::from_be_bytes([buf[4], buf[5]]),
+        })
+    }
+}
+
+/// A complete IPv6 datagram: header plus raw payload bytes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Datagram {
+    /// Header.
+    pub header: Ipv6Header,
+    /// Payload bytes.
+    pub payload: Vec<u8>,
+}
+
+impl Datagram {
+    /// Default hop limit for probe packets (matches Linux default).
+    pub const DEFAULT_HOP_LIMIT: u8 = 64;
+
+    /// Build a datagram around an already-encoded transport payload.
+    pub fn new(
+        src: Ipv6Addr,
+        dst: Ipv6Addr,
+        next_header: u8,
+        hop_limit: u8,
+        payload: Vec<u8>,
+    ) -> Self {
+        let payload_len =
+            u16::try_from(payload.len()).expect("payload exceeds 64 KiB (jumbograms unsupported)");
+        Datagram {
+            header: Ipv6Header {
+                src,
+                dst,
+                next_header,
+                hop_limit,
+                traffic_class: 0,
+                flow_label: 0,
+                payload_len,
+            },
+            payload,
+        }
+    }
+
+    /// Build an ICMPv6 datagram (computes the transport checksum).
+    pub fn icmpv6(src: Ipv6Addr, dst: Ipv6Addr, hop_limit: u8, msg: Icmpv6Message) -> Self {
+        let payload = msg.emit(src, dst);
+        Datagram::new(src, dst, proto::ICMPV6, hop_limit, payload)
+    }
+
+    /// Build a TCP datagram (computes the transport checksum).
+    pub fn tcp(src: Ipv6Addr, dst: Ipv6Addr, hop_limit: u8, seg: &TcpSegment) -> Self {
+        let payload = seg.emit(src, dst);
+        Datagram::new(src, dst, proto::TCP, hop_limit, payload)
+    }
+
+    /// Build a UDP datagram (computes the transport checksum).
+    pub fn udp(src: Ipv6Addr, dst: Ipv6Addr, hop_limit: u8, dgram: &UdpDatagram) -> Self {
+        let payload = dgram.emit(src, dst);
+        Datagram::new(src, dst, proto::UDP, hop_limit, payload)
+    }
+
+    /// Serialize header + payload.
+    pub fn emit(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(HEADER_LEN + self.payload.len());
+        out.extend_from_slice(&self.header.emit());
+        out.extend_from_slice(&self.payload);
+        out
+    }
+
+    /// Parse a full datagram; the payload length field must match the
+    /// buffer exactly (the simulator never fragments).
+    pub fn parse(buf: &[u8]) -> Result<Datagram, PacketError> {
+        let header = Ipv6Header::parse(buf)?;
+        let want = usize::from(header.payload_len);
+        let body = &buf[HEADER_LEN..];
+        if body.len() != want {
+            return Err(PacketError::BadLength);
+        }
+        Ok(Datagram {
+            header,
+            payload: body.to_vec(),
+        })
+    }
+
+    /// Parse and decode the transport payload in one step.
+    pub fn parse_transport(buf: &[u8]) -> Result<(Ipv6Header, crate::Transport), PacketError> {
+        let d = Datagram::parse(buf)?;
+        let t = crate::Transport::parse(&d.header, &d.payload)?;
+        Ok((d.header, t))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn addr(s: &str) -> Ipv6Addr {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn header_roundtrip() {
+        let h = Ipv6Header {
+            src: addr("2001:db8::1"),
+            dst: addr("2001:db8::2"),
+            next_header: 58,
+            hop_limit: 64,
+            traffic_class: 0xa5,
+            flow_label: 0xbeef,
+            payload_len: 123,
+        };
+        let bytes = h.emit();
+        assert_eq!(bytes.len(), 40);
+        assert_eq!(bytes[0] >> 4, 6);
+        let parsed = Ipv6Header::parse(&bytes).unwrap();
+        assert_eq!(parsed, h);
+    }
+
+    #[test]
+    fn rejects_bad_version() {
+        let h = Ipv6Header {
+            src: addr("::1"),
+            dst: addr("::2"),
+            next_header: 6,
+            hop_limit: 1,
+            traffic_class: 0,
+            flow_label: 0,
+            payload_len: 0,
+        };
+        let mut bytes = h.emit();
+        bytes[0] = 0x45; // IPv4-style version nibble
+        assert_eq!(Ipv6Header::parse(&bytes), Err(PacketError::BadVersion(4)));
+    }
+
+    #[test]
+    fn rejects_truncated() {
+        assert_eq!(Ipv6Header::parse(&[0u8; 10]), Err(PacketError::Truncated));
+    }
+
+    #[test]
+    fn datagram_length_must_match() {
+        let d = Datagram::new(addr("::1"), addr("::2"), 17, 64, vec![1, 2, 3]);
+        let mut bytes = d.emit();
+        assert_eq!(Datagram::parse(&bytes).unwrap(), d);
+        bytes.push(0); // trailing junk
+        assert_eq!(Datagram::parse(&bytes), Err(PacketError::BadLength));
+    }
+
+    #[test]
+    fn flow_label_masked_to_20_bits() {
+        let h = Ipv6Header {
+            src: addr("::1"),
+            dst: addr("::2"),
+            next_header: 6,
+            hop_limit: 1,
+            traffic_class: 0,
+            flow_label: 0xfff_ffff, // wider than 20 bits
+            payload_len: 0,
+        };
+        let parsed = Ipv6Header::parse(&h.emit()).unwrap();
+        assert_eq!(parsed.flow_label, 0xf_ffff);
+    }
+}

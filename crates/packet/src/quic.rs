@@ -1,0 +1,163 @@
+//! Minimal QUIC long-header packets: enough for a UDP/443 liveness probe.
+//!
+//! The paper's UDP/443 scan detects QUIC-capable hosts. A scanner only
+//! needs to (a) emit a syntactically plausible Initial and (b) recognize
+//! *any* QUIC long-header reply — typically a Version Negotiation, which
+//! servers must send for unknown versions (RFC 8999). We deliberately use
+//! a reserved "greasing" version to elicit exactly that, sidestepping the
+//! crypto handshake entirely (documented simplification).
+
+use crate::PacketError;
+
+/// The greasing version the probe advertises (RFC 9000 §15 pattern
+/// `0x?a?a?a?a` is reserved to force version negotiation).
+pub const PROBE_VERSION: u32 = 0x1a2a_3a4a;
+
+/// Minimum Initial size demanded by QUIC anti-amplification rules.
+pub const MIN_INITIAL_SIZE: usize = 1200;
+
+/// A QUIC long-header packet in the pre-crypto shape the prober uses.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QuicLongHeader {
+    /// QUIC version field (0 = version negotiation).
+    pub version: u32,
+    /// Destination connection id.
+    pub dcid: Vec<u8>,
+    /// Source connection id.
+    pub scid: Vec<u8>,
+    /// For version negotiation packets: the versions the peer supports.
+    pub supported_versions: Vec<u32>,
+}
+
+impl QuicLongHeader {
+    /// Build a client Initial-shaped probe, padded to `MIN_INITIAL_SIZE`.
+    ///
+    /// # Panics
+    /// Panics if a connection id exceeds 20 bytes.
+    pub fn initial(dcid: &[u8], scid: &[u8]) -> Vec<u8> {
+        assert!(dcid.len() <= 20 && scid.len() <= 20, "cid too long");
+        let mut out = Vec::with_capacity(MIN_INITIAL_SIZE);
+        out.push(0xc0); // long header, fixed bit, type=Initial
+        out.extend_from_slice(&PROBE_VERSION.to_be_bytes());
+        out.push(dcid.len() as u8);
+        out.extend_from_slice(dcid);
+        out.push(scid.len() as u8);
+        out.extend_from_slice(scid);
+        out.resize(MIN_INITIAL_SIZE, 0);
+        out
+    }
+
+    /// Build a Version Negotiation reply: version field zero, server's
+    /// supported versions appended (RFC 8999 §6).
+    pub fn version_negotiation(dcid: &[u8], scid: &[u8], versions: &[u32]) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.push(0x80); // long header form bit
+        out.extend_from_slice(&0u32.to_be_bytes());
+        out.push(dcid.len() as u8);
+        out.extend_from_slice(dcid);
+        out.push(scid.len() as u8);
+        out.extend_from_slice(scid);
+        for v in versions {
+            out.extend_from_slice(&v.to_be_bytes());
+        }
+        out
+    }
+
+    /// Parse any long-header packet.
+    pub fn parse(buf: &[u8]) -> Result<QuicLongHeader, PacketError> {
+        if buf.len() < 7 {
+            return Err(PacketError::Truncated);
+        }
+        if buf[0] & 0x80 == 0 {
+            return Err(PacketError::Malformed("not a QUIC long header"));
+        }
+        let version = u32::from_be_bytes([buf[1], buf[2], buf[3], buf[4]]);
+        let mut pos = 5;
+        let dcid_len = usize::from(*buf.get(pos).ok_or(PacketError::Truncated)?);
+        pos += 1;
+        if dcid_len > 20 || pos + dcid_len > buf.len() {
+            return Err(PacketError::Malformed("dcid"));
+        }
+        let dcid = buf[pos..pos + dcid_len].to_vec();
+        pos += dcid_len;
+        let scid_len = usize::from(*buf.get(pos).ok_or(PacketError::Truncated)?);
+        pos += 1;
+        if scid_len > 20 || pos + scid_len > buf.len() {
+            return Err(PacketError::Malformed("scid"));
+        }
+        let scid = buf[pos..pos + scid_len].to_vec();
+        pos += scid_len;
+        let mut supported_versions = Vec::new();
+        if version == 0 {
+            // Version negotiation: rest is a version list.
+            let rest = &buf[pos..];
+            if rest.is_empty() || !rest.len().is_multiple_of(4) {
+                return Err(PacketError::Malformed("version list"));
+            }
+            for c in rest.chunks_exact(4) {
+                supported_versions.push(u32::from_be_bytes([c[0], c[1], c[2], c[3]]));
+            }
+        }
+        Ok(QuicLongHeader {
+            version,
+            dcid,
+            scid,
+            supported_versions,
+        })
+    }
+
+    /// Is this a version negotiation packet?
+    pub fn is_version_negotiation(&self) -> bool {
+        self.version == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn initial_shape() {
+        let b = QuicLongHeader::initial(&[1, 2, 3, 4, 5, 6, 7, 8], &[9, 9]);
+        assert_eq!(b.len(), MIN_INITIAL_SIZE);
+        let p = QuicLongHeader::parse(&b).unwrap();
+        assert_eq!(p.version, PROBE_VERSION);
+        assert_eq!(p.dcid, vec![1, 2, 3, 4, 5, 6, 7, 8]);
+        assert_eq!(p.scid, vec![9, 9]);
+        assert!(!p.is_version_negotiation());
+    }
+
+    #[test]
+    fn version_negotiation_roundtrip() {
+        let vn = QuicLongHeader::version_negotiation(&[7], &[8], &[1, 0x6b33_43cf]);
+        let p = QuicLongHeader::parse(&vn).unwrap();
+        assert!(p.is_version_negotiation());
+        assert_eq!(p.supported_versions, vec![1, 0x6b33_43cf]);
+        assert_eq!(p.dcid, vec![7]);
+    }
+
+    #[test]
+    fn short_header_rejected() {
+        assert!(QuicLongHeader::parse(&[0x40; 20]).is_err());
+        assert!(QuicLongHeader::parse(&[0xc0, 0, 0]).is_err());
+    }
+
+    #[test]
+    fn bad_version_list_rejected() {
+        let mut vn = QuicLongHeader::version_negotiation(&[7], &[8], &[1]);
+        vn.push(0xff); // version list no longer a multiple of 4
+        assert!(QuicLongHeader::parse(&vn).is_err());
+        // Empty version list also malformed.
+        let vn2 = QuicLongHeader::version_negotiation(&[7], &[8], &[]);
+        assert!(QuicLongHeader::parse(&vn2).is_err());
+    }
+
+    #[test]
+    fn oversized_cid_rejected() {
+        let mut b = vec![0xc0];
+        b.extend_from_slice(&1u32.to_be_bytes());
+        b.push(21); // dcid_len > 20
+        b.extend_from_slice(&[0; 30]);
+        assert!(QuicLongHeader::parse(&b).is_err());
+    }
+}

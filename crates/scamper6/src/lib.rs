@@ -1,0 +1,298 @@
+//! `expanse-scamper6`: a scamper-style IPv6 traceroute engine.
+//!
+//! §3 of the paper: *"we run traceroute measurements using scamper on all
+//! addresses from other sources, and extract router IP addresses learned
+//! from these measurements"* — the Scamper source grows to 25.9 M
+//! addresses, mostly home-router CPE. This crate reproduces that path:
+//! hop-limited ICMPv6 echo probes (paris-style: stateless validation
+//! fields constant per flow), Time-Exceeded collection, path assembly,
+//! and router-address harvesting.
+
+use expanse_addr::addr_to_u128;
+use expanse_netsim::{Duration, EventQueue, Network, Time};
+use expanse_packet::{Datagram, Icmpv6Message, Transport};
+use expanse_zmap6::Validator;
+use std::collections::HashSet;
+use std::net::Ipv6Addr;
+
+/// Traceroute configuration.
+#[derive(Debug, Clone)]
+pub struct TraceConfig {
+    /// Vantage source address.
+    pub src: Ipv6Addr,
+    /// Largest hop limit tried.
+    pub max_hops: u8,
+    /// Attempts per hop (scamper default 2).
+    pub attempts: u8,
+    /// Per-hop reply wait.
+    pub wait: Duration,
+    /// Validation secret.
+    pub seed: u64,
+}
+
+impl Default for TraceConfig {
+    fn default() -> Self {
+        TraceConfig {
+            src: "2001:db8:ffff::1".parse().expect("valid vantage"),
+            max_hops: 16,
+            attempts: 2,
+            wait: Duration::from_millis(500),
+            seed: 0x7ace,
+        }
+    }
+}
+
+/// One traced path.
+#[derive(Debug, Clone)]
+pub struct TracePath {
+    /// The traced destination.
+    pub dst: Ipv6Addr,
+    /// Router address per hop (index 0 = hop 1); `None` = no answer.
+    pub hops: Vec<Option<Ipv6Addr>>,
+    /// Did the destination itself answer?
+    pub reached: bool,
+    /// Probes sent.
+    pub probes_sent: u64,
+}
+
+impl TracePath {
+    /// All router addresses discovered on this path.
+    pub fn routers(&self) -> impl Iterator<Item = Ipv6Addr> + '_ {
+        self.hops.iter().flatten().copied()
+    }
+}
+
+/// The traceroute engine.
+pub struct Tracer<N: Network> {
+    net: N,
+    cfg: TraceConfig,
+    clock: Time,
+}
+
+impl<N: Network> Tracer<N> {
+    /// Create a new instance.
+    pub fn new(net: N, cfg: TraceConfig) -> Self {
+        Tracer {
+            net,
+            cfg,
+            clock: Time::ZERO,
+        }
+    }
+
+    /// Access the underlying network.
+    pub fn network_mut(&mut self) -> &mut N {
+        &mut self.net
+    }
+
+    /// Trace the path to `dst`.
+    pub fn trace(&mut self, dst: Ipv6Addr) -> TracePath {
+        let validator = Validator::new(self.cfg.seed);
+        let f = validator.fields(dst);
+        let mut hops: Vec<Option<Ipv6Addr>> = Vec::new();
+        let mut reached = false;
+        let mut probes_sent = 0u64;
+
+        'hops: for hop in 1..=self.cfg.max_hops {
+            let mut hop_addr = None;
+            for attempt in 0..self.cfg.attempts {
+                probes_sent += 1;
+                let probe = Datagram::icmpv6(
+                    self.cfg.src,
+                    dst,
+                    hop,
+                    Icmpv6Message::EchoRequest {
+                        ident: f.ident,
+                        // paris-style: sequence varies per attempt only.
+                        seq: f.seq.wrapping_add(u16::from(attempt)),
+                        payload: b"expanse-trace".to_vec(),
+                    },
+                );
+                let mut rx: EventQueue<Vec<u8>> = EventQueue::new();
+                for d in self.net.inject(self.clock, &probe.emit()) {
+                    rx.push(d.at, d.frame);
+                }
+                self.clock += self.cfg.wait;
+                while let Some((_, frame)) = rx.pop_due(self.clock) {
+                    let Ok((hdr, t)) = Datagram::parse_transport(&frame) else {
+                        continue;
+                    };
+                    match t {
+                        Transport::Icmpv6(Icmpv6Message::TimeExceeded { invoking, .. }) => {
+                            // Validate: the invoking packet must be ours
+                            // to this destination.
+                            let Ok(orig) = expanse_packet::Ipv6Header::parse(&invoking) else {
+                                continue;
+                            };
+                            if orig.dst == dst && orig.src == self.cfg.src {
+                                hop_addr = Some(hdr.src);
+                            }
+                        }
+                        Transport::Icmpv6(Icmpv6Message::EchoReply { ident, .. })
+                            if ident == f.ident && hdr.src == dst => {
+                                hops.push(Some(dst));
+                                reached = true;
+                                break 'hops;
+                            }
+                        _ => {}
+                    }
+                }
+                if hop_addr.is_some() {
+                    break;
+                }
+            }
+            // Destination reached via TE? (never: TE comes from routers)
+            hops.push(hop_addr);
+            // Stop early after a long silent run (scamper's gap limit).
+            if hops.len() >= 5 && hops.iter().rev().take(5).all(|h| h.is_none()) {
+                break;
+            }
+        }
+        TracePath {
+            dst,
+            hops,
+            reached,
+            probes_sent,
+        }
+    }
+
+    /// Trace many targets, harvesting unique router addresses — the
+    /// Scamper hitlist source.
+    pub fn harvest(&mut self, targets: &[Ipv6Addr]) -> HarvestResult {
+        let mut routers: HashSet<u128> = HashSet::new();
+        let mut reached = 0usize;
+        let mut probes = 0u64;
+        for &dst in targets {
+            let path = self.trace(dst);
+            probes += path.probes_sent;
+            if path.reached {
+                reached += 1;
+            }
+            for r in path.routers() {
+                if r != dst {
+                    routers.insert(addr_to_u128(r));
+                }
+            }
+        }
+        let mut addrs: Vec<Ipv6Addr> = routers
+            .into_iter()
+            .map(expanse_addr::u128_to_addr)
+            .collect();
+        addrs.sort();
+        HarvestResult {
+            routers: addrs,
+            targets_traced: targets.len(),
+            targets_reached: reached,
+            probes_sent: probes,
+        }
+    }
+}
+
+/// Result of a harvesting run.
+#[derive(Debug, Clone)]
+pub struct HarvestResult {
+    /// Unique router addresses discovered (destinations excluded).
+    pub routers: Vec<Ipv6Addr>,
+    /// Targets traced.
+    pub targets_traced: usize,
+    /// Targets that answered.
+    pub targets_reached: usize,
+    /// Probes sent.
+    pub probes_sent: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use expanse_model::{InternetModel, ModelConfig};
+
+    fn tracer() -> Tracer<InternetModel> {
+        let model = InternetModel::build(ModelConfig::tiny(33));
+        Tracer::new(model, TraceConfig::default())
+    }
+
+    #[test]
+    fn traces_reach_aliased_targets() {
+        let mut t = tracer();
+        let p48 = t.network_mut().population.special.cdn_hook_48s[0];
+        let dst = expanse_addr::keyed_random_addr(p48, 5);
+        let path = t.trace(dst);
+        assert!(path.reached, "aliased target should answer: {path:?}");
+        assert!(path.hops.len() >= 4, "expected several hops");
+        // Intermediate hops are routers, not the target.
+        let routers: Vec<Ipv6Addr> = path.routers().filter(|r| *r != dst).collect();
+        assert!(!routers.is_empty(), "should discover routers");
+    }
+
+    #[test]
+    fn eyeball_paths_end_in_cpe() {
+        let mut t = tracer();
+        // Take an eyeball site address.
+        let site = t
+            .network_mut()
+            .population
+            .sites
+            .iter()
+            .find(|s| s.category == expanse_model::AsCategory::IspEyeball)
+            .expect("eyeball site")
+            .clone();
+        let dst = site.addrs[0];
+        let path = t.trace(dst);
+        // Whether or not dst answers, the CPE hop should be discoverable.
+        let slaac_hops = path
+            .routers()
+            .filter(|r| expanse_addr::is_eui64(*r))
+            .count();
+        assert!(
+            slaac_hops >= 1 || path.hops.iter().filter(|h| h.is_none()).count() > 2,
+            "expected an EUI-64 CPE hop (or heavy hop loss): {path:?}"
+        );
+    }
+
+    #[test]
+    fn unrouted_destination_never_reached() {
+        let mut t = tracer();
+        let path = t.trace("3fff::1".parse().unwrap());
+        assert!(!path.reached);
+        assert!(path.routers().count() == 0);
+    }
+
+    #[test]
+    fn harvest_collects_many_routers() {
+        let mut t = tracer();
+        let targets: Vec<Ipv6Addr> = t
+            .network_mut()
+            .population
+            .sites
+            .iter()
+            .filter(|s| s.category == expanse_model::AsCategory::IspEyeball)
+            .flat_map(|s| s.addrs.iter().take(8).copied())
+            .take(60)
+            .collect();
+        let h = t.harvest(&targets);
+        assert_eq!(h.targets_traced, targets.len());
+        assert!(h.routers.len() >= 8, "routers={}", h.routers.len());
+        assert!(h.probes_sent > 100);
+        // A healthy share of harvested routers are CPE (ff:fe).
+        let slaac = h
+            .routers
+            .iter()
+            .filter(|r| expanse_addr::is_eui64(**r))
+            .count();
+        assert!(
+            slaac * 3 >= h.routers.len(),
+            "slaac {slaac}/{}",
+            h.routers.len()
+        );
+    }
+
+    #[test]
+    fn deterministic() {
+        let mut a = tracer();
+        let mut b = tracer();
+        let dst = a.network_mut().population.sites[0].addrs[0];
+        let pa = a.trace(dst);
+        let pb = b.trace(dst);
+        assert_eq!(pa.hops, pb.hops);
+        assert_eq!(pa.reached, pb.reached);
+    }
+}

@@ -1,0 +1,143 @@
+//! Concentration curves: fraction of mass in the top-X groups.
+//!
+//! Figures 1b, 4, 9 and 10 of the paper all plot, for a grouping of
+//! addresses (by AS or by prefix), the cumulative fraction of addresses
+//! contained in the top-X largest groups, with X on a log axis.
+
+/// A concentration curve over groups sorted by descending size.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ConcentrationCurve {
+    /// Group sizes, sorted descending.
+    sizes: Vec<u64>,
+    total: u64,
+}
+
+impl ConcentrationCurve {
+    /// Build from unordered group sizes.
+    pub fn from_counts(counts: impl IntoIterator<Item = u64>) -> Self {
+        let mut sizes: Vec<u64> = counts.into_iter().filter(|&c| c > 0).collect();
+        sizes.sort_unstable_by(|a, b| b.cmp(a));
+        let total = sizes.iter().sum();
+        ConcentrationCurve { sizes, total }
+    }
+
+    /// Number of (non-empty) groups.
+    pub fn groups(&self) -> usize {
+        self.sizes.len()
+    }
+
+    /// Total mass.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Fraction of total mass in the `x` largest groups (x ≥ groups → 1.0).
+    pub fn fraction_in_top(&self, x: usize) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        let s: u64 = self.sizes.iter().take(x).sum();
+        s as f64 / self.total as f64
+    }
+
+    /// The whole curve as `(x, fraction)` points for x = 1..=groups.
+    pub fn points(&self) -> Vec<(usize, f64)> {
+        let mut out = Vec::with_capacity(self.sizes.len());
+        let mut acc = 0u64;
+        for (i, &s) in self.sizes.iter().enumerate() {
+            acc += s;
+            out.push((i + 1, acc as f64 / self.total.max(1) as f64));
+        }
+        out
+    }
+
+    /// Sampled curve at logarithmically spaced x values (for compact
+    /// table output mirroring the paper's log-x axes).
+    pub fn log_points(&self) -> Vec<(usize, f64)> {
+        let mut xs: Vec<usize> = Vec::new();
+        let mut x = 1usize;
+        while x < self.groups() {
+            xs.push(x);
+            // 1,2,5,10,20,50,... decade stepping
+            x = match xs.len() % 3 {
+                1 => x * 2,
+                2 => x * 5 / 2,
+                _ => x * 2,
+            };
+        }
+        xs.push(self.groups().max(1));
+        xs.into_iter()
+            .map(|x| (x, self.fraction_in_top(x)))
+            .collect()
+    }
+
+    /// Gini-style evenness summary in [0, 1]: 0 = perfectly even groups,
+    /// →1 = all mass in one group. Used to compare "flatness" of source
+    /// distributions quantitatively (the paper does this visually).
+    pub fn gini(&self) -> f64 {
+        let n = self.sizes.len();
+        if n <= 1 || self.total == 0 {
+            return 0.0;
+        }
+        // sizes are sorted descending; Gini over the distribution.
+        let total = self.total as f64;
+        let mut weighted = 0.0;
+        for (i, &s) in self.sizes.iter().rev().enumerate() {
+            weighted += (2.0 * (i as f64 + 1.0) - n as f64 - 1.0) * s as f64;
+        }
+        weighted / (n as f64 * total)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn top_fraction_basics() {
+        let c = ConcentrationCurve::from_counts([10, 30, 60]);
+        assert_eq!(c.groups(), 3);
+        assert_eq!(c.total(), 100);
+        assert!((c.fraction_in_top(1) - 0.6).abs() < 1e-12);
+        assert!((c.fraction_in_top(2) - 0.9).abs() < 1e-12);
+        assert!((c.fraction_in_top(3) - 1.0).abs() < 1e-12);
+        assert!((c.fraction_in_top(99) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ignores_empty_groups() {
+        let c = ConcentrationCurve::from_counts([0, 5, 0, 5]);
+        assert_eq!(c.groups(), 2);
+        assert!((c.fraction_in_top(1) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn points_monotone_to_one() {
+        let c = ConcentrationCurve::from_counts([7, 1, 2, 90]);
+        let pts = c.points();
+        assert_eq!(pts.len(), 4);
+        for w in pts.windows(2) {
+            assert!(w[0].1 <= w[1].1);
+        }
+        assert!((pts.last().unwrap().1 - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gini_extremes() {
+        let even = ConcentrationCurve::from_counts([10, 10, 10, 10]);
+        assert!(even.gini().abs() < 1e-12);
+        let skewed = ConcentrationCurve::from_counts([1000, 1, 1, 1]);
+        assert!(skewed.gini() > 0.7);
+        let empty = ConcentrationCurve::from_counts([]);
+        assert_eq!(empty.gini(), 0.0);
+    }
+
+    #[test]
+    fn log_points_cover_range() {
+        let c = ConcentrationCurve::from_counts(vec![1u64; 1000]);
+        let pts = c.log_points();
+        assert_eq!(pts.first().unwrap().0, 1);
+        assert_eq!(pts.last().unwrap().0, 1000);
+        assert!((pts.last().unwrap().1 - 1.0).abs() < 1e-12);
+    }
+}

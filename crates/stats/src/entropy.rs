@@ -1,0 +1,87 @@
+//! Shannon entropy over empirical distributions.
+
+/// Shannon entropy (base 2, in bits) of a count vector.
+///
+/// Zero counts contribute nothing. Returns 0 for an empty or single-symbol
+/// distribution.
+pub fn shannon_entropy(counts: &[u64]) -> f64 {
+    let total: u64 = counts.iter().sum();
+    if total == 0 {
+        return 0.0;
+    }
+    let total = total as f64;
+    let mut h = 0.0;
+    for &c in counts {
+        if c > 0 {
+            let p = c as f64 / total;
+            h -= p * p.log2();
+        }
+    }
+    h
+}
+
+/// Normalized Shannon entropy for a 16-symbol (nybble) alphabet, per §4
+/// eq. (5) of the paper: `H(X) = -1/4 Σ p log2 p`, so that a constant
+/// nybble scores 0 and a uniform nybble scores 1.
+pub fn normalized_entropy16(counts: &[u64; 16]) -> f64 {
+    shannon_entropy(counts) / 4.0
+}
+
+/// Entropy of a slice of nybble values (convenience for tests and tools).
+pub fn nybble_entropy(values: impl IntoIterator<Item = u8>) -> f64 {
+    let mut counts = [0u64; 16];
+    for v in values {
+        counts[usize::from(v & 0xf)] += 1;
+    }
+    normalized_entropy16(&counts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_is_zero() {
+        assert_eq!(shannon_entropy(&[10, 0, 0]), 0.0);
+        let mut c = [0u64; 16];
+        c[7] = 1000;
+        assert_eq!(normalized_entropy16(&c), 0.0);
+    }
+
+    #[test]
+    fn uniform_nybble_is_one() {
+        let c = [5u64; 16];
+        let h = normalized_entropy16(&c);
+        assert!((h - 1.0).abs() < 1e-12, "h={h}");
+    }
+
+    #[test]
+    fn two_equal_symbols_quarter() {
+        // H = 1 bit; normalized by 4 -> 0.25.
+        let mut c = [0u64; 16];
+        c[0] = 50;
+        c[15] = 50;
+        assert!((normalized_entropy16(&c) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_is_zero() {
+        assert_eq!(shannon_entropy(&[]), 0.0);
+        assert_eq!(shannon_entropy(&[0, 0]), 0.0);
+    }
+
+    #[test]
+    fn skew_reduces_entropy() {
+        let uniform = shannon_entropy(&[25, 25, 25, 25]);
+        let skewed = shannon_entropy(&[97, 1, 1, 1]);
+        assert!(uniform > skewed);
+        assert!((uniform - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn nybble_entropy_helper() {
+        assert_eq!(nybble_entropy([3, 3, 3]), 0.0);
+        let all: Vec<u8> = (0..16).collect();
+        assert!((nybble_entropy(all) - 1.0).abs() < 1e-12);
+    }
+}

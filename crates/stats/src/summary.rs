@@ -1,0 +1,103 @@
+//! Scalar summaries: mean, median, quantiles.
+
+/// Arithmetic mean; `None` on empty input.
+pub fn mean(xs: &[f64]) -> Option<f64> {
+    if xs.is_empty() {
+        None
+    } else {
+        Some(xs.iter().sum::<f64>() / xs.len() as f64)
+    }
+}
+
+/// Median via sorting; `None` on empty input. Even-length inputs average
+/// the two central elements.
+pub fn median(xs: &[f64]) -> Option<f64> {
+    quantile(xs, 0.5)
+}
+
+/// Quantile `q` in [0,1] with linear interpolation between order
+/// statistics; `None` on empty input.
+///
+/// # Panics
+/// Panics if `q` is outside [0, 1] or NaN.
+pub fn quantile(xs: &[f64], q: f64) -> Option<f64> {
+    assert!((0.0..=1.0).contains(&q), "quantile {q} out of range");
+    if xs.is_empty() {
+        return None;
+    }
+    let mut v: Vec<f64> = xs.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).expect("NaN in quantile input"));
+    let pos = q * (v.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    if lo == hi {
+        Some(v[lo])
+    } else {
+        let frac = pos - lo as f64;
+        Some(v[lo] * (1.0 - frac) + v[hi] * frac)
+    }
+}
+
+/// Median of each column of equal-length rows — the per-nybble median
+/// entropy of a cluster (§4: "we summarize each cluster graphically with
+/// its median entropy on each nybble").
+///
+/// # Panics
+/// Panics if rows have unequal lengths.
+pub fn column_medians(rows: &[Vec<f64>]) -> Vec<f64> {
+    if rows.is_empty() {
+        return Vec::new();
+    }
+    let w = rows[0].len();
+    assert!(
+        rows.iter().all(|r| r.len() == w),
+        "ragged rows in column_medians"
+    );
+    (0..w)
+        .map(|j| {
+            let col: Vec<f64> = rows.iter().map(|r| r[j]).collect();
+            median(&col).expect("non-empty column")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_median_basics() {
+        assert_eq!(mean(&[]), None);
+        assert_eq!(mean(&[2.0, 4.0]), Some(3.0));
+        assert_eq!(median(&[1.0, 3.0, 2.0]), Some(2.0));
+        assert_eq!(median(&[1.0, 2.0, 3.0, 4.0]), Some(2.5));
+    }
+
+    #[test]
+    fn quantile_interpolation() {
+        let xs = [0.0, 10.0];
+        assert_eq!(quantile(&xs, 0.0), Some(0.0));
+        assert_eq!(quantile(&xs, 1.0), Some(10.0));
+        assert_eq!(quantile(&xs, 0.25), Some(2.5));
+    }
+
+    #[test]
+    fn column_medians_shape() {
+        let rows = vec![vec![0.0, 1.0], vec![1.0, 0.0], vec![0.5, 0.2]];
+        let m = column_medians(&rows);
+        assert_eq!(m, vec![0.5, 0.2]);
+        assert!(column_medians(&[]).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn quantile_oob_panics() {
+        quantile(&[1.0], 1.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "ragged")]
+    fn ragged_rows_panic() {
+        column_medians(&[vec![1.0], vec![1.0, 2.0]]);
+    }
+}

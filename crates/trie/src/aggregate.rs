@@ -1,0 +1,150 @@
+//! Prefix aggregation: collapse complete sibling pairs into their parent.
+//!
+//! The hitlist service publishes the aliased-prefix list daily; detection
+//! at /64 granularity inside an aliased /48 yields thousands of sibling
+//! /64s that aggregate back to the /48 (CIDR supernetting). Aggregation
+//! keeps the published file proportional to the *phenomenon*, not to the
+//! probing schedule.
+
+use crate::PrefixSet;
+use expanse_addr::Prefix;
+
+/// Aggregate a set of prefixes: repeatedly replace both children of a
+/// parent with the parent itself, and drop prefixes covered by another
+/// prefix in the set. The result covers exactly the same address space
+/// with the minimum number of prefixes.
+pub fn aggregate(prefixes: &[Prefix]) -> Vec<Prefix> {
+    // Deduplicate + drop covered prefixes via a set.
+    let mut set = PrefixSet::new();
+    let mut sorted: Vec<Prefix> = prefixes.to_vec();
+    sorted.sort(); // shorter (covering) prefixes first within equal bits
+    for p in sorted {
+        if !set.covers_addr(p.first()) || !covered_entirely(&set, p) {
+            set.add(p);
+        }
+    }
+    let mut work: Vec<Prefix> = set
+        .iter()
+        .map(|(p, _)| p)
+        .filter(|p| {
+            // Drop anything covered by a strictly shorter member.
+            set.matches(p.first())
+                .filter(|(q, _)| q.len() < p.len())
+                .count()
+                == 0
+        })
+        .collect();
+
+    // Merge sibling pairs bottom-up until fixpoint.
+    loop {
+        work.sort();
+        let mut merged: Vec<Prefix> = Vec::with_capacity(work.len());
+        let mut changed = false;
+        let mut i = 0;
+        while i < work.len() {
+            if i + 1 < work.len() && is_sibling_pair(work[i], work[i + 1]) {
+                merged.push(work[i].parent().expect("non-root sibling"));
+                changed = true;
+                i += 2;
+            } else {
+                merged.push(work[i]);
+                i += 1;
+            }
+        }
+        work = merged;
+        if !changed {
+            break;
+        }
+    }
+    work
+}
+
+/// Are `a` and `b` the two children of one parent?
+fn is_sibling_pair(a: Prefix, b: Prefix) -> bool {
+    a.len() == b.len()
+        && a.len() > 0
+        && a.parent() == b.parent()
+        && a != b
+}
+
+/// Is `p` entirely covered by an existing (equal-or-shorter) member?
+fn covered_entirely(set: &PrefixSet, p: Prefix) -> bool {
+    set.matches(p.first()).any(|(q, _)| q.covers(&p))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(s: &str) -> Prefix {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn merges_complete_sibling_pairs() {
+        let out = aggregate(&[p("2001:db8::/33"), p("2001:db8:8000::/33")]);
+        assert_eq!(out, vec![p("2001:db8::/32")]);
+    }
+
+    #[test]
+    fn cascades_upward() {
+        // Four /34s -> one /32.
+        let out = aggregate(&[
+            p("2001:db8::/34"),
+            p("2001:db8:4000::/34"),
+            p("2001:db8:8000::/34"),
+            p("2001:db8:c000::/34"),
+        ]);
+        assert_eq!(out, vec![p("2001:db8::/32")]);
+    }
+
+    #[test]
+    fn incomplete_pairs_stay() {
+        let out = aggregate(&[p("2001:db8::/33"), p("2001:db9::/33")]);
+        assert_eq!(out.len(), 2);
+    }
+
+    #[test]
+    fn covered_prefixes_dropped() {
+        let out = aggregate(&[p("2001:db8::/32"), p("2001:db8:1234::/48")]);
+        assert_eq!(out, vec![p("2001:db8::/32")]);
+    }
+
+    #[test]
+    fn duplicates_collapse() {
+        let out = aggregate(&[p("2001:db8::/48"), p("2001:db8::/48")]);
+        assert_eq!(out, vec![p("2001:db8::/48")]);
+    }
+
+    #[test]
+    fn sixteen_64s_make_a_60() {
+        let base = p("2001:db8:0:40::/58");
+        let children: Vec<Prefix> = (0..64u128).map(|i| base.subprefix(6, i)).collect();
+        let out = aggregate(&children);
+        assert_eq!(out, vec![base]);
+    }
+
+    #[test]
+    fn preserves_address_space_exactly() {
+        let input = vec![
+            p("2001:db8::/33"),
+            p("2001:db8:8000::/34"),
+            p("2001:db8:c000::/34"),
+            p("2a00::/24"),
+        ];
+        let out = aggregate(&input);
+        assert_eq!(out, vec![p("2001:db8::/32"), p("2a00::/24")]);
+        // Membership equivalence on sample points.
+        let in_set = crate::PrefixSet::from_iter(input.iter().map(|q| (*q, ())));
+        let out_set = crate::PrefixSet::from_iter(out.iter().map(|q| (*q, ())));
+        for i in 0..200u64 {
+            let a = expanse_addr::keyed_random_addr(p("2001:da0::/27"), i);
+            assert_eq!(in_set.covers_addr(a), out_set.covers_addr(a), "{a}");
+        }
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(aggregate(&[]).is_empty());
+    }
+}

@@ -1,0 +1,142 @@
+//! Trie iterators.
+
+use crate::node::{bit, Node};
+use crate::trie::PrefixTrie;
+use expanse_addr::{addr_to_u128, Prefix};
+use std::net::Ipv6Addr;
+
+/// Depth-first in-order iterator over `(Prefix, &V)`.
+///
+/// Yields prefixes in `(bits, len)` order: address order, with covering
+/// prefixes before their more-specifics.
+pub struct Iter<'a, V> {
+    stack: Vec<(&'a Node<V>, u128, u8)>,
+}
+
+impl<'a, V> Iter<'a, V> {
+    pub(crate) fn new(root: &'a Node<V>, bits: u128, depth: u8) -> Self {
+        Iter {
+            stack: vec![(root, bits, depth)],
+        }
+    }
+
+    pub(crate) fn empty() -> Self {
+        Iter { stack: Vec::new() }
+    }
+}
+
+impl<'a, V> Iterator for Iter<'a, V> {
+    type Item = (Prefix, &'a V);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        while let Some((node, bits, depth)) = self.stack.pop() {
+            // Push children in reverse order so the 0 branch pops first.
+            if depth < 128 {
+                let child_bit = 127 - u32::from(depth);
+                if let Some(c) = node.children[1].as_deref() {
+                    self.stack.push((c, bits | (1u128 << child_bit), depth + 1));
+                }
+                if let Some(c) = node.children[0].as_deref() {
+                    self.stack.push((c, bits, depth + 1));
+                }
+            }
+            if let Some(v) = node.value.as_ref() {
+                return Some((Prefix::from_bits(bits, depth), v));
+            }
+        }
+        None
+    }
+}
+
+/// Iterator over all stored prefixes covering one address, shortest first.
+pub struct MatchesIter<'a, V> {
+    node: Option<&'a Node<V>>,
+    key: u128,
+    depth: u8,
+    done: bool,
+}
+
+impl<'a, V> MatchesIter<'a, V> {
+    pub(crate) fn new(trie: &'a PrefixTrie<V>, addr: Ipv6Addr) -> Self {
+        MatchesIter {
+            node: Some(&trie.root),
+            key: addr_to_u128(addr),
+            depth: 0,
+            done: false,
+        }
+    }
+}
+
+impl<'a, V> Iterator for MatchesIter<'a, V> {
+    type Item = (Prefix, &'a V);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        while !self.done {
+            let node = self.node?;
+            let here = node
+                .value
+                .as_ref()
+                .map(|v| (Prefix::from_bits(self.key, self.depth), v));
+            if self.depth == 128 {
+                self.done = true;
+            } else {
+                self.node = node.children[bit(self.key, self.depth)].as_deref();
+                self.depth += 1;
+                if self.node.is_none() {
+                    self.done = true;
+                }
+            }
+            if here.is_some() {
+                return here;
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(s: &str) -> Prefix {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn iter_order_is_sorted() {
+        let mut t = PrefixTrie::new();
+        for s in ["2001:db8:2::/48", "2001:db8::/32", "2001:db8:1::/48", "::/0"] {
+            t.insert(p(s), ());
+        }
+        let got: Vec<Prefix> = t.iter().map(|(q, _)| q).collect();
+        let mut sorted = got.clone();
+        sorted.sort();
+        assert_eq!(got, sorted);
+        assert_eq!(got.len(), 4);
+        assert_eq!(got[0], Prefix::DEFAULT);
+    }
+
+    #[test]
+    fn matches_shortest_first() {
+        let mut t = PrefixTrie::new();
+        t.insert(p("::/0"), 0u8);
+        t.insert(p("2001:db8::/32"), 1);
+        t.insert(p("2001:db8:407::/48"), 2);
+        t.insert(p("3000::/4"), 9);
+        let m: Vec<u8> = t
+            .matches("2001:db8:407::1".parse().unwrap())
+            .map(|(_, v)| *v)
+            .collect();
+        assert_eq!(m, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn matches_includes_host_route() {
+        let mut t = PrefixTrie::new();
+        let addr: Ipv6Addr = "2001:db8::1".parse().unwrap();
+        t.insert(Prefix::host(addr), "h");
+        t.insert(p("2001:db8::/32"), "n");
+        let m: Vec<&str> = t.matches(addr).map(|(_, v)| *v).collect();
+        assert_eq!(m, vec!["n", "h"]);
+    }
+}

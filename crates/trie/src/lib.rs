@@ -1,0 +1,52 @@
+//! Bit-level radix trie over IPv6 prefixes.
+//!
+//! The substrate for every prefix-keyed lookup in the workspace:
+//!
+//! - the BGP table of the synthetic Internet (`expanse-model`),
+//! - the aliased-prefix filter applied by longest-prefix matching (§5.1 of
+//!   the paper: *"After the APD probing, we perform longest-prefix matching
+//!   to determine whether a specific IPv6 address falls into an aliased
+//!   prefix or not"*),
+//! - per-prefix response ledgers in the pipeline.
+//!
+//! The trie is a plain binary trie with path pruning on removal. Values
+//! live only on nodes that correspond to inserted prefixes; internal nodes
+//! are structural.
+//!
+//! # Example
+//!
+//! ```
+//! use expanse_trie::PrefixTrie;
+//! use expanse_addr::Prefix;
+//!
+//! let mut t = PrefixTrie::new();
+//! t.insert("2001:db8::/32".parse().unwrap(), "corp");
+//! t.insert("2001:db8:407::/48".parse().unwrap(), "lab");
+//! let (pfx, v) = t.longest_match("2001:db8:407::1".parse().unwrap()).unwrap();
+//! assert_eq!(*v, "lab");
+//! assert_eq!(pfx.len(), 48);
+//! ```
+
+mod aggregate;
+mod iter;
+mod node;
+mod trie;
+
+pub use aggregate::aggregate;
+pub use iter::{Iter, MatchesIter};
+pub use trie::PrefixTrie;
+
+/// A set of prefixes (trie with unit values) with set-flavoured helpers.
+pub type PrefixSet = PrefixTrie<()>;
+
+impl PrefixSet {
+    /// Insert a prefix into the set. Returns `true` if newly inserted.
+    pub fn add(&mut self, p: expanse_addr::Prefix) -> bool {
+        self.insert(p, ()).is_none()
+    }
+
+    /// Does any prefix in the set cover `addr`?
+    pub fn covers_addr(&self, addr: std::net::Ipv6Addr) -> bool {
+        self.longest_match(addr).is_some()
+    }
+}

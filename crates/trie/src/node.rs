@@ -1,0 +1,57 @@
+//! Trie node representation.
+
+/// A binary trie node. `children[0]` follows a 0 bit, `children[1]` a 1 bit.
+#[derive(Debug, Clone)]
+pub(crate) struct Node<V> {
+    pub(crate) value: Option<V>,
+    pub(crate) children: [Option<Box<Node<V>>>; 2],
+}
+
+impl<V> Node<V> {
+    pub(crate) fn new() -> Self {
+        Node {
+            value: None,
+            children: [None, None],
+        }
+    }
+
+    /// A node is prunable when it stores no value and has no children.
+    pub(crate) fn is_empty_leaf(&self) -> bool {
+        self.value.is_none() && self.children[0].is_none() && self.children[1].is_none()
+    }
+}
+
+impl<V> Default for Node<V> {
+    fn default() -> Self {
+        Node::new()
+    }
+}
+
+/// Extract bit `i` (0 = most significant) from a 128-bit key.
+#[inline]
+pub(crate) fn bit(key: u128, i: u8) -> usize {
+    debug_assert!(i < 128);
+    ((key >> (127 - u32::from(i))) & 1) as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bit_extraction() {
+        let k: u128 = 1 << 127; // only the MSB set
+        assert_eq!(bit(k, 0), 1);
+        assert_eq!(bit(k, 1), 0);
+        assert_eq!(bit(1u128, 127), 1);
+        assert_eq!(bit(1u128, 126), 0);
+    }
+
+    #[test]
+    fn empty_leaf() {
+        let mut n: Node<u32> = Node::new();
+        assert!(n.is_empty_leaf());
+        n.value = Some(1);
+        assert!(!n.is_empty_leaf());
+    }
+}

@@ -1,0 +1,355 @@
+//! The trie proper: insert, get, remove, longest-prefix match.
+
+use crate::iter::{Iter, MatchesIter};
+use crate::node::{bit, Node};
+use expanse_addr::{addr_to_u128, Prefix};
+use std::net::Ipv6Addr;
+
+/// A map from IPv6 prefixes to values with longest-prefix-match lookup.
+#[derive(Debug, Clone)]
+pub struct PrefixTrie<V> {
+    pub(crate) root: Node<V>,
+    len: usize,
+}
+
+impl<V> Default for PrefixTrie<V> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<V> PrefixTrie<V> {
+    /// An empty trie.
+    pub fn new() -> Self {
+        PrefixTrie {
+            root: Node::new(),
+            len: 0,
+        }
+    }
+
+    /// Number of stored prefixes.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Is the trie empty?
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Insert `prefix -> value`. Returns the previous value if the prefix
+    /// was already present.
+    pub fn insert(&mut self, prefix: Prefix, value: V) -> Option<V> {
+        let key = prefix.bits();
+        let mut node = &mut self.root;
+        for i in 0..prefix.len() {
+            let b = bit(key, i);
+            node = node.children[b].get_or_insert_with(|| Box::new(Node::new()));
+        }
+        let old = node.value.replace(value);
+        if old.is_none() {
+            self.len += 1;
+        }
+        old
+    }
+
+    /// Exact-match lookup.
+    pub fn get(&self, prefix: Prefix) -> Option<&V> {
+        let key = prefix.bits();
+        let mut node = &self.root;
+        for i in 0..prefix.len() {
+            node = node.children[bit(key, i)].as_deref()?;
+        }
+        node.value.as_ref()
+    }
+
+    /// Exact-match mutable lookup.
+    pub fn get_mut(&mut self, prefix: Prefix) -> Option<&mut V> {
+        let key = prefix.bits();
+        let mut node = &mut self.root;
+        for i in 0..prefix.len() {
+            node = node.children[bit(key, i)].as_deref_mut()?;
+        }
+        node.value.as_mut()
+    }
+
+    /// Exact-match lookup, inserting a default value if absent.
+    pub fn get_or_insert_with(&mut self, prefix: Prefix, f: impl FnOnce() -> V) -> &mut V {
+        let key = prefix.bits();
+        let mut node = &mut self.root;
+        for i in 0..prefix.len() {
+            let b = bit(key, i);
+            node = node.children[b].get_or_insert_with(|| Box::new(Node::new()));
+        }
+        if node.value.is_none() {
+            node.value = Some(f());
+            self.len += 1;
+        }
+        node.value.as_mut().expect("value just ensured")
+    }
+
+    /// Remove a prefix, returning its value. Prunes now-empty branches.
+    pub fn remove(&mut self, prefix: Prefix) -> Option<V> {
+        fn rec<V>(node: &mut Node<V>, key: u128, depth: u8, len: u8) -> Option<V> {
+            if depth == len {
+                return node.value.take();
+            }
+            let b = bit(key, depth);
+            let child = node.children[b].as_deref_mut()?;
+            let out = rec(child, key, depth + 1, len);
+            if out.is_some() && child.is_empty_leaf() {
+                node.children[b] = None;
+            }
+            out
+        }
+        let out = rec(&mut self.root, prefix.bits(), 0, prefix.len());
+        if out.is_some() {
+            self.len -= 1;
+        }
+        out
+    }
+
+    /// Longest-prefix match: the most specific stored prefix covering
+    /// `addr`, with its value.
+    pub fn longest_match(&self, addr: Ipv6Addr) -> Option<(Prefix, &V)> {
+        let key = addr_to_u128(addr);
+        let mut node = &self.root;
+        let mut best: Option<(u8, &V)> = node.value.as_ref().map(|v| (0, v));
+        for i in 0..128u8 {
+            match node.children[bit(key, i)].as_deref() {
+                Some(child) => {
+                    node = child;
+                    if let Some(v) = node.value.as_ref() {
+                        best = Some((i + 1, v));
+                    }
+                }
+                None => break,
+            }
+        }
+        best.map(|(len, v)| (Prefix::from_bits(key, len), v))
+    }
+
+    /// Shortest-prefix match: the least specific stored prefix covering
+    /// `addr`. Useful for finding covering aggregates.
+    pub fn shortest_match(&self, addr: Ipv6Addr) -> Option<(Prefix, &V)> {
+        let key = addr_to_u128(addr);
+        let mut node = &self.root;
+        if let Some(v) = node.value.as_ref() {
+            return Some((Prefix::DEFAULT, v));
+        }
+        for i in 0..128u8 {
+            match node.children[bit(key, i)].as_deref() {
+                Some(child) => {
+                    node = child;
+                    if let Some(v) = node.value.as_ref() {
+                        return Some((Prefix::from_bits(key, i + 1), v));
+                    }
+                }
+                None => break,
+            }
+        }
+        None
+    }
+
+    /// All stored prefixes covering `addr`, from shortest to longest.
+    pub fn matches(&self, addr: Ipv6Addr) -> MatchesIter<'_, V> {
+        MatchesIter::new(self, addr)
+    }
+
+    /// In-order iteration over `(Prefix, &V)` pairs.
+    pub fn iter(&self) -> Iter<'_, V> {
+        Iter::new(&self.root, 0, 0)
+    }
+
+    /// Iterate over stored prefixes covered by `within` (including itself).
+    pub fn iter_within(&self, within: Prefix) -> Iter<'_, V> {
+        let key = within.bits();
+        let mut node = &self.root;
+        for i in 0..within.len() {
+            match node.children[bit(key, i)].as_deref() {
+                Some(child) => node = child,
+                None => return Iter::empty(),
+            }
+        }
+        Iter::new(node, key, within.len())
+    }
+
+    /// Do any stored prefixes intersect `p` (cover it or be covered by it)?
+    pub fn intersects(&self, p: Prefix) -> bool {
+        // A covering prefix exists if any node on the path to p has a value;
+        // a covered prefix exists if the subtree at p is non-empty.
+        let key = p.bits();
+        let mut node = &self.root;
+        if node.value.is_some() {
+            return true;
+        }
+        for i in 0..p.len() {
+            match node.children[bit(key, i)].as_deref() {
+                Some(child) => {
+                    node = child;
+                    if node.value.is_some() {
+                        return true;
+                    }
+                }
+                None => return false,
+            }
+        }
+        // Reached p's node: any value at-or-below means intersection.
+        fn subtree_nonempty<V>(n: &Node<V>) -> bool {
+            n.value.is_some()
+                || n.children
+                    .iter()
+                    .flatten()
+                    .any(|c| subtree_nonempty(c))
+        }
+        subtree_nonempty(node)
+    }
+
+    /// Collect all stored prefixes (sorted by address then length).
+    pub fn prefixes(&self) -> Vec<Prefix> {
+        self.iter().map(|(p, _)| p).collect()
+    }
+
+    /// Clear the trie.
+    pub fn clear(&mut self) {
+        self.root = Node::new();
+        self.len = 0;
+    }
+}
+
+impl<V> FromIterator<(Prefix, V)> for PrefixTrie<V> {
+    fn from_iter<T: IntoIterator<Item = (Prefix, V)>>(iter: T) -> Self {
+        let mut t = PrefixTrie::new();
+        for (p, v) in iter {
+            t.insert(p, v);
+        }
+        t
+    }
+}
+
+impl<'a, V> IntoIterator for &'a PrefixTrie<V> {
+    type Item = (Prefix, &'a V);
+    type IntoIter = Iter<'a, V>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(s: &str) -> Prefix {
+        s.parse().unwrap()
+    }
+    fn a(s: &str) -> Ipv6Addr {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn insert_get_remove() {
+        let mut t = PrefixTrie::new();
+        assert!(t.is_empty());
+        assert_eq!(t.insert(p("2001:db8::/32"), 1), None);
+        assert_eq!(t.insert(p("2001:db8::/32"), 2), Some(1));
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.get(p("2001:db8::/32")), Some(&2));
+        assert_eq!(t.get(p("2001:db8::/33")), None);
+        assert_eq!(t.remove(p("2001:db8::/32")), Some(2));
+        assert_eq!(t.remove(p("2001:db8::/32")), None);
+        assert!(t.is_empty());
+        // Removal pruned the path.
+        assert!(t.root.is_empty_leaf());
+    }
+
+    #[test]
+    fn lpm_prefers_most_specific() {
+        let mut t = PrefixTrie::new();
+        t.insert(p("::/0"), "default");
+        t.insert(p("2001:db8::/32"), "corp");
+        t.insert(p("2001:db8:407::/48"), "lab");
+        let (px, v) = t.longest_match(a("2001:db8:407::1")).unwrap();
+        assert_eq!(*v, "lab");
+        assert_eq!(px, p("2001:db8:407::/48"));
+        let (px, v) = t.longest_match(a("2001:db8:1::1")).unwrap();
+        assert_eq!(*v, "corp");
+        assert_eq!(px, p("2001:db8::/32"));
+        let (px, v) = t.longest_match(a("9999::1")).unwrap();
+        assert_eq!(*v, "default");
+        assert_eq!(px, Prefix::DEFAULT);
+    }
+
+    #[test]
+    fn lpm_without_default_route() {
+        let mut t = PrefixTrie::new();
+        t.insert(p("2001:db8::/32"), ());
+        assert!(t.longest_match(a("2001:db9::1")).is_none());
+    }
+
+    #[test]
+    fn shortest_match_finds_aggregate() {
+        let mut t = PrefixTrie::new();
+        t.insert(p("2001:db8::/32"), 32);
+        t.insert(p("2001:db8:407::/48"), 48);
+        let (px, v) = t.shortest_match(a("2001:db8:407::1")).unwrap();
+        assert_eq!(*v, 32);
+        assert_eq!(px.len(), 32);
+    }
+
+    #[test]
+    fn host_route_matching() {
+        let mut t = PrefixTrie::new();
+        t.insert(Prefix::host(a("2001:db8::1")), ());
+        assert!(t.longest_match(a("2001:db8::1")).is_some());
+        assert!(t.longest_match(a("2001:db8::2")).is_none());
+    }
+
+    #[test]
+    fn get_or_insert_with_counts() {
+        let mut t: PrefixTrie<u32> = PrefixTrie::new();
+        *t.get_or_insert_with(p("2001:db8::/32"), || 0) += 1;
+        *t.get_or_insert_with(p("2001:db8::/32"), || 0) += 1;
+        assert_eq!(t.get(p("2001:db8::/32")), Some(&2));
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn iter_within_subtree() {
+        let mut t = PrefixTrie::new();
+        t.insert(p("2001:db8::/32"), 0);
+        t.insert(p("2001:db8:1::/48"), 1);
+        t.insert(p("2001:db8:2::/48"), 2);
+        t.insert(p("2001:db9::/32"), 3);
+        let inside: Vec<_> = t.iter_within(p("2001:db8::/32")).map(|(q, v)| (q, *v)).collect();
+        assert_eq!(inside.len(), 3);
+        assert!(inside.iter().all(|(q, _)| p("2001:db8::/32").covers(q)));
+        assert!(t.iter_within(p("3000::/16")).next().is_none());
+    }
+
+    #[test]
+    fn intersects_detects_both_directions() {
+        let mut t = PrefixTrie::new();
+        t.insert(p("2001:db8:407::/48"), ());
+        assert!(t.intersects(p("2001:db8::/32"))); // covered-by direction
+        assert!(t.intersects(p("2001:db8:407:1::/64"))); // covering direction
+        assert!(!t.intersects(p("2001:db9::/32")));
+    }
+
+    #[test]
+    fn default_route_value() {
+        let mut t = PrefixTrie::new();
+        t.insert(Prefix::DEFAULT, "d");
+        assert_eq!(t.get(Prefix::DEFAULT), Some(&"d"));
+        assert_eq!(t.longest_match(a("::1")).unwrap().1, &"d");
+        assert_eq!(t.shortest_match(a("::1")).unwrap().1, &"d");
+    }
+
+    #[test]
+    fn from_iterator_and_prefixes_sorted() {
+        let t: PrefixTrie<u8> = [(p("2001:db9::/32"), 1), (p("2001:db8::/32"), 0)]
+            .into_iter()
+            .collect();
+        assert_eq!(t.prefixes(), vec![p("2001:db8::/32"), p("2001:db9::/32")]);
+    }
+}

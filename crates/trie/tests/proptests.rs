@@ -1,0 +1,95 @@
+//! Property tests: the trie must agree with a brute-force model.
+
+use expanse_addr::{u128_to_addr, Prefix};
+use expanse_trie::PrefixTrie;
+use proptest::prelude::*;
+use std::collections::HashMap;
+use std::net::Ipv6Addr;
+
+fn arb_prefix() -> impl Strategy<Value = Prefix> {
+    // Cluster prefixes in a small space so covers/overlaps actually occur.
+    (0u128..64, 0u8..=8u8, any::<u128>())
+        .prop_map(|(hi, len_class, noise)| {
+            let len = len_class * 16; // 0,16,...,128
+            Prefix::from_bits((hi << 121) | (noise >> 7), len)
+        })
+}
+
+/// Brute-force LPM over a map of prefixes.
+fn brute_lpm(map: &HashMap<Prefix, u32>, addr: Ipv6Addr) -> Option<(Prefix, &u32)> {
+    map.iter()
+        .filter(|(p, _)| p.contains(addr))
+        .max_by_key(|(p, _)| p.len())
+        .map(|(p, v)| (*p, v))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn trie_matches_brute_force(
+        entries in proptest::collection::vec((arb_prefix(), any::<u32>()), 0..40),
+        queries in proptest::collection::vec(any::<u128>(), 0..40),
+    ) {
+        let mut trie = PrefixTrie::new();
+        let mut map: HashMap<Prefix, u32> = HashMap::new();
+        for (p, v) in entries {
+            trie.insert(p, v);
+            map.insert(p, v);
+        }
+        prop_assert_eq!(trie.len(), map.len());
+        for q in queries {
+            let addr = u128_to_addr(q);
+            let got = trie.longest_match(addr).map(|(p, v)| (p, *v));
+            let want = brute_lpm(&map, addr).map(|(p, v)| (p, *v));
+            // Prefix lengths must agree (values may differ only if two
+            // distinct prefixes of equal length both match, impossible).
+            prop_assert_eq!(got, want);
+        }
+    }
+
+    #[test]
+    fn insert_remove_roundtrip(
+        entries in proptest::collection::vec((arb_prefix(), any::<u32>()), 1..30),
+    ) {
+        let mut trie = PrefixTrie::new();
+        let mut map: HashMap<Prefix, u32> = HashMap::new();
+        for (p, v) in &entries {
+            trie.insert(*p, *v);
+            map.insert(*p, *v);
+        }
+        // Remove half of the (deduplicated) prefixes.
+        let keys: Vec<Prefix> = map.keys().copied().collect();
+        for p in keys.iter().step_by(2) {
+            prop_assert_eq!(trie.remove(*p), map.remove(p));
+        }
+        prop_assert_eq!(trie.len(), map.len());
+        for (p, v) in &map {
+            prop_assert_eq!(trie.get(*p), Some(v));
+        }
+        // Iteration yields exactly the surviving set.
+        let mut got: Vec<(Prefix, u32)> = trie.iter().map(|(p, v)| (p, *v)).collect();
+        let mut want: Vec<(Prefix, u32)> = map.into_iter().collect();
+        got.sort();
+        want.sort();
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn matches_agrees_with_filter(
+        entries in proptest::collection::vec(arb_prefix(), 0..30),
+        q in any::<u128>(),
+    ) {
+        let trie: PrefixTrie<()> = entries.iter().map(|p| (*p, ())).collect();
+        let addr = u128_to_addr(q);
+        let got: Vec<Prefix> = trie.matches(addr).map(|(p, _)| p).collect();
+        let mut want: Vec<Prefix> = entries
+            .iter()
+            .copied()
+            .filter(|p| p.contains(addr))
+            .collect();
+        want.sort_by_key(|p| p.len());
+        want.dedup();
+        prop_assert_eq!(got, want);
+    }
+}

@@ -1,0 +1,298 @@
+//! `expanse-zesplot`: squarified-treemap visualization of IPv6 prefix
+//! datasets (Hendriks' zesplot, as used in Figures 1c, 3b, 5 and 6 of
+//! the paper).
+//!
+//! A zesplot draws one rectangle per input prefix (never the whole
+//! address space). Prefixes are ordered by `{prefix length, ASN}` so a
+//! prefix keeps its position across plots of the same input; rectangle
+//! areas follow prefix size (or are uniform in the *unsized* variant,
+//! which Figures 3b/5/6 use), and colors encode a per-prefix value
+//! (address count, response count, cluster id) on a log scale.
+//!
+//! Layout is the squarified-treemap algorithm of Bruls et al., which the
+//! zesplot tool extends with alternating row orientation.
+
+mod squarify;
+mod svg;
+
+pub use squarify::{layout, Rect};
+
+pub use svg::render_svg;
+
+use expanse_addr::Prefix;
+
+/// One input prefix with its display attributes.
+#[derive(Debug, Clone)]
+pub struct ZesEntry {
+    /// The prefix this rectangle represents.
+    pub prefix: Prefix,
+    /// Origin AS number (ordering key).
+    pub asn: u32,
+    /// Color value (e.g. address count). Zero renders white.
+    pub value: f64,
+}
+
+/// Plot configuration.
+#[derive(Debug, Clone)]
+pub struct ZesConfig {
+    /// Canvas width in pixels.
+    pub width: f64,
+    /// Canvas height in pixels.
+    pub height: f64,
+    /// Sized (area ∝ prefix size) or unsized (uniform boxes) plot.
+    pub sized: bool,
+    /// Legend/label for the color scale.
+    pub label: String,
+}
+
+impl Default for ZesConfig {
+    fn default() -> Self {
+        ZesConfig {
+            width: 800.0,
+            height: 500.0,
+            sized: true,
+            label: "addresses".to_string(),
+        }
+    }
+}
+
+/// A laid-out plot ready for rendering.
+#[derive(Debug, Clone)]
+pub struct ZesPlot {
+    /// `(value, probability)` pairs, descending by probability.
+    pub entries: Vec<ZesEntry>,
+    /// One rectangle per entry, same order.
+    pub rects: Vec<Rect>,
+    /// Plot configuration used for layout.
+    pub config: ZesConfig,
+}
+
+/// Area weight of a prefix: wider prefixes get (dampened) larger areas.
+/// True proportionality (2^(128-len)) would leave everything but the
+/// widest prefix invisible, so zesplot dampens; we use 1.25^(-len),
+/// normalized later.
+fn area_weight(len: u8) -> f64 {
+    1.25f64.powi(-i32::from(len))
+}
+
+/// Build a *nested* zesplot: more-specific input prefixes are drawn in
+/// the top half of their covering input prefix's rectangle, as the
+/// original zesplot tool does ("More-specific subprefixes are plotted in
+/// the top half of that prefix's rectangle").
+///
+/// One nesting level is rendered: every covered prefix is assigned to
+/// its least-specific covering entry. Top-level prefixes tile the canvas
+/// exactly as [`plot`] would.
+pub fn plot_nested(entries: Vec<ZesEntry>, config: ZesConfig) -> ZesPlot {
+    // Split entries into top-level and covered.
+    let mut top: Vec<ZesEntry> = Vec::new();
+    let mut children: Vec<(usize, ZesEntry)> = Vec::new(); // (top index, entry)
+    let mut sorted = entries;
+    sorted.sort_by(|a, b| {
+        a.prefix
+            .len()
+            .cmp(&b.prefix.len())
+            .then_with(|| a.asn.cmp(&b.asn))
+            .then_with(|| a.prefix.cmp(&b.prefix))
+    });
+    for e in sorted {
+        match top
+            .iter()
+            .position(|t| t.prefix.covers(&e.prefix) && t.prefix != e.prefix)
+        {
+            Some(i) => children.push((i, e)),
+            None => top.push(e),
+        }
+    }
+    // Lay out the top level.
+    let top_plot = plot(top, config.clone());
+    let mut all_entries = top_plot.entries.clone();
+    let mut all_rects = top_plot.rects.clone();
+    // Lay out each parent's children inside the top half of its rect.
+    for (parent_idx, parent_rect) in top_plot.rects.iter().enumerate() {
+        let parent_prefix = top_plot.entries[parent_idx].prefix;
+        let mine: Vec<ZesEntry> = children
+            .iter()
+            .filter(|(_, e)| parent_prefix.covers(&e.prefix))
+            .map(|(_, e)| e.clone())
+            .collect();
+        if mine.is_empty() {
+            continue;
+        }
+        let areas: Vec<f64> = if config.sized {
+            mine.iter().map(|e| area_weight(e.prefix.len())).collect()
+        } else {
+            vec![1.0; mine.len()]
+        };
+        let half_h = parent_rect.h / 2.0;
+        let sub = layout(&areas, parent_rect.w, half_h);
+        for (e, r) in mine.into_iter().zip(sub) {
+            all_entries.push(e);
+            all_rects.push(Rect {
+                x: parent_rect.x + r.x,
+                y: parent_rect.y + r.y,
+                w: r.w,
+                h: r.h,
+            });
+        }
+    }
+    ZesPlot {
+        entries: all_entries,
+        rects: all_rects,
+        config,
+    }
+}
+
+/// Build a zesplot: sort by `{len, asn, prefix}`, lay out, attach rects.
+pub fn plot(mut entries: Vec<ZesEntry>, config: ZesConfig) -> ZesPlot {
+    entries.sort_by(|a, b| {
+        a.prefix
+            .len()
+            .cmp(&b.prefix.len())
+            .then_with(|| a.asn.cmp(&b.asn))
+            .then_with(|| a.prefix.cmp(&b.prefix))
+    });
+    let areas: Vec<f64> = if config.sized {
+        entries.iter().map(|e| area_weight(e.prefix.len())).collect()
+    } else {
+        vec![1.0; entries.len()]
+    };
+    let rects = layout(&areas, config.width, config.height);
+    ZesPlot {
+        entries,
+        rects,
+        config,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entries() -> Vec<ZesEntry> {
+        let specs = [
+            ("2001:db8::/32", 2, 100.0),
+            ("2001:db9::/32", 1, 5.0),
+            ("2a00::/19", 3, 1000.0),
+            ("2a02:123:456::/48", 1, 0.0),
+        ];
+        specs
+            .iter()
+            .map(|(p, asn, v)| ZesEntry {
+                prefix: p.parse().unwrap(),
+                asn: *asn,
+                value: *v,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn ordering_is_len_then_asn() {
+        let p = plot(entries(), ZesConfig::default());
+        let lens: Vec<u8> = p.entries.iter().map(|e| e.prefix.len()).collect();
+        assert_eq!(lens, vec![19, 32, 32, 48]);
+        // The two /32s ordered by ASN.
+        assert_eq!(p.entries[1].asn, 1);
+        assert_eq!(p.entries[2].asn, 2);
+    }
+
+    #[test]
+    fn rects_tile_the_canvas() {
+        let cfg = ZesConfig::default();
+        let p = plot(entries(), cfg.clone());
+        assert_eq!(p.rects.len(), p.entries.len());
+        let total: f64 = p.rects.iter().map(|r| r.w * r.h).sum();
+        assert!(
+            (total - cfg.width * cfg.height).abs() < 1.0,
+            "area {total} vs canvas {}",
+            cfg.width * cfg.height
+        );
+        for r in &p.rects {
+            assert!(r.x >= -1e-9 && r.y >= -1e-9);
+            assert!(r.x + r.w <= cfg.width + 1e-6);
+            assert!(r.y + r.h <= cfg.height + 1e-6);
+        }
+    }
+
+    #[test]
+    fn sized_gives_larger_area_to_shorter_prefix() {
+        let p = plot(entries(), ZesConfig::default());
+        let a19 = p.rects[0].w * p.rects[0].h;
+        let a48 = p.rects[3].w * p.rects[3].h;
+        assert!(a19 > a48, "a19={a19} a48={a48}");
+    }
+
+    #[test]
+    fn unsized_gives_equal_areas() {
+        let cfg = ZesConfig {
+            sized: false,
+            ..ZesConfig::default()
+        };
+        let p = plot(entries(), cfg);
+        let areas: Vec<f64> = p.rects.iter().map(|r| r.w * r.h).collect();
+        for a in &areas {
+            assert!((a - areas[0]).abs() < 1.0, "{areas:?}");
+        }
+    }
+
+    #[test]
+    fn nested_children_sit_in_parents_top_half() {
+        let mut e = entries();
+        e.push(ZesEntry {
+            prefix: "2001:db8:47::/48".parse().unwrap(), // inside 2001:db8::/32
+            asn: 2,
+            value: 7.0,
+        });
+        e.push(ZesEntry {
+            prefix: "2001:db8:47:1::/64".parse().unwrap(), // also inside
+            asn: 2,
+            value: 3.0,
+        });
+        let p = plot_nested(e, ZesConfig::default());
+        // 4 top-level + 2 children.
+        assert_eq!(p.entries.len(), 6);
+        let parent_idx = p
+            .entries
+            .iter()
+            .position(|x| x.prefix == "2001:db8::/32".parse().unwrap())
+            .unwrap();
+        let parent = p.rects[parent_idx];
+        for (e, r) in p.entries.iter().zip(&p.rects) {
+            if e.prefix == "2001:db8:47::/48".parse().unwrap()
+                || e.prefix == "2001:db8:47:1::/64".parse().unwrap()
+            {
+                assert!(r.x >= parent.x - 1e-6);
+                assert!(r.x + r.w <= parent.x + parent.w + 1e-4);
+                assert!(r.y >= parent.y - 1e-6);
+                assert!(
+                    r.y + r.h <= parent.y + parent.h / 2.0 + 1e-4,
+                    "child must sit in the TOP half: {r:?} in {parent:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn nested_without_overlaps_equals_flat() {
+        let p_flat = plot(entries(), ZesConfig::default());
+        let p_nest = plot_nested(entries(), ZesConfig::default());
+        assert_eq!(p_flat.entries.len(), p_nest.entries.len());
+        for (a, b) in p_flat.rects.iter().zip(&p_nest.rects) {
+            assert_eq!(a, b, "no covered prefixes -> identical layout");
+        }
+    }
+
+    #[test]
+    fn stable_position_across_plots() {
+        // Same input prefixes, different values: same rectangles.
+        let mut e2 = entries();
+        for e in e2.iter_mut() {
+            e.value *= 7.0;
+        }
+        let a = plot(entries(), ZesConfig::default());
+        let b = plot(e2, ZesConfig::default());
+        for (ra, rb) in a.rects.iter().zip(&b.rects) {
+            assert_eq!(ra, rb);
+        }
+    }
+}

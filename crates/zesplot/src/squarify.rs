@@ -1,0 +1,172 @@
+//! Squarified treemaps (Bruls, Huizing, van Wijk 2000).
+
+/// An axis-aligned rectangle.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Rect {
+    /// X coordinate (pixels from the left edge).
+    pub x: f64,
+    /// Y coordinate (pixels from the top edge).
+    pub y: f64,
+    /// Width in pixels.
+    pub w: f64,
+    /// Height in pixels.
+    pub h: f64,
+}
+
+/// Lay `areas` (arbitrary positive weights, in order) into a `w × h`
+/// canvas. Weights are normalized to fill the canvas exactly. Returns
+/// one rect per input, in input order. Zero/negative weights get a
+/// degenerate sliver (kept so indices line up).
+pub fn layout(areas: &[f64], w: f64, h: f64) -> Vec<Rect> {
+    let n = areas.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let total: f64 = areas.iter().map(|a| a.max(0.0)).sum();
+    if total <= 0.0 {
+        // All-zero: uniform fallback.
+        return layout(&vec![1.0; n], w, h);
+    }
+    let scale = (w * h) / total;
+    let scaled: Vec<f64> = areas.iter().map(|a| a.max(0.0) * scale).collect();
+
+    let mut out: Vec<Rect> = Vec::with_capacity(n);
+    let mut free = Rect { x: 0.0, y: 0.0, w, h };
+    let mut row: Vec<f64> = Vec::new();
+    let mut i = 0usize;
+
+    fn worst(row: &[f64], side: f64) -> f64 {
+        let sum: f64 = row.iter().sum();
+        if sum <= 0.0 || side <= 0.0 {
+            return f64::INFINITY;
+        }
+        let max = row.iter().cloned().fold(f64::MIN, f64::max);
+        let min = row.iter().cloned().fold(f64::MAX, f64::min);
+        let s2 = sum * sum;
+        let side2 = side * side;
+        (side2 * max / s2).max(s2 / (side2 * min.max(f64::MIN_POSITIVE)))
+    }
+
+    fn flush(row: &[f64], free: &mut Rect, out: &mut Vec<Rect>) {
+        let sum: f64 = row.iter().sum();
+        if row.is_empty() {
+            return;
+        }
+        let vertical = free.w >= free.h; // fill a vertical strip on the left
+        if vertical {
+            let strip_w = if free.h > 0.0 { sum / free.h } else { 0.0 };
+            let mut y = free.y;
+            for &a in row {
+                let rh = if sum > 0.0 { a / sum * free.h } else { 0.0 };
+                out.push(Rect {
+                    x: free.x,
+                    y,
+                    w: strip_w,
+                    h: rh,
+                });
+                y += rh;
+            }
+            free.x += strip_w;
+            free.w -= strip_w;
+        } else {
+            let strip_h = if free.w > 0.0 { sum / free.w } else { 0.0 };
+            let mut x = free.x;
+            for &a in row {
+                let rw = if sum > 0.0 { a / sum * free.w } else { 0.0 };
+                out.push(Rect {
+                    x,
+                    y: free.y,
+                    w: rw,
+                    h: strip_h,
+                });
+                x += rw;
+            }
+            free.y += strip_h;
+            free.h -= strip_h;
+        }
+    }
+
+    while i < n {
+        let side = free.w.min(free.h);
+        let a = scaled[i].max(1e-12);
+        if row.is_empty() {
+            row.push(a);
+            i += 1;
+            continue;
+        }
+        // Does adding the next area improve the worst aspect ratio?
+        let without = worst(&row, side);
+        row.push(a);
+        let with = worst(&row, side);
+        if with > without {
+            row.pop();
+            flush(&row, &mut free, &mut out);
+            row.clear();
+        } else {
+            i += 1;
+        }
+    }
+    flush(&row, &mut free, &mut out);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn areas_proportional() {
+        let rects = layout(&[3.0, 1.0], 100.0, 100.0);
+        assert_eq!(rects.len(), 2);
+        let a0 = rects[0].w * rects[0].h;
+        let a1 = rects[1].w * rects[1].h;
+        assert!((a0 / a1 - 3.0).abs() < 0.01, "a0={a0} a1={a1}");
+        assert!((a0 + a1 - 10_000.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn bruls_reference_example() {
+        // The canonical example: areas 6,6,4,3,2,2,1 in a 6×4 canvas.
+        let areas = [6.0, 6.0, 4.0, 3.0, 2.0, 2.0, 1.0];
+        let rects = layout(&areas, 6.0, 4.0);
+        assert_eq!(rects.len(), 7);
+        let total: f64 = rects.iter().map(|r| r.w * r.h).sum();
+        assert!((total - 24.0).abs() < 1e-9);
+        // Aspect ratios should be reasonable (the point of squarify).
+        for r in &rects {
+            let ar = (r.w / r.h).max(r.h / r.w);
+            assert!(ar < 4.0, "bad aspect ratio {ar} for {r:?}");
+        }
+    }
+
+    #[test]
+    fn no_overlaps() {
+        let areas: Vec<f64> = (1..=20).map(|i| i as f64).collect();
+        let rects = layout(&areas, 100.0, 60.0);
+        for (i, a) in rects.iter().enumerate() {
+            for b in rects.iter().skip(i + 1) {
+                let overlap_w = (a.x + a.w).min(b.x + b.w) - a.x.max(b.x);
+                let overlap_h = (a.y + a.h).min(b.y + b.h) - a.y.max(b.y);
+                if overlap_w > 1e-6 && overlap_h > 1e-6 {
+                    panic!("rects overlap: {a:?} {b:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn empty_and_zero() {
+        assert!(layout(&[], 10.0, 10.0).is_empty());
+        let rects = layout(&[0.0, 0.0], 10.0, 10.0);
+        assert_eq!(rects.len(), 2);
+        let total: f64 = rects.iter().map(|r| r.w * r.h).sum();
+        assert!((total - 100.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn single() {
+        let rects = layout(&[5.0], 30.0, 20.0);
+        assert_eq!(rects.len(), 1);
+        assert_eq!(rects[0], Rect { x: 0.0, y: 0.0, w: 30.0, h: 20.0 });
+    }
+}

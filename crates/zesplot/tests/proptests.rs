@@ -1,0 +1,70 @@
+//! Property tests for the squarified-treemap layout.
+
+use expanse_zesplot::layout;
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn tiles_conserve_area(
+        areas in proptest::collection::vec(0.0f64..1000.0, 1..60),
+        w in 10.0f64..2000.0,
+        h in 10.0f64..2000.0,
+    ) {
+        let rects = layout(&areas, w, h);
+        prop_assert_eq!(rects.len(), areas.len());
+        let total: f64 = rects.iter().map(|r| r.w * r.h).sum();
+        prop_assert!(
+            (total - w * h).abs() < w * h * 1e-6,
+            "area {total} vs canvas {}",
+            w * h
+        );
+    }
+
+    #[test]
+    fn tiles_stay_in_canvas(
+        areas in proptest::collection::vec(0.1f64..1000.0, 1..60),
+        w in 10.0f64..2000.0,
+        h in 10.0f64..2000.0,
+    ) {
+        for r in layout(&areas, w, h) {
+            prop_assert!(r.x >= -1e-6 && r.y >= -1e-6);
+            prop_assert!(r.x + r.w <= w + 1e-4, "{r:?} exceeds width {w}");
+            prop_assert!(r.y + r.h <= h + 1e-4, "{r:?} exceeds height {h}");
+            prop_assert!(r.w >= 0.0 && r.h >= 0.0);
+        }
+    }
+
+    #[test]
+    fn tiles_do_not_overlap(
+        areas in proptest::collection::vec(0.1f64..1000.0, 1..40),
+        w in 50.0f64..500.0,
+    ) {
+        let rects = layout(&areas, w, w);
+        for (i, a) in rects.iter().enumerate() {
+            for b in rects.iter().skip(i + 1) {
+                let ow = (a.x + a.w).min(b.x + b.w) - a.x.max(b.x);
+                let oh = (a.y + a.h).min(b.y + b.h) - a.y.max(b.y);
+                prop_assert!(
+                    ow <= 1e-6 || oh <= 1e-6,
+                    "overlap between {a:?} and {b:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn areas_proportional_to_weights(
+        weights in proptest::collection::vec(1.0f64..100.0, 2..20),
+    ) {
+        let rects = layout(&weights, 1000.0, 800.0);
+        let total_w: f64 = weights.iter().sum();
+        for (r, wgt) in rects.iter().zip(&weights) {
+            let got = r.w * r.h;
+            let want = wgt / total_w * 800_000.0;
+            prop_assert!(
+                (got - want).abs() < want * 0.01 + 1e-6,
+                "weight {wgt}: area {got} want {want}"
+            );
+        }
+    }
+}

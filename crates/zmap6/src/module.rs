@@ -1,0 +1,499 @@
+//! Probe modules: one per scanned service (zmap's `--probe-module`).
+
+use crate::validate::Validator;
+use expanse_packet::{
+    dns, quic, Datagram, Icmpv6Message, Protocol, TcpFlags, TcpSegment, Transport, UdpDatagram,
+};
+use std::net::Ipv6Addr;
+
+/// Information extracted from a TCP SYN-ACK, used by APD fingerprinting
+/// (§5.4 of the paper).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SynAckInfo {
+    /// Options text.
+    pub options_text: String,
+    /// Maximum segment size option value.
+    pub mss: Option<u16>,
+    /// Window-scale option value.
+    pub wscale: Option<u8>,
+    /// Advertised receive window.
+    pub window: u16,
+    /// (tsval, tsecr) if the peer sent timestamps.
+    pub timestamps: Option<(u32, u32)>,
+}
+
+/// Classified probe reply.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ReplyKind {
+    /// ICMPv6 echo reply (positive).
+    EchoReply,
+    /// TCP SYN-ACK with its §5.4 fingerprint fields (positive).
+    SynAck(SynAckInfo),
+    /// RST(-ACK): host alive, port closed. Recorded, not "responsive".
+    Rst,
+    /// Dnsresponse.
+    DnsResponse {
+        /// DNS response code (0 = NOERROR, 3 = NXDOMAIN).
+        rcode: u8,
+        /// Answers.
+        answers: u16,
+    },
+    /// Quicversionnegotiation.
+    QuicVersionNegotiation {
+        /// Supported QUIC versions advertised by the server.
+        versions: Vec<u32>,
+    },
+    /// ICMPv6 destination unreachable (port unreachable etc.).
+    Unreachable {
+        /// Code.
+        code: u8,
+    },
+}
+
+impl ReplyKind {
+    /// Does this reply make the target "responsive" in the paper's sense
+    /// (a positive service answer, not an error indication)?
+    pub fn is_positive(&self) -> bool {
+        matches!(
+            self,
+            ReplyKind::EchoReply
+                | ReplyKind::SynAck(_)
+                | ReplyKind::DnsResponse { .. }
+                | ReplyKind::QuicVersionNegotiation { .. }
+        )
+    }
+}
+
+/// A probe module builds probes for targets and classifies replies.
+pub trait ProbeModule {
+    /// Which service this module scans.
+    fn protocol(&self) -> Protocol;
+
+    /// Build the probe datagram for `dst`.
+    fn build(&self, src: Ipv6Addr, dst: Ipv6Addr, v: &Validator) -> Datagram;
+
+    /// Classify a delivered frame: `Some((target, kind, ttl))` if the
+    /// frame is a valid reply for this module under validator `v`.
+    fn classify(
+        &self,
+        hdr: &expanse_packet::Ipv6Header,
+        transport: &Transport,
+        v: &Validator,
+    ) -> Option<(Ipv6Addr, ReplyKind)>;
+}
+
+/// ICMPv6 echo module.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct IcmpEchoModule;
+
+impl ProbeModule for IcmpEchoModule {
+    fn protocol(&self) -> Protocol {
+        Protocol::Icmp
+    }
+
+    fn build(&self, src: Ipv6Addr, dst: Ipv6Addr, v: &Validator) -> Datagram {
+        let f = v.fields(dst);
+        Datagram::icmpv6(
+            src,
+            dst,
+            Datagram::DEFAULT_HOP_LIMIT,
+            Icmpv6Message::EchoRequest {
+                ident: f.ident,
+                seq: f.seq,
+                payload: b"expanse-probe".to_vec(),
+            },
+        )
+    }
+
+    fn classify(
+        &self,
+        hdr: &expanse_packet::Ipv6Header,
+        transport: &Transport,
+        v: &Validator,
+    ) -> Option<(Ipv6Addr, ReplyKind)> {
+        match transport {
+            Transport::Icmpv6(Icmpv6Message::EchoReply { ident, seq, .. }) => {
+                // The reply's source is the target we probed.
+                if v.check_echo(hdr.src, *ident, *seq) {
+                    Some((hdr.src, ReplyKind::EchoReply))
+                } else {
+                    None
+                }
+            }
+            _ => None,
+        }
+    }
+}
+
+/// TCP SYN module (ports 80/443), optionally with the §5.4
+/// fingerprinting option set (`MSS-SACK-TS-N-WS`, MSS=WS=1).
+#[derive(Debug, Clone, Copy)]
+pub struct TcpSynModule {
+    /// Port.
+    pub port: u16,
+    /// With options.
+    pub with_options: bool,
+}
+
+impl TcpSynModule {
+    /// Create a new instance.
+    pub fn new(port: u16) -> Self {
+        TcpSynModule {
+            port,
+            with_options: false,
+        }
+    }
+
+    /// The `synopt` fingerprinting variant.
+    pub fn with_synopt(port: u16) -> Self {
+        TcpSynModule {
+            port,
+            with_options: true,
+        }
+    }
+}
+
+impl ProbeModule for TcpSynModule {
+    fn protocol(&self) -> Protocol {
+        match self.port {
+            443 => Protocol::Tcp443,
+            _ => Protocol::Tcp80,
+        }
+    }
+
+    fn build(&self, src: Ipv6Addr, dst: Ipv6Addr, v: &Validator) -> Datagram {
+        let f = v.fields(dst);
+        let seg = if self.with_options {
+            TcpSegment::syn_with_options(f.src_port, self.port, f.tcp_seq, f.tcp_seq ^ 0x5c5c)
+        } else {
+            TcpSegment::syn(f.src_port, self.port, f.tcp_seq)
+        };
+        Datagram::tcp(src, dst, Datagram::DEFAULT_HOP_LIMIT, &seg)
+    }
+
+    fn classify(
+        &self,
+        hdr: &expanse_packet::Ipv6Header,
+        transport: &Transport,
+        v: &Validator,
+    ) -> Option<(Ipv6Addr, ReplyKind)> {
+        let Transport::Tcp(seg) = transport else {
+            return None;
+        };
+        if seg.src_port != self.port || !v.check_tcp(hdr.src, seg.dst_port, seg.ack) {
+            return None;
+        }
+        if seg.flags.contains(TcpFlags::RST) {
+            return Some((hdr.src, ReplyKind::Rst));
+        }
+        if seg.flags.contains(TcpFlags::SYN_ACK) {
+            let info = SynAckInfo {
+                options_text: seg.options_text(),
+                mss: seg.mss(),
+                wscale: seg.window_scale(),
+                window: seg.window,
+                timestamps: seg.timestamps(),
+            };
+            return Some((hdr.src, ReplyKind::SynAck(info)));
+        }
+        None
+    }
+}
+
+/// UDP/53 DNS module: sends an AAAA query; any well-formed response
+/// counts.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DnsModule;
+
+impl ProbeModule for DnsModule {
+    fn protocol(&self) -> Protocol {
+        Protocol::Udp53
+    }
+
+    fn build(&self, src: Ipv6Addr, dst: Ipv6Addr, v: &Validator) -> Datagram {
+        let f = v.fields(dst);
+        let q = dns::DnsQuery::new(f.ident, "ipv6.expanse.example.com", dns::qtype::AAAA);
+        let u = UdpDatagram::new(f.src_port, 53, q.emit());
+        Datagram::udp(src, dst, Datagram::DEFAULT_HOP_LIMIT, &u)
+    }
+
+    fn classify(
+        &self,
+        hdr: &expanse_packet::Ipv6Header,
+        transport: &Transport,
+        v: &Validator,
+    ) -> Option<(Ipv6Addr, ReplyKind)> {
+        match transport {
+            Transport::Udp(u) => {
+                if u.src_port != 53 || !v.check_udp(hdr.src, u.dst_port) {
+                    return None;
+                }
+                let h = dns::DnsHeader::parse(&u.payload).ok()?;
+                if !h.qr || h.id != v.fields(hdr.src).ident {
+                    return None;
+                }
+                Some((
+                    hdr.src,
+                    ReplyKind::DnsResponse {
+                        rcode: h.rcode,
+                        answers: h.ancount,
+                    },
+                ))
+            }
+            Transport::Icmpv6(Icmpv6Message::DestUnreachable { code, invoking }) => {
+                // Port unreachable for our own probe: extract the original
+                // destination from the invoking packet.
+                let orig = expanse_packet::Ipv6Header::parse(invoking).ok()?;
+                if v.fields(orig.dst).src_port
+                    == u16::from_be_bytes([
+                        *invoking.get(40)?,
+                        *invoking.get(41)?,
+                    ])
+                {
+                    Some((orig.dst, ReplyKind::Unreachable { code: *code }))
+                } else {
+                    None
+                }
+            }
+            _ => None,
+        }
+    }
+}
+
+/// UDP/443 QUIC module: greasing-version Initial; a Version Negotiation
+/// reply counts.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct QuicModule;
+
+impl ProbeModule for QuicModule {
+    fn protocol(&self) -> Protocol {
+        Protocol::Udp443
+    }
+
+    fn build(&self, src: Ipv6Addr, dst: Ipv6Addr, v: &Validator) -> Datagram {
+        let f = v.fields(dst);
+        let dcid = f.tcp_seq.to_be_bytes();
+        let scid = f.ident.to_be_bytes();
+        let init = quic::QuicLongHeader::initial(&dcid, &scid);
+        let u = UdpDatagram::new(f.src_port, 443, init);
+        Datagram::udp(src, dst, Datagram::DEFAULT_HOP_LIMIT, &u)
+    }
+
+    fn classify(
+        &self,
+        hdr: &expanse_packet::Ipv6Header,
+        transport: &Transport,
+        v: &Validator,
+    ) -> Option<(Ipv6Addr, ReplyKind)> {
+        let Transport::Udp(u) = transport else {
+            return None;
+        };
+        if u.src_port != 443 || !v.check_udp(hdr.src, u.dst_port) {
+            return None;
+        }
+        let p = quic::QuicLongHeader::parse(&u.payload).ok()?;
+        if !p.is_version_negotiation() {
+            return None;
+        }
+        // The server must echo our source cid as its destination cid.
+        let f = v.fields(hdr.src);
+        if p.dcid != f.ident.to_be_bytes() {
+            return None;
+        }
+        Some((
+            hdr.src,
+            ReplyKind::QuicVersionNegotiation {
+                versions: p.supported_versions,
+            },
+        ))
+    }
+}
+
+/// The paper's standard five-module battery (§6).
+pub fn standard_battery() -> Vec<Box<dyn ProbeModule>> {
+    vec![
+        Box::new(IcmpEchoModule),
+        Box::new(TcpSynModule::with_synopt(80)),
+        Box::new(TcpSynModule::with_synopt(443)),
+        Box::new(DnsModule),
+        Box::new(QuicModule),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v() -> Validator {
+        Validator::new(7)
+    }
+
+    fn pair() -> (Ipv6Addr, Ipv6Addr) {
+        ("2001:db8::1".parse().unwrap(), "2001:db8::2".parse().unwrap())
+    }
+
+    #[test]
+    fn icmp_build_and_classify_roundtrip() {
+        let (src, dst) = pair();
+        let m = IcmpEchoModule;
+        let probe = m.build(src, dst, &v());
+        assert_eq!(probe.header.dst, dst);
+        // Simulate the target echoing back.
+        let (hdr, t) = Datagram::parse_transport(&probe.emit()).unwrap();
+        let Transport::Icmpv6(Icmpv6Message::EchoRequest { ident, seq, payload }) = t else {
+            panic!("not an echo request");
+        };
+        let reply = Datagram::icmpv6(
+            dst,
+            src,
+            60,
+            Icmpv6Message::EchoReply { ident, seq, payload },
+        );
+        let (rhdr, rt) = Datagram::parse_transport(&reply.emit()).unwrap();
+        let (target, kind) = m.classify(&rhdr, &rt, &v()).unwrap();
+        assert_eq!(target, dst);
+        assert_eq!(kind, ReplyKind::EchoReply);
+        assert_eq!(hdr.src, src);
+    }
+
+    #[test]
+    fn icmp_rejects_wrong_ident() {
+        let (src, dst) = pair();
+        let reply = Datagram::icmpv6(
+            dst,
+            src,
+            60,
+            Icmpv6Message::EchoReply {
+                ident: 0xdead,
+                seq: 0xbeef,
+                payload: vec![],
+            },
+        );
+        let (rhdr, rt) = Datagram::parse_transport(&reply.emit()).unwrap();
+        assert!(IcmpEchoModule.classify(&rhdr, &rt, &v()).is_none());
+    }
+
+    #[test]
+    fn tcp_synack_classified_with_fingerprint() {
+        let (src, dst) = pair();
+        let m = TcpSynModule::with_synopt(80);
+        let probe = m.build(src, dst, &v());
+        let (_, t) = Datagram::parse_transport(&probe.emit()).unwrap();
+        let Transport::Tcp(pseg) = t else { panic!() };
+        assert_eq!(pseg.options_text(), "MSS-SACK-TS-N-WS");
+        assert_eq!(pseg.mss(), Some(1));
+        // Build a SYN-ACK echoing correctly.
+        let reply_seg = TcpSegment {
+            src_port: 80,
+            dst_port: pseg.src_port,
+            seq: 1,
+            ack: pseg.seq.wrapping_add(1),
+            flags: TcpFlags::SYN_ACK,
+            window: 65535,
+            urgent: 0,
+            options: vec![
+                expanse_packet::TcpOption::Mss(1440),
+                expanse_packet::TcpOption::SackPermitted,
+            ],
+            payload: vec![],
+        };
+        let reply = Datagram::tcp(dst, src, 60, &reply_seg);
+        let (rhdr, rt) = Datagram::parse_transport(&reply.emit()).unwrap();
+        let (target, kind) = m.classify(&rhdr, &rt, &v()).unwrap();
+        assert_eq!(target, dst);
+        match kind {
+            ReplyKind::SynAck(info) => {
+                assert_eq!(info.options_text, "MSS-SACK");
+                assert_eq!(info.mss, Some(1440));
+                assert_eq!(info.window, 65535);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn tcp_rst_is_recorded_not_positive() {
+        let (src, dst) = pair();
+        let m = TcpSynModule::new(443);
+        let f = v().fields(dst);
+        let rst = TcpSegment {
+            src_port: 443,
+            dst_port: f.src_port,
+            seq: 0,
+            ack: f.tcp_seq.wrapping_add(1),
+            flags: TcpFlags::RST_ACK,
+            window: 0,
+            urgent: 0,
+            options: vec![],
+            payload: vec![],
+        };
+        let reply = Datagram::tcp(dst, src, 60, &rst);
+        let (rhdr, rt) = Datagram::parse_transport(&reply.emit()).unwrap();
+        let (_, kind) = m.classify(&rhdr, &rt, &v()).unwrap();
+        assert_eq!(kind, ReplyKind::Rst);
+        assert!(!kind.is_positive());
+    }
+
+    #[test]
+    fn wrong_ack_rejected() {
+        let (src, dst) = pair();
+        let m = TcpSynModule::new(80);
+        let f = v().fields(dst);
+        let seg = TcpSegment {
+            src_port: 80,
+            dst_port: f.src_port,
+            seq: 1,
+            ack: f.tcp_seq.wrapping_add(2), // off by one
+            flags: TcpFlags::SYN_ACK,
+            window: 1,
+            urgent: 0,
+            options: vec![],
+            payload: vec![],
+        };
+        let reply = Datagram::tcp(dst, src, 60, &seg);
+        let (rhdr, rt) = Datagram::parse_transport(&reply.emit()).unwrap();
+        assert!(m.classify(&rhdr, &rt, &v()).is_none());
+    }
+
+    #[test]
+    fn dns_response_classified() {
+        let (src, dst) = pair();
+        let m = DnsModule;
+        let probe = m.build(src, dst, &v());
+        let (_, t) = Datagram::parse_transport(&probe.emit()).unwrap();
+        let Transport::Udp(u) = t else { panic!() };
+        let resp = dns::build_response(&u.payload, 0, 1).unwrap();
+        let reply = Datagram::udp(dst, src, 60, &UdpDatagram::new(53, u.src_port, resp));
+        let (rhdr, rt) = Datagram::parse_transport(&reply.emit()).unwrap();
+        let (target, kind) = m.classify(&rhdr, &rt, &v()).unwrap();
+        assert_eq!(target, dst);
+        assert_eq!(kind, ReplyKind::DnsResponse { rcode: 0, answers: 1 });
+        assert!(kind.is_positive());
+    }
+
+    #[test]
+    fn quic_version_negotiation_classified() {
+        let (src, dst) = pair();
+        let m = QuicModule;
+        let probe = m.build(src, dst, &v());
+        let (_, t) = Datagram::parse_transport(&probe.emit()).unwrap();
+        let Transport::Udp(u) = t else { panic!() };
+        let init = quic::QuicLongHeader::parse(&u.payload).unwrap();
+        let vn = quic::QuicLongHeader::version_negotiation(&init.scid, &init.dcid, &[1]);
+        let reply = Datagram::udp(dst, src, 60, &UdpDatagram::new(443, u.src_port, vn));
+        let (rhdr, rt) = Datagram::parse_transport(&reply.emit()).unwrap();
+        let (target, kind) = m.classify(&rhdr, &rt, &v()).unwrap();
+        assert_eq!(target, dst);
+        match kind {
+            ReplyKind::QuicVersionNegotiation { versions } => assert_eq!(versions, vec![1]),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn battery_covers_all_protocols() {
+        let battery = standard_battery();
+        let protos: Vec<Protocol> = battery.iter().map(|m| m.protocol()).collect();
+        assert_eq!(protos, Protocol::ALL.to_vec());
+    }
+}

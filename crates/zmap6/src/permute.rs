@@ -1,0 +1,160 @@
+//! Pseudorandom target permutation.
+//!
+//! ZMap walks targets in a pseudorandom order so that probe load spreads
+//! across networks instead of hammering one prefix sequentially (and so
+//! that scans are stateless: position i of the permutation is computable
+//! without storing per-target state). ZMap uses a multiplicative cyclic
+//! group mod p; we use the other standard construction — a four-round
+//! Feistel network over the index space with cycle-walking — which gives
+//! the same properties (full permutation, O(1) per step, keyed) without
+//! needing primality searches.
+
+use expanse_addr::fanout::splitmix64;
+
+/// A keyed permutation over `0..n`.
+#[derive(Debug, Clone, Copy)]
+pub struct Permutation {
+    n: u64,
+    /// Feistel domain: smallest even-bit-width power of two ≥ n.
+    half_bits: u32,
+    keys: [u64; 4],
+}
+
+impl Permutation {
+    /// Build a permutation over `0..n` keyed by `seed`.
+    ///
+    /// # Panics
+    /// Panics if `n == 0`.
+    pub fn new(n: u64, seed: u64) -> Self {
+        assert!(n > 0, "empty permutation domain");
+        // Width in bits, rounded up to even so it splits into two halves.
+        let bits = (64 - n.leading_zeros()).max(2);
+        let bits = bits + (bits & 1);
+        Permutation {
+            n,
+            half_bits: bits / 2,
+            keys: [
+                splitmix64(seed ^ 0xf157_0001),
+                splitmix64(seed ^ 0xf157_0002),
+                splitmix64(seed ^ 0xf157_0003),
+                splitmix64(seed ^ 0xf157_0004),
+            ],
+        }
+    }
+
+    /// Domain size.
+    pub fn len(&self) -> u64 {
+        self.n
+    }
+
+    /// Is the domain empty? (Never true; constructor forbids it.)
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    #[inline]
+    fn feistel(&self, x: u64) -> u64 {
+        let mask = (1u64 << self.half_bits) - 1;
+        let mut l = x >> self.half_bits;
+        let mut r = x & mask;
+        for k in self.keys {
+            let f = splitmix64(r ^ k) & mask;
+            let nl = r;
+            r = l ^ f;
+            l = nl;
+        }
+        (l << self.half_bits) | r
+    }
+
+    /// The element at position `i` of the permutation (cycle-walking:
+    /// re-encrypt until the value lands inside the domain).
+    ///
+    /// # Panics
+    /// Panics if `i >= n`.
+    pub fn at(&self, i: u64) -> u64 {
+        assert!(i < self.n, "position {i} out of domain {}", self.n);
+        let mut x = self.feistel(i);
+        while x >= self.n {
+            x = self.feistel(x);
+        }
+        x
+    }
+
+    /// Iterate the full permutation.
+    pub fn iter(&self) -> impl Iterator<Item = u64> + '_ {
+        (0..self.n).map(move |i| self.at(i))
+    }
+
+    /// Iterate one shard of `total` (round-robin split, zmap's
+    /// `--shards` / `--shard`).
+    ///
+    /// # Panics
+    /// Panics if `shard >= total` or `total == 0`.
+    pub fn shard(&self, shard: u64, total: u64) -> impl Iterator<Item = u64> + '_ {
+        assert!(total > 0 && shard < total, "bad shard {shard}/{total}");
+        (0..self.n)
+            .filter(move |i| i % total == shard)
+            .map(move |i| self.at(i))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn is_a_permutation() {
+        for n in [1u64, 2, 7, 16, 100, 1000, 4097] {
+            let p = Permutation::new(n, 42);
+            let seen: HashSet<u64> = p.iter().collect();
+            assert_eq!(seen.len() as u64, n, "n={n}");
+            assert!(seen.iter().all(|&x| x < n), "n={n}");
+        }
+    }
+
+    #[test]
+    fn keyed() {
+        let a: Vec<u64> = Permutation::new(1000, 1).iter().collect();
+        let b: Vec<u64> = Permutation::new(1000, 2).iter().collect();
+        assert_ne!(a, b);
+        let c: Vec<u64> = Permutation::new(1000, 1).iter().collect();
+        assert_eq!(a, c);
+    }
+
+    #[test]
+    fn looks_shuffled() {
+        // Consecutive outputs should not be consecutive integers.
+        let p = Permutation::new(10_000, 7);
+        let out: Vec<u64> = p.iter().take(100).collect();
+        let consecutive = out
+            .windows(2)
+            .filter(|w| w[1] == w[0] + 1 || w[0] == w[1] + 1)
+            .count();
+        assert!(consecutive < 5, "too sequential: {consecutive}");
+    }
+
+    #[test]
+    fn shards_partition_the_domain() {
+        let p = Permutation::new(997, 3);
+        let mut all: Vec<u64> = Vec::new();
+        for s in 0..4 {
+            all.extend(p.shard(s, 4));
+        }
+        all.sort_unstable();
+        let want: Vec<u64> = (0..997).collect();
+        assert_eq!(all, want);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty permutation")]
+    fn zero_domain_panics() {
+        Permutation::new(0, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of domain")]
+    fn out_of_domain_panics() {
+        Permutation::new(10, 0).at(10);
+    }
+}

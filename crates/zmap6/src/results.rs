@@ -1,0 +1,182 @@
+//! Scan result containers.
+
+use crate::module::ReplyKind;
+use expanse_netsim::Time;
+use expanse_packet::{ProtoSet, Protocol};
+use std::collections::HashMap;
+use std::net::Ipv6Addr;
+
+/// One validated reply.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProbeReply {
+    /// The probed target this reply validates for.
+    pub target: Ipv6Addr,
+    /// The reply's actual source address (≠ target for off-path answers).
+    pub from: Ipv6Addr,
+    /// Virtual time of the frame.
+    pub at: Time,
+    /// Hop limit observed at the vantage (the iTTL input of §5.4).
+    pub ttl: u8,
+    /// What kind of host this address is.
+    pub kind: ReplyKind,
+}
+
+/// Result of scanning one protocol.
+#[derive(Debug, Clone)]
+pub struct ScanResult {
+    /// The scanned protocol.
+    pub protocol: Protocol,
+    /// Probes sent.
+    pub sent: u64,
+    /// Targets suppressed by the blacklist (never probed).
+    pub blacklisted: u64,
+    /// Frames received.
+    pub received: u64,
+    /// Frames that failed to parse.
+    pub malformed: u64,
+    /// Frames that failed stateless validation.
+    pub unvalidated: u64,
+    /// Duplicate replies discarded.
+    pub duplicates: u64,
+    /// First validated reply per target.
+    pub replies: HashMap<Ipv6Addr, ProbeReply>,
+}
+
+impl ScanResult {
+    /// Create a new instance.
+    pub fn new(protocol: Protocol) -> Self {
+        ScanResult {
+            protocol,
+            sent: 0,
+            blacklisted: 0,
+            received: 0,
+            malformed: 0,
+            unvalidated: 0,
+            duplicates: 0,
+            replies: HashMap::new(),
+        }
+    }
+
+    /// Targets with a positive service answer.
+    pub fn responsive(&self) -> impl Iterator<Item = Ipv6Addr> + '_ {
+        self.replies
+            .values()
+            .filter(|r| r.kind.is_positive())
+            .map(|r| r.target)
+    }
+
+    /// Count of positive responders.
+    pub fn responsive_count(&self) -> usize {
+        self.responsive().count()
+    }
+
+    /// Hit rate: positive responders / probes sent.
+    pub fn hit_rate(&self) -> f64 {
+        if self.sent == 0 {
+            0.0
+        } else {
+            self.responsive_count() as f64 / self.sent as f64
+        }
+    }
+}
+
+/// Merged results across protocols (the §6 battery).
+#[derive(Debug, Clone, Default)]
+pub struct MultiScanResult {
+    /// Per-protocol scan results.
+    pub by_protocol: HashMap<Protocol, ScanResult>,
+    /// Per-address positive protocol set.
+    pub responsive: HashMap<Ipv6Addr, ProtoSet>,
+}
+
+impl MultiScanResult {
+    /// Fold one protocol scan in.
+    pub fn merge(&mut self, r: ScanResult) {
+        for reply in r.replies.values() {
+            if reply.kind.is_positive() {
+                let e = self
+                    .responsive
+                    .entry(reply.target)
+                    .or_insert(ProtoSet::EMPTY);
+                *e = e.with(r.protocol);
+            }
+        }
+        self.by_protocol.insert(r.protocol, r);
+    }
+
+    /// Addresses answering at least one protocol.
+    pub fn responsive_addrs(&self) -> Vec<Ipv6Addr> {
+        let mut v: Vec<Ipv6Addr> = self.responsive.keys().copied().collect();
+        v.sort();
+        v
+    }
+
+    /// Total probes sent across protocols.
+    pub fn total_sent(&self) -> u64 {
+        self.by_protocol.values().map(|r| r.sent).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn reply(target: &str, kind: ReplyKind) -> ProbeReply {
+        let t: Ipv6Addr = target.parse().unwrap();
+        ProbeReply {
+            target: t,
+            from: t,
+            at: Time::ZERO,
+            ttl: 60,
+            kind,
+        }
+    }
+
+    #[test]
+    fn hit_rate_counts_only_positive() {
+        let mut r = ScanResult::new(Protocol::Tcp80);
+        r.sent = 4;
+        r.replies
+            .insert("::1".parse().unwrap(), reply("::1", ReplyKind::Rst));
+        r.replies.insert(
+            "::2".parse().unwrap(),
+            reply(
+                "::2",
+                ReplyKind::SynAck(crate::module::SynAckInfo {
+                    options_text: "MSS".into(),
+                    mss: Some(1440),
+                    wscale: None,
+                    window: 100,
+                    timestamps: None,
+                }),
+            ),
+        );
+        assert_eq!(r.responsive_count(), 1);
+        assert_eq!(r.hit_rate(), 0.25);
+    }
+
+    #[test]
+    fn multi_merge_builds_protosets() {
+        let mut m = MultiScanResult::default();
+        let mut icmp = ScanResult::new(Protocol::Icmp);
+        icmp.replies
+            .insert("::1".parse().unwrap(), reply("::1", ReplyKind::EchoReply));
+        m.merge(icmp);
+        let mut dns = ScanResult::new(Protocol::Udp53);
+        dns.replies.insert(
+            "::1".parse().unwrap(),
+            reply("::1", ReplyKind::DnsResponse { rcode: 0, answers: 1 }),
+        );
+        m.merge(dns);
+        let set = m.responsive[&"::1".parse::<Ipv6Addr>().unwrap()];
+        assert!(set.contains(Protocol::Icmp));
+        assert!(set.contains(Protocol::Udp53));
+        assert_eq!(set.len(), 2);
+        assert_eq!(m.responsive_addrs().len(), 1);
+    }
+
+    #[test]
+    fn empty_hit_rate_zero() {
+        assert_eq!(ScanResult::new(Protocol::Icmp).hit_rate(), 0.0);
+    }
+}

@@ -1,0 +1,93 @@
+//! §4 shape assertions: the model's hitlist clusters into a small number
+//! of addressing schemes with the paper's entropy motifs.
+
+use expanse::entropy::{cluster_networks, fingerprints_by_32};
+use expanse::model::{InternetModel, ModelConfig};
+use std::net::Ipv6Addr;
+
+fn hitlist(model: &InternetModel) -> Vec<Ipv6Addr> {
+    let sources = expanse::model::sources::build_sources(model);
+    let mut all: Vec<Ipv6Addr> = sources
+        .iter()
+        .flat_map(|s| s.all().iter().copied())
+        .collect();
+    all.sort();
+    all.dedup();
+    all
+}
+
+#[test]
+fn full_address_clustering_finds_handful_of_schemes() {
+    let model = InternetModel::build(ModelConfig::tiny(4001));
+    let addrs = hitlist(&model);
+    let groups = fingerprints_by_32(&addrs, 9, 32, 50);
+    assert!(groups.len() >= 10, "only {} /32 groups", groups.len());
+    let pairs: Vec<_> = groups.iter().map(|(p, f, _)| (*p, f.clone())).collect();
+    let clustering = cluster_networks(&pairs, 12, None, 7);
+    // Paper: 6 clusters for full addresses. Accept a small band.
+    assert!(
+        (3..=9).contains(&clustering.k),
+        "k={} (SSE curve {:?})",
+        clustering.k,
+        clustering.sse_curve
+    );
+    // The cluster table must contain at least one low-entropy (counter)
+    // profile and at least one high-entropy (random IID) profile.
+    let has_low = clustering.clusters.iter().any(|c| {
+        let mean: f64 =
+            c.median_entropy.iter().sum::<f64>() / c.median_entropy.len() as f64;
+        mean < 0.25
+    });
+    let has_high = clustering.clusters.iter().any(|c| {
+        let iid_mean: f64 = c.median_entropy[8..].iter().sum::<f64>()
+            / (c.median_entropy.len() - 8) as f64;
+        iid_mean > 0.7
+    });
+    assert!(has_low, "no counter-style cluster found");
+    assert!(has_high, "no random-IID cluster found");
+}
+
+#[test]
+fn eui64_cluster_has_fffe_notch() {
+    let model = InternetModel::build(ModelConfig::tiny(4002));
+    let addrs = hitlist(&model);
+    // Restrict to EUI-64 addresses: their fingerprints must show the
+    // constant ff:fe at nybbles 23-26 (1-based).
+    let slaac: Vec<Ipv6Addr> = addrs
+        .into_iter()
+        .filter(|a| expanse::addr::is_eui64(*a))
+        .collect();
+    assert!(slaac.len() > 500, "too few SLAAC addresses: {}", slaac.len());
+    let groups = fingerprints_by_32(&slaac, 9, 32, 50);
+    assert!(!groups.is_empty());
+    for (_, f, _) in &groups {
+        // Nybbles 23-26 (1-based) are indices 14..18 in an F9_32 vector.
+        for j in 14..18 {
+            assert!(
+                f.values[j] < 0.01,
+                "ff:fe nybble {j} has entropy {}",
+                f.values[j]
+            );
+        }
+    }
+}
+
+#[test]
+fn iid_clustering_uses_fewer_clusters() {
+    let model = InternetModel::build(ModelConfig::tiny(4001));
+    let addrs = hitlist(&model);
+    let g_full = fingerprints_by_32(&addrs, 9, 32, 50);
+    let g_iid = fingerprints_by_32(&addrs, 17, 32, 50);
+    let full_pairs: Vec<_> = g_full.iter().map(|(p, f, _)| (*p, f.clone())).collect();
+    let iid_pairs: Vec<_> = g_iid.iter().map(|(p, f, _)| (*p, f.clone())).collect();
+    let c_full = cluster_networks(&full_pairs, 12, None, 7);
+    let c_iid = cluster_networks(&iid_pairs, 12, None, 7);
+    // Paper: 6 clusters (full) vs 4 (IID-only): dropping the network
+    // half collapses schemes.
+    assert!(
+        c_iid.k <= c_full.k,
+        "IID clustering should need fewer clusters: {} vs {}",
+        c_iid.k,
+        c_full.k
+    );
+}

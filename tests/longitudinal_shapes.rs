@@ -1,0 +1,60 @@
+//! Longitudinal shape assertions (Fig 8): server-backed sources decay
+//! slowly; CPE/client sources lose much more of their baseline.
+
+use expanse::core::{Fig8Row, Pipeline, PipelineConfig};
+use expanse::model::{ModelConfig, SourceId};
+
+#[test]
+fn servers_outlive_cpe_over_a_week() {
+    let mut cfg = PipelineConfig::default();
+    cfg.trace_budget = 0; // keep days cheap; no new router addresses
+    let mut p = Pipeline::new(ModelConfig::tiny(3003), cfg);
+    p.collect_sources(30);
+    p.warmup_apd(3);
+    for _ in 0..8 {
+        p.run_day();
+    }
+    let ledger = &p.ledger;
+
+    let final_survival = |row: Fig8Row| -> Option<f64> {
+        let s = ledger.series(row);
+        s.last().copied().filter(|v| !v.is_nan())
+    };
+
+    let dl = final_survival(Fig8Row::Source(SourceId::DomainLists));
+    let scamper = final_survival(Fig8Row::Source(SourceId::Scamper));
+    let (Some(dl), Some(scamper)) = (dl, scamper) else {
+        panic!(
+            "missing series: dl={dl:?} scamper={scamper:?} (baselines: DL={}, Scamper={})",
+            ledger.baseline_len(Fig8Row::Source(SourceId::DomainLists)),
+            ledger.baseline_len(Fig8Row::Source(SourceId::Scamper))
+        );
+    };
+    // Paper: DL keeps ~98-99 % after two weeks; scamper drops to ~68 %.
+    assert!(dl > 0.9, "DL survival {dl}");
+    assert!(scamper < dl, "scamper {scamper} should decay faster than DL {dl}");
+}
+
+#[test]
+fn survival_series_start_at_one_and_never_exceed_it() {
+    let mut cfg = PipelineConfig::default();
+    cfg.trace_budget = 0;
+    let mut p = Pipeline::new(ModelConfig::tiny(3004), cfg);
+    p.collect_sources(30);
+    p.warmup_apd(3);
+    for _ in 0..4 {
+        p.run_day();
+    }
+    for row in Fig8Row::all() {
+        let s = p.ledger.series(row);
+        if s.is_empty() || p.ledger.baseline_len(row) == 0 {
+            continue;
+        }
+        assert!((s[0] - 1.0).abs() < 1e-9, "{row:?} day0 = {}", s[0]);
+        for v in s {
+            if !v.is_nan() {
+                assert!(*v <= 1.0 + 1e-9, "{row:?} exceeded baseline: {v}");
+            }
+        }
+    }
+}
