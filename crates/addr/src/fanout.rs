@@ -110,11 +110,7 @@ mod tests {
         let pfx = p("2a01:4f8::/32");
         let a = fanout16(pfx, 1);
         let b = fanout16(pfx, 2);
-        let same = a
-            .iter()
-            .zip(&b)
-            .filter(|(x, y)| x.addr == y.addr)
-            .count();
+        let same = a.iter().zip(&b).filter(|(x, y)| x.addr == y.addr).count();
         assert!(same < 16, "different salts must change targets");
         // Branch structure must be preserved regardless of salt.
         for (x, y) in a.iter().zip(&b) {

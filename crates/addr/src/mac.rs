@@ -48,16 +48,7 @@ impl MacAddr {
     /// inserts `ff:fe`), per RFC 4291 appendix A.
     pub fn eui64_iid(&self) -> u64 {
         let m = self.0;
-        u64::from_be_bytes([
-            m[0] ^ 0x02,
-            m[1],
-            m[2],
-            0xff,
-            0xfe,
-            m[3],
-            m[4],
-            m[5],
-        ])
+        u64::from_be_bytes([m[0] ^ 0x02, m[1], m[2], 0xff, 0xfe, m[3], m[4], m[5]])
     }
 
     /// Build a full SLAAC address from a /64 network prefix and this MAC.

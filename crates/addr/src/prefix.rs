@@ -50,8 +50,11 @@ impl Prefix {
         }
     }
 
-    /// Prefix length in bits.
+    /// Prefix length in bits. (No `is_empty` pair: a zero-length
+    /// prefix is `::/0`, which covers *everything* — see
+    /// [`Prefix::is_default`] — so the name would invert its meaning.)
     #[inline]
+    #[allow(clippy::len_without_is_empty)]
     pub fn len(&self) -> u8 {
         self.len
     }
@@ -257,10 +260,7 @@ mod tests {
             "2001:db8::".parse::<Prefix>(),
             Err(PrefixParseError::MissingSlash)
         );
-        assert_eq!(
-            "zz/32".parse::<Prefix>(),
-            Err(PrefixParseError::BadAddress)
-        );
+        assert_eq!("zz/32".parse::<Prefix>(), Err(PrefixParseError::BadAddress));
     }
 
     #[test]

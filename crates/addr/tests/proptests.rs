@@ -87,7 +87,7 @@ proptest! {
 
     #[test]
     fn offset_roundtrip(p in arb_prefix(), off in any::<u128>()) {
-        let off = if p.len() == 0 { off } else { off % p.size() };
+        let off = if p.is_default() { off } else { off % p.size() };
         let a = p.addr_at(off);
         prop_assert_eq!(p.offset_of(a), Some(off));
     }

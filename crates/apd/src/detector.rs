@@ -25,7 +25,10 @@ pub struct ApdConfig {
 
 impl Default for ApdConfig {
     fn default() -> Self {
-        ApdConfig { salt: 0xa11a5, window: 3 }
+        ApdConfig {
+            salt: 0xa11a5,
+            window: 3,
+        }
     }
 }
 

@@ -49,10 +49,7 @@ impl AliasFilter {
 
     /// Is `addr` inside an aliased prefix, by longest-prefix match?
     pub fn is_aliased(&self, addr: Ipv6Addr) -> bool {
-        matches!(
-            self.trie.longest_match(addr),
-            Some((_, Verdict::Aliased))
-        )
+        matches!(self.trie.longest_match(addr), Some((_, Verdict::Aliased)))
     }
 
     /// Split a hitlist into (kept, removed).

@@ -42,19 +42,19 @@ pub struct BranchEvidence {
 pub fn collect_evidence(observations: &[&DayObservation]) -> Vec<BranchEvidence> {
     let mut out = vec![BranchEvidence::default(); 16];
     for obs in observations {
-        for b in 0..16usize {
+        for (b, ev) in out.iter_mut().enumerate() {
             if let Some(r) = obs.icmp_replies.get(b).and_then(|r| r.as_ref()) {
-                out[b].ittl.push(ittl(r.ttl));
+                ev.ittl.push(ittl(r.ttl));
             }
             if let Some(r) = obs.tcp_replies.get(b).and_then(|r| r.as_ref()) {
-                out[b].ittl.push(ittl(r.ttl));
+                ev.ittl.push(ittl(r.ttl));
                 if let ReplyKind::SynAck(info) = &r.kind {
-                    out[b].opts.push(info.options_text.clone());
-                    out[b].wscale.push(info.wscale);
-                    out[b].mss.push(info.mss);
-                    out[b].wsize.push(info.window);
+                    ev.opts.push(info.options_text.clone());
+                    ev.wscale.push(info.wscale);
+                    ev.mss.push(info.mss);
+                    ev.wsize.push(info.window);
                     if let Some((tsval, _)) = info.timestamps {
-                        out[b].ts.push((r.at.as_secs_f64(), tsval));
+                        ev.ts.push((r.at.as_secs_f64(), tsval));
                     }
                 }
             }
@@ -123,7 +123,10 @@ fn all_equal<T: PartialEq>(it: impl IntoIterator<Item = T>) -> bool {
 
 /// Run the §5.4 test battery over branch evidence.
 pub fn analyze(evidence: &[BranchEvidence]) -> ConsistencyReport {
-    let ittl_all: Vec<u8> = evidence.iter().flat_map(|e| e.ittl.iter().copied()).collect();
+    let ittl_all: Vec<u8> = evidence
+        .iter()
+        .flat_map(|e| e.ittl.iter().copied())
+        .collect();
     let opts_all: Vec<&String> = evidence.iter().flat_map(|e| e.opts.iter()).collect();
     let wscale_all: Vec<Option<u8>> = evidence
         .iter()
@@ -137,10 +140,7 @@ pub fn analyze(evidence: &[BranchEvidence]) -> ConsistencyReport {
         .iter()
         .flat_map(|e| e.wsize.iter().copied())
         .collect();
-    let mut ts_all: Vec<(f64, u32)> = evidence
-        .iter()
-        .flat_map(|e| e.ts.iter().copied())
-        .collect();
+    let mut ts_all: Vec<(f64, u32)> = evidence.iter().flat_map(|e| e.ts.iter().copied()).collect();
     ts_all.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite recv times"));
 
     let ts = if ts_all.is_empty() {
@@ -157,8 +157,7 @@ pub fn analyze(evidence: &[BranchEvidence]) -> ConsistencyReport {
         if non_decreasing(&vals) {
             TsVerdict::Monotonic
         } else {
-            let pts: Vec<(f64, f64)> =
-                ts_all.iter().map(|(t, v)| (*t, f64::from(*v))).collect();
+            let pts: Vec<(f64, f64)> = ts_all.iter().map(|(t, v)| (*t, f64::from(*v))).collect();
             match ols(&pts) {
                 Some(fit) if fit.r2 > 0.8 => TsVerdict::Regression,
                 _ => TsVerdict::Indecisive,
@@ -253,8 +252,7 @@ mod tests {
 
     #[test]
     fn same_timestamp_everywhere() {
-        let evidence: Vec<BranchEvidence> =
-            (0..16).map(|b| ev(vec![(b as f64, 777)])).collect();
+        let evidence: Vec<BranchEvidence> = (0..16).map(|b| ev(vec![(b as f64, 777)])).collect();
         let r = analyze(&evidence);
         assert_eq!(r.ts, TsVerdict::SameOrMissing);
         assert_eq!(r.class(), Class::Consistent);

@@ -95,9 +95,7 @@ mod tests {
         let hook = model.population.special.cdn_hook_48s[0];
         let mut scanner = Scanner::new(model, ScanConfig::default());
         // Hitlist: a few addresses inside one aliased /48.
-        let hitlist: Vec<Ipv6Addr> = (0..5u64)
-            .map(|i| keyed_random_addr(hook, i))
-            .collect();
+        let hitlist: Vec<Ipv6Addr> = (0..5u64).map(|i| keyed_random_addr(hook, i)).collect();
         let r = detect(&mut scanner, &hitlist, 7);
         assert!(!r.aliased.is_empty(), "should classify hook /96s aliased");
         assert!(r.aliased.iter().all(|p| p.len() == 96));
@@ -107,7 +105,16 @@ mod tests {
     #[test]
     fn non_aliased_not_flagged() {
         let model = InternetModel::build(ModelConfig::tiny(66));
-        let host_addr = model.population.sites[0].addrs[0];
+        // A site address outside every aliased region (which site index
+        // that is depends on the model's random stream).
+        let host_addr = model
+            .population
+            .sites
+            .iter()
+            .flat_map(|s| s.addrs.iter())
+            .copied()
+            .find(|a| model.population.aliases.resolve(*a).is_none())
+            .expect("a non-aliased site address exists");
         let mut scanner = Scanner::new(model, ScanConfig::default());
         let r = detect(&mut scanner, &[host_addr], 7);
         assert!(r.aliased.is_empty());

@@ -116,13 +116,7 @@ mod tests {
         // branches answer, but every third day one branch drops (the
         // Table 4 scenario).
         let days: Vec<u16> = (0..12)
-            .map(|d| {
-                if d % 3 == 2 {
-                    !(1 << (d % 16))
-                } else {
-                    0xffff
-                }
-            })
+            .map(|d| if d % 3 == 2 { !(1 << (d % 16)) } else { 0xffff })
             .collect();
         let flips_with = |window: usize| {
             let mut w = WindowState::new(window);

@@ -125,14 +125,17 @@ fn bench_permutation(c: &mut Criterion) {
 fn bench_scanner(c: &mut Criterion) {
     let model = InternetModel::build(ModelConfig::tiny(42));
     let hook = model.population.special.cdn_hook_48s[0];
-    let targets: Vec<Ipv6Addr> = (0..256u64)
-        .map(|i| keyed_random_addr(hook, i))
-        .collect();
+    let targets: Vec<Ipv6Addr> = (0..256u64).map(|i| keyed_random_addr(hook, i)).collect();
     let mut g = c.benchmark_group("scanner");
     g.throughput(Throughput::Elements(targets.len() as u64));
     g.bench_function("icmp_scan_256_aliased_targets", |b| {
         b.iter_batched(
-            || Scanner::new(InternetModel::build(ModelConfig::tiny(42)), ScanConfig::default()),
+            || {
+                Scanner::new(
+                    InternetModel::build(ModelConfig::tiny(42)),
+                    ScanConfig::default(),
+                )
+            },
             |mut s| s.scan(&targets, &IcmpEchoModule),
             BatchSize::LargeInput,
         )
@@ -160,6 +163,45 @@ fn bench_scanner(c: &mut Criterion) {
     });
 }
 
+fn bench_battery_fanout(c: &mut Criterion) {
+    // The PR 1 hot path: the full five-protocol battery over one model
+    // snapshot, serial grid walk vs. worker-pool execution of the same
+    // grid. The determinism guard asserts identical results; this
+    // measures the wall-clock win.
+    let model = InternetModel::build(ModelConfig::tiny(42));
+    let hook = model.population.special.cdn_hook_48s[0];
+    let targets: Vec<Ipv6Addr> = (0..512u64).map(|i| keyed_random_addr(hook, i)).collect();
+    let battery = expanse_zmap6::module::standard_battery();
+    let mut g = c.benchmark_group("battery");
+    g.throughput(Throughput::Elements(
+        targets.len() as u64 * battery.len() as u64,
+    ));
+    // (shards_per_protocol, parallel): unsharded_serial is the 1-shard
+    // grid — the cheapest decomposition under the new snapshot
+    // semantics (each protocol starts from a fresh day-state snapshot,
+    // unlike the seed's chained-clock single pass), so the comparison
+    // isolates sharding and executor cost, not the semantic change.
+    for (name, shards, parallel) in [
+        ("unsharded_serial", 1, false),
+        ("serial_grid", 8, false),
+        ("parallel_grid", 8, true),
+    ] {
+        g.bench_function(name, |b| {
+            b.iter_batched(
+                || {
+                    let mut cfg = ScanConfig::default();
+                    cfg.fanout.shards_per_protocol = shards;
+                    cfg.fanout.parallel = parallel;
+                    Scanner::new(InternetModel::build(ModelConfig::tiny(42)), cfg)
+                },
+                |mut s| s.scan_battery(&targets, &battery),
+                BatchSize::LargeInput,
+            )
+        });
+    }
+    g.finish();
+}
+
 criterion_group!(
     benches,
     bench_trie,
@@ -169,6 +211,7 @@ criterion_group!(
     bench_generators,
     bench_packet,
     bench_permutation,
-    bench_scanner
+    bench_scanner,
+    bench_battery_fanout
 );
 criterion_main!(benches);

@@ -3,6 +3,7 @@
 //! Usage:
 //!   experiments <id>...          run specific artifacts (table2, fig7, ...)
 //!   experiments all              run everything in paper order
+//!   experiments --smoke          tiny-scale CI pass over representative ids
 //!   experiments --list           list artifact ids
 //!   experiments --scale small|mid|full   model scale (default mid)
 //!   experiments --seed N         model seed (default 20181031)
@@ -16,10 +17,11 @@ use std::path::PathBuf;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let mut scale = Scale::Mid;
+    let mut scale: Option<Scale> = None;
     let mut seed: u64 = 20_181_031; // the paper's publication date
     let mut out_dir = PathBuf::from("results");
     let mut ids: Vec<String> = Vec::new();
+    let mut smoke = false;
     let mut it = args.into_iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -29,21 +31,19 @@ fn main() {
                 }
                 return;
             }
+            "--smoke" => smoke = true,
             "--scale" => {
                 let v = it.next().unwrap_or_default();
-                scale = Scale::parse(&v).unwrap_or_else(|| {
+                scale = Some(Scale::parse(&v).unwrap_or_else(|| {
                     eprintln!("unknown scale {v:?} (small|mid|full)");
                     std::process::exit(2);
-                });
+                }));
             }
             "--seed" => {
-                seed = it
-                    .next()
-                    .and_then(|v| v.parse().ok())
-                    .unwrap_or_else(|| {
-                        eprintln!("--seed needs a number");
-                        std::process::exit(2);
-                    });
+                seed = it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+                    eprintln!("--seed needs a number");
+                    std::process::exit(2);
+                });
             }
             "--out" => {
                 out_dir = PathBuf::from(it.next().unwrap_or_else(|| {
@@ -59,13 +59,31 @@ fn main() {
             other => ids.push(other.to_string()),
         }
     }
+    if smoke {
+        // CI mode: exercise the full driver stack (model build,
+        // pipeline, probing, reporting) at tiny scale on one
+        // representative experiment per subsystem, so the drivers
+        // cannot silently rot. Minutes, not hours — which is why it
+        // owns the scale and the id list outright.
+        if scale.is_some() || !ids.is_empty() {
+            eprintln!("--smoke picks its own scale and experiment ids; drop --scale/<id> args");
+            std::process::exit(2);
+        }
+        scale = Some(Scale::Small);
+        ids.extend(
+            ["table2", "fig2a", "table3", "fig7"]
+                .iter()
+                .map(|s| s.to_string()),
+        );
+    }
     if ids.is_empty() {
         eprintln!("usage: experiments <id>...|all [--scale small|mid|full] [--seed N] [--out DIR]");
+        eprintln!("       experiments --smoke   (tiny-scale CI pass over representative ids)");
         eprintln!("       experiments --list");
         std::process::exit(2);
     }
 
-    let mut ctx = Ctx::new(scale, seed, out_dir.clone());
+    let mut ctx = Ctx::new(scale.unwrap_or(Scale::Mid), seed, out_dir.clone());
     let mut summary = String::new();
     for id in &ids {
         let t0 = std::time::Instant::now();

@@ -110,8 +110,7 @@ impl Ctx {
     /// Write an artifact file under the results dir.
     pub fn write(&self, name: &str, content: &str) {
         let path = self.out_dir.join(name);
-        std::fs::write(&path, content)
-            .unwrap_or_else(|e| panic!("write {}: {e}", path.display()));
+        std::fs::write(&path, content).unwrap_or_else(|e| panic!("write {}: {e}", path.display()));
     }
 }
 

@@ -104,7 +104,10 @@ pub fn crossproto(ctx: &mut Ctx) -> String {
         "{} lossy aliased regions probed over 6 days\n\n",
         lossy_aliased.len()
     ));
-    let mut apd = Apd::new(ApdConfig { window: 0, ..ApdConfig::default() });
+    let mut apd = Apd::new(ApdConfig {
+        window: 0,
+        ..ApdConfig::default()
+    });
     let mut icmp_full_days = 0usize;
     let mut merged_full_days = 0usize;
     let mut total = 0usize;
@@ -234,8 +237,10 @@ pub fn cluster_as(ctx: &mut Ctx) -> String {
         ),
     ] {
         if pairs.is_empty() {
-            out.push_str(&format!("{name}: no aggregates with ≥{min} addresses
-"));
+            out.push_str(&format!(
+                "{name}: no aggregates with ≥{min} addresses
+"
+            ));
             continue;
         }
         let c = expanse_entropy::cluster_networks(&pairs, 10, None, ctx.seed);
@@ -338,7 +343,9 @@ pub fn elbow(ctx: &mut Ctx) -> String {
         }
         let curve = sse_curve(&points, 12.min(points.len()), ctx.seed);
         let k = expanse_entropy::elbow(&curve);
-        out.push_str(&format!("{name}: elbow k = {k} (paper: {paper_k})\n  k->SSE: "));
+        out.push_str(&format!(
+            "{name}: elbow k = {k} (paper: {paper_k})\n  k->SSE: "
+        ));
         for (kk, sse) in &curve {
             out.push_str(&format!("{kk}:{sse:.1} "));
         }

@@ -24,9 +24,7 @@ pub fn table3(_ctx: &mut Ctx) -> String {
             expanse_addr::format::expanded(t.addr)
         ));
     }
-    out.push_str(
-        "\none pseudo-random address per 4-bit subprefix, deterministic across days\n",
-    );
+    out.push_str("\none pseudo-random address per 4-bit subprefix, deterministic across days\n");
     out
 }
 
@@ -134,7 +132,11 @@ pub fn fig4(ctx: &mut Ctx) -> String {
     }
     out.push('\n');
     let mut table: Vec<(String, ConcentrationCurve)> = Vec::new();
-    for (name, set) in [("all", &addrs), ("aliased", &removed), ("non-aliased", &kept)] {
+    for (name, set) in [
+        ("all", &addrs),
+        ("aliased", &removed),
+        ("non-aliased", &kept),
+    ] {
         let mut by_as: Counter<u32> = Counter::new();
         let mut by_pfx: Counter<(u128, u8)> = Counter::new();
         for a in set.iter() {

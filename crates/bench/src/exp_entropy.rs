@@ -50,8 +50,7 @@ pub fn fig2a(ctx: &mut Ctx) -> String {
     out.push_str(&render_clusters(&c6));
     // Motif check: the most popular cluster should be low-entropy.
     if let Some(top) = c.clusters.first() {
-        let mean: f64 =
-            top.median_entropy.iter().sum::<f64>() / top.median_entropy.len() as f64;
+        let mean: f64 = top.median_entropy.iter().sum::<f64>() / top.median_entropy.len() as f64;
         out.push_str(&format!(
             "\nmost popular cluster mean entropy: {mean:.3} (paper: ≈0 — counters)\n"
         ));
@@ -68,7 +67,10 @@ pub fn fig2b(ctx: &mut Ctx) -> String {
     let min = ctx.scale.min_cluster_addrs();
     let addrs = ctx.hitlist_addrs();
     let full_groups = fingerprints_by_32(&addrs, 9, 32, min);
-    let full_pairs: Vec<_> = full_groups.iter().map(|(p, f, _)| (*p, f.clone())).collect();
+    let full_pairs: Vec<_> = full_groups
+        .iter()
+        .map(|(p, f, _)| (*p, f.clone()))
+        .collect();
     let k_full = cluster_networks(&full_pairs, 12, None, ctx.seed).k;
     let groups = fingerprints_by_32(&addrs, 17, 32, min);
     let pairs: Vec<_> = groups.iter().map(|(p, f, _)| (*p, f.clone())).collect();
@@ -100,9 +102,7 @@ pub fn fig3a(ctx: &mut Ctx) -> String {
     p.warmup_apd(1);
     let filter = p.apd.filter();
     let (kept, _) = filter.split(&addrs);
-    let scan = p
-        .scanner
-        .scan(&kept, &expanse_zmap6::module::DnsModule);
+    let scan = p.scanner.scan(&kept, &expanse_zmap6::module::DnsModule);
     let responsive: Vec<Ipv6Addr> = scan.responsive().collect();
     out.push_str(&format!(
         "UDP/53 responsive: {} of {} probed ({})\n\n",

@@ -1,10 +1,10 @@
 //! §5.4 experiments: fingerprint consistency (Tables 5 and 6).
 
 use crate::ctx::{header, pct, Ctx};
-use expanse_apd::{analyze, collect_evidence, Apd, ApdConfig};
+use expanse_addr::Prefix;
 use expanse_apd::fingerprint::BranchEvidence;
 use expanse_apd::Class;
-use expanse_addr::Prefix;
+use expanse_apd::{analyze, collect_evidence, Apd, ApdConfig};
 use expanse_zmap6::module::TcpSynModule;
 use expanse_zmap6::ReplyKind;
 use std::collections::HashMap;
@@ -56,7 +56,10 @@ pub fn table5(ctx: &mut Ctx) -> String {
     let mut cumulative: usize = 0;
     let order = ["iTTL", "Optionstext", "WScale", "MSS", "WSize"];
     let mut seen_inconsistent: Vec<bool> = vec![false; n];
-    out.push_str(&format!("{:<13} {:>6} {:>7} {:>8}\n", "Test", "Incs.", "ΣIncs.", "ΣCons."));
+    out.push_str(&format!(
+        "{:<13} {:>6} {:>7} {:>8}\n",
+        "Test", "Incs.", "ΣIncs.", "ΣCons."
+    ));
     for test in order {
         for (i, r) in reports.iter().enumerate() {
             let failed = match test {
@@ -160,8 +163,7 @@ pub fn table6(ctx: &mut Ctx) -> String {
     );
     // Aliased side.
     let aliased = aliased_64_evidence(ctx);
-    let aliased_classes: Vec<Class> =
-        aliased.iter().map(|(_, ev)| analyze(ev).class()).collect();
+    let aliased_classes: Vec<Class> = aliased.iter().map(|(_, ev)| analyze(ev).class()).collect();
 
     // Non-aliased side: /64s with ≥16 known TCP-responding addresses.
     let addrs = ctx.hitlist_addrs();
@@ -175,12 +177,17 @@ pub fn table6(ctx: &mut Ctx) -> String {
     }
     by64.retain(|_, v| v.len() >= 16);
     let nonaliased = probe_known_64(ctx, &by64);
-    let nonaliased_classes: Vec<Class> =
-        nonaliased.iter().map(|(_, ev)| analyze(ev).class()).collect();
+    let nonaliased_classes: Vec<Class> = nonaliased
+        .iter()
+        .map(|(_, ev)| analyze(ev).class())
+        .collect();
 
     let dist = |classes: &[Class]| -> (f64, f64, f64, usize) {
         let n = classes.len().max(1);
-        let inc = classes.iter().filter(|c| **c == Class::Inconsistent).count();
+        let inc = classes
+            .iter()
+            .filter(|c| **c == Class::Inconsistent)
+            .count();
         let con = classes.iter().filter(|c| **c == Class::Consistent).count();
         let ind = classes.iter().filter(|c| **c == Class::Indecisive).count();
         (

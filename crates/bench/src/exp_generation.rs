@@ -96,7 +96,10 @@ pub fn table7_fig9(ctx: &mut Ctx, fig9: bool) -> String {
         six_resp.len(),
         pct(six_resp.len() as f64 / six_targets.len().max(1) as f64),
     ));
-    let resp_overlap = six_resp.keys().filter(|a| eip_resp.contains_key(*a)).count();
+    let resp_overlap = six_resp
+        .keys()
+        .filter(|a| eip_resp.contains_key(*a))
+        .count();
     out.push_str(&format!(
         "responsive overlap: {resp_overlap} (paper: 17k of 785k, higher hit rate on overlap)\n\n",
     ));
@@ -115,9 +118,7 @@ pub fn table7_fig9(ctx: &mut Ctx, fig9: bool) -> String {
             .collect();
         all_keys.sort();
         all_keys.dedup();
-        all_keys.sort_by_key(|k| {
-            std::cmp::Reverse(ec.get(k) + sc.get(k))
-        });
+        all_keys.sort_by_key(|k| std::cmp::Reverse(ec.get(k) + sc.get(k)));
         out.push_str(&format!(
             "{:<28} {:>8} {:>11}\n",
             "protocols", "6Gen", "Entropy/IP"

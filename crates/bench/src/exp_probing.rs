@@ -122,9 +122,7 @@ pub fn fig7(ctx: &mut Ctx) -> String {
     let https_http = m
         .cond(Protocol::Tcp80.index(), Protocol::Tcp443.index())
         .unwrap_or(0.0);
-    out.push_str(&format!(
-        "- HTTPS → HTTP {https_http:.2} (paper: 0.91)\n"
-    ));
+    out.push_str(&format!("- HTTPS → HTTP {https_http:.2} (paper: 0.91)\n"));
     out
 }
 
@@ -141,11 +139,7 @@ pub fn fig8(ctx: &mut Ctx) -> String {
     }
     out.push_str(&p.ledger.render());
     let final_of = |row: Fig8Row| -> Option<f64> {
-        p.ledger
-            .series(row)
-            .last()
-            .copied()
-            .filter(|v| !v.is_nan())
+        p.ledger.series(row).last().copied().filter(|v| !v.is_nan())
     };
     out.push_str("\nshape checks vs paper (day-14 survival):\n");
     let checks = [

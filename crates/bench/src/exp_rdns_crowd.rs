@@ -12,7 +12,10 @@ pub fn fig10_table8(ctx: &mut Ctx, table8: bool) -> String {
     let mut out = if table8 {
         header("Table 8: top rDNS ASes in input / ICMP / TCP80", "Table 8")
     } else {
-        header("Fig 10: prefix/AS distribution, hitlist vs rDNS input", "Fig 10")
+        header(
+            "Fig 10: prefix/AS distribution, hitlist vs rDNS input",
+            "Fig 10",
+        )
     };
     let hitlist = ctx.hitlist_addrs();
     let p = ctx.pipeline();

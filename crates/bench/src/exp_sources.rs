@@ -23,14 +23,22 @@ pub fn table1(ctx: &mut Ctx) -> String {
             pfx.push((px.bits(), px.len()));
         }
     }
+    out.push_str("work                #publ.   #pfx.  #ASes  #priv.  Cts  Prob.  APD\n");
     out.push_str(
-        "work                #publ.   #pfx.  #ASes  #priv.  Cts  Prob.  APD\n",
+        "Gasser et al. 16      2.7M    5.8k   8.6k    149M   y     y     n   (paper row)\n",
     );
-    out.push_str("Gasser et al. 16      2.7M    5.8k   8.6k    149M   y     y     n   (paper row)\n");
-    out.push_str("Foremski et al. 16    620k    <100   <100    3.5G   y     y     n   (paper row)\n");
-    out.push_str("Fiebig et al. 17      2.8M     n/a    n/a       0   y     n     n   (paper row)\n");
-    out.push_str("Murdock et al. 17     1.0M    2.8k   2.4k       0   y     y     ~   (paper row)\n");
-    out.push_str("Gasser et al. 18     55.1M   25.5k  10.9k       0   y     y     y   (paper row)\n");
+    out.push_str(
+        "Foremski et al. 16    620k    <100   <100    3.5G   y     y     n   (paper row)\n",
+    );
+    out.push_str(
+        "Fiebig et al. 17      2.8M     n/a    n/a       0   y     n     n   (paper row)\n",
+    );
+    out.push_str(
+        "Murdock et al. 17     1.0M    2.8k   2.4k       0   y     y     ~   (paper row)\n",
+    );
+    out.push_str(
+        "Gasser et al. 18     55.1M   25.5k  10.9k       0   y     y     y   (paper row)\n",
+    );
     out.push_str(&format!(
         "this reproduction  {:>7}  {:>6}  {:>5}       0   y     y     y   (measured, scaled model)\n",
         total,
@@ -65,7 +73,10 @@ pub fn table2(ctx: &mut Ctx) -> String {
         "- FDNS more balanced: top-AS {} (paper 16.7%)\n",
         pct(share(SourceId::Fdns))
     ));
-    let ra = rows.iter().find(|r| r.id == SourceId::RipeAtlas).expect("RA row");
+    let ra = rows
+        .iter()
+        .find(|r| r.id == SourceId::RipeAtlas)
+        .expect("RA row");
     let scamper = rows
         .iter()
         .find(|r| r.id == SourceId::Scamper)
@@ -83,7 +94,10 @@ pub fn table2(ctx: &mut Ctx) -> String {
 
 /// Fig 1a: cumulative runup of sources over the collection period.
 pub fn fig1a(ctx: &mut Ctx) -> String {
-    let mut out = header("Fig 1a: cumulative runup of IPv6 addresses per source", "Fig 1a");
+    let mut out = header(
+        "Fig 1a: cumulative runup of IPv6 addresses per source",
+        "Fig 1a",
+    );
     let p = ctx.pipeline();
     let days = p.model_ref().config.runup_days;
     let checkpoints: Vec<u32> = (0..=10).map(|i| days * i / 10).collect();
@@ -162,7 +176,10 @@ pub fn fig1b(ctx: &mut Ctx) -> String {
 
 /// Fig 1c: zesplot of hitlist addresses over announced BGP prefixes.
 pub fn fig1c(ctx: &mut Ctx) -> String {
-    let mut out = header("Fig 1c: hitlist addresses mapped to BGP prefixes (zesplot)", "Fig 1c");
+    let mut out = header(
+        "Fig 1c: hitlist addresses mapped to BGP prefixes (zesplot)",
+        "Fig 1c",
+    );
     let hitlist = ctx.hitlist_addrs();
     let p = ctx.pipeline();
     let model = p.model_ref();

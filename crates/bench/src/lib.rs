@@ -25,10 +25,36 @@ pub use ctx::Ctx;
 
 /// All experiment ids in paper order.
 pub const ALL_EXPERIMENTS: &[&str] = &[
-    "table1", "table2", "fig1a", "fig1b", "fig1c", "fig2a", "fig2b", "fig3a", "fig3b", "table3",
-    "table4", "fig4", "fig5", "table5", "table6", "murdock", "fig6", "fig7", "fig8", "table7",
-    "fig9", "fig10", "table8", "table9", "abl-fanout", "abl-crossproto", "abl-gating",
-    "abl-elbow", "abl-cluster-as", "abl-bgp-apd",
+    "table1",
+    "table2",
+    "fig1a",
+    "fig1b",
+    "fig1c",
+    "fig2a",
+    "fig2b",
+    "fig3a",
+    "fig3b",
+    "table3",
+    "table4",
+    "fig4",
+    "fig5",
+    "table5",
+    "table6",
+    "murdock",
+    "fig6",
+    "fig7",
+    "fig8",
+    "table7",
+    "fig9",
+    "fig10",
+    "table8",
+    "table9",
+    "abl-fanout",
+    "abl-crossproto",
+    "abl-gating",
+    "abl-elbow",
+    "abl-cluster-as",
+    "abl-bgp-apd",
 ];
 
 /// Run one experiment by id; returns the rendered report.

@@ -78,8 +78,7 @@ impl Ledger {
                             hitlist.sources_of(**a).contains(s) && !protos.is_empty()
                         }
                         Fig8Row::SourceQuic(s) => {
-                            hitlist.sources_of(**a).contains(s)
-                                && protos.contains(Protocol::Udp443)
+                            hitlist.sources_of(**a).contains(s) && protos.contains(Protocol::Udp443)
                         }
                     })
                     .map(|(a, _)| *a)
@@ -95,9 +94,7 @@ impl Ledger {
                 let n = baseline
                     .iter()
                     .filter(|a| match row {
-                        Fig8Row::Source(_) => {
-                            responsive.get(a).is_some_and(|p| !p.is_empty())
-                        }
+                        Fig8Row::Source(_) => responsive.get(a).is_some_and(|p| !p.is_empty()),
                         Fig8Row::SourceQuic(_) => responsive
                             .get(a)
                             .is_some_and(|p| p.contains(Protocol::Udp443)),

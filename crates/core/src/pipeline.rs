@@ -58,6 +58,10 @@ pub struct DailySnapshot {
     pub routers_found: usize,
     /// Probes sent today (APD + battery + traceroute).
     pub probes_sent: u64,
+    /// Canonical digest of the battery's merged scan result. Identical
+    /// across the serial and parallel fan-out executors; the published
+    /// daily files carry it as a reproducibility stamp.
+    pub battery_digest: u64,
 }
 
 /// The full system: model + probers + state.
@@ -140,6 +144,13 @@ impl Pipeline {
     /// Run one probing day: APD, filter, traceroute subsample, battery
     /// scan of non-aliased targets, ledger update.
     pub fn run_day(&mut self) -> DailySnapshot {
+        self.run_day_full().0
+    }
+
+    /// [`Pipeline::run_day`], also returning the battery's merged scan
+    /// result (the fan-out determinism guard compares these across
+    /// executors).
+    pub fn run_day_full(&mut self) -> (DailySnapshot, MultiScanResult) {
         let day = self.day;
         self.scanner.network_mut().set_day(day);
         let mut probes = 0u64;
@@ -171,11 +182,8 @@ impl Pipeline {
         let (kept, _removed) = filter.split(self.hitlist.addrs());
 
         // ---- scamper: learn router addresses -------------------------
-        let trace_targets: Vec<Ipv6Addr> = kept
-            .iter()
-            .copied()
-            .take(self.cfg.trace_budget)
-            .collect();
+        let trace_targets: Vec<Ipv6Addr> =
+            kept.iter().copied().take(self.cfg.trace_budget).collect();
         let routers = {
             let mut tracer = Tracer::new(
                 self.scanner.network_mut(),
@@ -213,9 +221,10 @@ impl Pipeline {
             responsive,
             routers_found,
             probes_sent: probes,
+            battery_digest: multi.digest(),
         };
         self.day += 1;
-        snapshot
+        (snapshot, multi)
     }
 
     /// Current probing day (next `run_day` uses this).
@@ -229,9 +238,11 @@ mod tests {
     use super::*;
 
     fn tiny_pipeline() -> Pipeline {
-        let mut cfg = PipelineConfig::default();
         // Keep test days cheap.
-        cfg.trace_budget = 30;
+        let mut cfg = PipelineConfig {
+            trace_budget: 30,
+            ..PipelineConfig::default()
+        };
         cfg.plan.min_targets = 30;
         Pipeline::new(ModelConfig::tiny(77), cfg)
     }

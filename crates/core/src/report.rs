@@ -160,11 +160,7 @@ mod tests {
         }
         // DL is CDN-skewed: top AS share is dominant.
         let dl = rows.iter().find(|r| r.id == SourceId::DomainLists).unwrap();
-        assert!(
-            dl.top_as[0].1 > 0.5,
-            "DL top AS share {}",
-            dl.top_as[0].1
-        );
+        assert!(dl.top_as[0].1 > 0.5, "DL top AS share {}", dl.top_as[0].1);
         let render = render_source_table(&rows, &total);
         assert!(render.contains("Scamper"));
         assert!(render.contains("Total"));

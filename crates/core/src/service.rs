@@ -16,6 +16,10 @@ pub fn hitlist_file(snap: &DailySnapshot) -> String {
         snap.responsive.len(),
         snap.hitlist_after_apd,
     ));
+    out.push_str(&format!(
+        "# scan digest {:016x} — identical for serial and parallel probing\n",
+        snap.battery_digest,
+    ));
     let mut addrs: Vec<_> = snap.responsive.keys().copied().collect();
     addrs.sort();
     for a in addrs {
@@ -90,6 +94,7 @@ mod tests {
             responsive,
             routers_found: 0,
             probes_sent: 500,
+            battery_digest: 0xfeed_beef_0042_0777,
         }
     }
 
@@ -97,10 +102,11 @@ mod tests {
     fn hitlist_file_format() {
         let f = hitlist_file(&snap());
         assert!(f.starts_with("# expanse IPv6 hitlist — day 3"));
+        assert!(f.contains("# scan digest feedbeef00420777"));
         assert!(f.contains("2001:0db8:0000:0000:0000:0000:0000:0001\n"));
-        assert_eq!(f.lines().count(), 3);
+        assert_eq!(f.lines().count(), 4);
         // Sorted ascending.
-        let lines: Vec<&str> = f.lines().skip(1).collect();
+        let lines: Vec<&str> = f.lines().skip(2).collect();
         let mut sorted = lines.clone();
         sorted.sort();
         assert_eq!(lines, sorted);

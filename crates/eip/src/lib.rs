@@ -3,10 +3,10 @@
 //! (§7).
 //!
 //! Pipeline:
-//! 1. [`segment`]: split the 32 nybbles into homogeneous-entropy segments
-//! 2. [`model::train`]: mine per-segment value distributions and chain
+//! 1. [`segment`] — split the 32 nybbles into homogeneous-entropy segments
+//! 2. [`model::train`] — mine per-segment value distributions and chain
 //!    them into a Bayesian network
-//! 3. [`model::EipModel::generate`]: best-first (probability-ordered)
+//! 3. [`model::EipModel::generate`] — best-first (probability-ordered)
 //!    exhaustive walk — the paper's improvement over random sampling,
 //!    "focusing on more probable IPv6 addresses under a constrained
 //!    scanning budget"

@@ -29,7 +29,10 @@ impl Fingerprint {
     /// Panics if `a` or `b` are outside 1..=32 or `a > b`, or if `addrs`
     /// is empty.
     pub fn compute(addrs: &[Ipv6Addr], a: usize, b: usize) -> Fingerprint {
-        assert!((1..=32).contains(&a) && (1..=32).contains(&b) && a <= b, "bad nybble range");
+        assert!(
+            (1..=32).contains(&a) && (1..=32).contains(&b) && a <= b,
+            "bad nybble range"
+        );
         assert!(!addrs.is_empty(), "empty address sample");
         let mut values = Vec::with_capacity(b - a + 1);
         for j in a..=b {
@@ -108,7 +111,7 @@ pub fn fingerprint_groups<K: Eq + std::hash::Hash + Clone>(
         .collect();
     // No deterministic order from the HashMap: callers sort by key where
     // needed; give them a stable baseline by sample size descending.
-    out.sort_by(|x, y| y.2.cmp(&x.2));
+    out.sort_by_key(|x| std::cmp::Reverse(x.2));
     out
 }
 
@@ -119,9 +122,7 @@ pub fn fingerprints_by_32(
     b: usize,
     min_addrs: usize,
 ) -> Vec<(Prefix, Fingerprint, usize)> {
-    let mut out = fingerprint_groups(addrs, a, b, min_addrs, |addr| {
-        Some(Prefix::new(addr, 32))
-    });
+    let mut out = fingerprint_groups(addrs, a, b, min_addrs, |addr| Some(Prefix::new(addr, 32)));
     out.sort_by(|x, y| y.2.cmp(&x.2).then_with(|| x.0.cmp(&y.0)));
     out
 }

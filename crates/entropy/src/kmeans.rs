@@ -155,10 +155,7 @@ pub fn elbow(curve: &[(usize, f64)]) -> usize {
         return curve[0].0;
     }
     let (x0, y0) = (curve[0].0 as f64, curve[0].1);
-    let (x1, y1) = (
-        curve[curve.len() - 1].0 as f64,
-        curve[curve.len() - 1].1,
-    );
+    let (x1, y1) = (curve[curve.len() - 1].0 as f64, curve[curve.len() - 1].1);
     let norm = ((y1 - y0).powi(2) + (x1 - x0).powi(2)).sqrt();
     let mut best_k = curve[0].0;
     let mut best_d = f64::MIN;

@@ -110,7 +110,9 @@ mod tests {
     fn resolve_hits_inside_region() {
         let mut t = AliasTable::new();
         t.insert("2001:db8:47::/48".parse().unwrap(), region(1));
-        let (p, r) = t.resolve("2001:db8:47:abcd::1234".parse().unwrap()).unwrap();
+        let (p, r) = t
+            .resolve("2001:db8:47:abcd::1234".parse().unwrap())
+            .unwrap();
         assert_eq!(p.len(), 48);
         assert_eq!(r.machine, MachineId(1));
         assert!(t.resolve("2001:db8:48::1".parse().unwrap()).is_none());

@@ -159,8 +159,7 @@ pub fn build_crowd(model: &InternetModel) -> CrowdStudy {
             let (addr6, asn6) = if has_v6 {
                 // Privacy-extension address in a customer /64.
                 let extra = 64 - site.len();
-                let customer =
-                    site.subprefix(extra, rng.random_range(0..(1u128 << extra.min(30))));
+                let customer = site.subprefix(extra, rng.random_range(0..(1u128 << extra.min(30))));
                 let iid = rng.random::<u64>() | 0x0400_0000_0000_0000; // high-ish hamming
                 let addr = u128_to_addr(customer.bits() | u128::from(iid));
                 (Some(addr), Some(asn))
@@ -274,8 +273,7 @@ mod tests {
     #[test]
     fn pinned_participants_always_respond() {
         let s = study();
-        let pinned: Vec<&Participant> =
-            s.participants.iter().filter(|p| p.pinned).collect();
+        let pinned: Vec<&Participant> = s.participants.iter().filter(|p| p.pinned).collect();
         assert_eq!(pinned.len(), 7);
         for p in pinned {
             for day in 0..30 {

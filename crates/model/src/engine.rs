@@ -19,7 +19,7 @@ use expanse_packet::{
 use std::net::Ipv6Addr;
 
 /// Per-day mutable middlebox state, rebuilt on `set_day`.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub(crate) struct DayState {
     pub day: u16,
     pub icmp_buckets: Vec<(Prefix, TokenBucket)>,
@@ -55,6 +55,16 @@ impl DayState {
             syn_proxies,
         }
     }
+
+    /// An empty placeholder used while the real state is lifted out of
+    /// the model for a split borrow (see `Network for InternetModel`).
+    pub(crate) fn detached() -> Self {
+        DayState {
+            day: 0,
+            icmp_buckets: Vec::new(),
+            syn_proxies: Vec::new(),
+        }
+    }
 }
 
 /// Which responder answers a destination address.
@@ -75,8 +85,8 @@ enum Responder {
 impl InternetModel {
     /// Absolute nanoseconds for timestamp counters: day offset + intra-day
     /// virtual time.
-    fn abs_ns(&self, now: Time) -> u64 {
-        u64::from(self.day_state.day) * churn::DAY_SECS * 1_000_000_000 + now.0
+    fn abs_ns(&self, day: u16, now: Time) -> u64 {
+        u64::from(day) * churn::DAY_SECS * 1_000_000_000 + now.0
     }
 
     /// Path latency to a destination: keyed per /32, 8–120 ms round trip,
@@ -92,7 +102,7 @@ impl InternetModel {
     /// key deliberately ignores retransmission attempts: a same-day retry
     /// of the same probe meets the same fate, which is why the paper
     /// merges across *protocols* and *days* instead (§5.2).
-    fn lost(&self, dst: Ipv6Addr, proto_tag: u8, extra: u64) -> bool {
+    fn lost(&self, day: u16, dst: Ipv6Addr, proto_tag: u8, extra: u64) -> bool {
         let mut p = self.config.base_loss;
         if self.lossy_trie.longest_match(dst).is_some() {
             p = self.config.lossy_prefix_loss;
@@ -101,14 +111,14 @@ impl InternetModel {
             (addr_to_u128(dst) as u64)
                 ^ (addr_to_u128(dst) >> 64) as u64
                 ^ (u64::from(proto_tag) << 56)
-                ^ (u64::from(self.day_state.day) << 40)
+                ^ (u64::from(day) << 40)
                 ^ extra,
         );
         expanse_netsim::KeyedLoss::new(self.config.seed ^ 0x10c5, p).drops(key)
     }
 
     /// Resolve who answers `dst` at probe-day granularity.
-    fn resolve(&self, dst: Ipv6Addr) -> Responder {
+    fn resolve(&self, day: u16, dst: Ipv6Addr) -> Responder {
         if let Some((_, region)) = self.population.aliases.resolve(dst) {
             return Responder::Alias {
                 machine: region.machine,
@@ -116,7 +126,7 @@ impl InternetModel {
             };
         }
         if let Some(h) = self.population.hosts.get(&addr_to_u128(dst)) {
-            if h.online(self.day_state.day) {
+            if h.online(day) {
                 return Responder::Host {
                     machine: h.machine,
                     protos: h.protos,
@@ -128,7 +138,7 @@ impl InternetModel {
     }
 
     /// Does `protos` serve `proto` *today* (QUIC flapping applied)?
-    fn serves_today(&self, dst: Ipv6Addr, protos: ProtoSet, proto: Protocol) -> bool {
+    fn serves_today(&self, day: u16, dst: Ipv6Addr, protos: ProtoSet, proto: Protocol) -> bool {
         if !protos.contains(proto) {
             return false;
         }
@@ -138,7 +148,7 @@ impl InternetModel {
             if splitmix64(net48 as u64 ^ self.config.seed ^ 0xf1a9) % 100 < 35 {
                 return churn::quic_up(
                     net48 as u64 ^ self.config.seed,
-                    self.day_state.day,
+                    day,
                     self.config.quic_flap_up_rate,
                 );
             }
@@ -147,12 +157,12 @@ impl InternetModel {
     }
 
     /// Sub-day gate for client hosts (privacy-extension uptime sessions).
-    fn client_gate(&self, dst: Ipv6Addr, kind: HostKind, now: Time) -> bool {
+    fn client_gate(&self, day: u16, dst: Ipv6Addr, kind: HostKind, now: Time) -> bool {
         if kind != HostKind::Client {
             return true;
         }
         let salt = splitmix64(addr_to_u128(dst) as u64 ^ self.config.seed);
-        churn::client_online(salt, self.day_state.day, now.0 / 1_000_000_000)
+        churn::client_online(salt, day, now.0 / 1_000_000_000)
     }
 
     fn reply(
@@ -190,7 +200,8 @@ impl InternetModel {
     }
 
     fn handle_icmp(
-        &mut self,
+        &self,
+        ds: &mut DayState,
         now: Time,
         hdr: &expanse_packet::Ipv6Header,
         ident: u16,
@@ -199,12 +210,12 @@ impl InternetModel {
     ) -> Vec<Delivery> {
         let dst = hdr.dst;
         // ICMP rate limiting (§5.1 case 4).
-        for (p, bucket) in &mut self.day_state.icmp_buckets {
+        for (p, bucket) in &mut ds.icmp_buckets {
             if p.contains(dst) && !bucket.try_consume(now) {
                 return Vec::new();
             }
         }
-        let responder = self.resolve(dst);
+        let responder = self.resolve(ds.day, dst);
         let (machine, protos, kind) = match responder {
             Responder::Alias { machine, protos } => (machine, protos, None),
             Responder::Host {
@@ -214,15 +225,15 @@ impl InternetModel {
             } => (machine, protos, Some(kind)),
             Responder::Nobody => return Vec::new(),
         };
-        if !self.serves_today(dst, protos, Protocol::Icmp) {
+        if !self.serves_today(ds.day, dst, protos, Protocol::Icmp) {
             return Vec::new();
         }
         if let Some(k) = kind {
-            if !self.client_gate(dst, k, now) {
+            if !self.client_gate(ds.day, dst, k, now) {
                 return Vec::new();
             }
         }
-        if self.lost(dst, 0, u64::from(ident) << 16 | u64::from(seq)) {
+        if self.lost(ds.day, dst, 0, u64::from(ident) << 16 | u64::from(seq)) {
             return Vec::new();
         }
         let m = &self.population.machines[machine.0 as usize];
@@ -243,7 +254,8 @@ impl InternetModel {
     }
 
     fn handle_tcp(
-        &mut self,
+        &self,
+        ds: &mut DayState,
         now: Time,
         hdr: &expanse_packet::Ipv6Header,
         seg: TcpSegment,
@@ -266,18 +278,18 @@ impl InternetModel {
         );
         // SYN proxy (§5.1's /80 case): counts SYNs to the protected
         // prefix; when hot, answers everything.
-        for (p, proxy) in &mut self.day_state.syn_proxies {
+        for (p, proxy) in &mut ds.syn_proxies {
             if p.contains(dst) {
                 if proxy.on_syn(now) {
                     let m = &self.population.machines[0];
-                    let reply = m.syn_ack(&seg, self.abs_ns(now), tuple_key, 0);
+                    let reply = m.syn_ack(&seg, self.abs_ns(ds.day, now), tuple_key, 0);
                     let ttl = self.observed_ttl(dst, 64);
                     return vec![self.reply(now, dst, dst, hdr.src, ttl, Transport::Tcp(reply))];
                 }
                 return Vec::new();
             }
         }
-        let responder = self.resolve(dst);
+        let responder = self.resolve(ds.day, dst);
         let (machine, protos, kind) = match responder {
             Responder::Alias { machine, protos } => (machine, protos, None),
             Responder::Host {
@@ -287,16 +299,21 @@ impl InternetModel {
             } => (machine, protos, Some(kind)),
             Responder::Nobody => return Vec::new(),
         };
-        if self.lost(dst, 1 + (seg.dst_port % 7) as u8, u64::from(seg.seq)) {
+        if self.lost(
+            ds.day,
+            dst,
+            1 + (seg.dst_port % 7) as u8,
+            u64::from(seg.seq),
+        ) {
             return Vec::new();
         }
         let serves = matches!(seg.dst_port, 80 | 443)
-            && self.serves_today(dst, protos, proto)
-            && kind.is_none_or(|k| self.client_gate(dst, k, now));
+            && self.serves_today(ds.day, dst, protos, proto)
+            && kind.is_none_or(|k| self.client_gate(ds.day, dst, k, now));
         let m = &self.population.machines[machine.0 as usize];
         let flavor = splitmix64(addr_to_u128(dst) as u64 ^ now.0 ^ u64::from(seg.dst_port));
         if serves {
-            let reply = m.syn_ack(&seg, self.abs_ns(now), tuple_key, flavor);
+            let reply = m.syn_ack(&seg, self.abs_ns(ds.day, now), tuple_key, flavor);
             let ttl = self.observed_ttl(dst, m.reply_ittl(flavor));
             vec![self.reply(now, dst, dst, hdr.src, ttl, Transport::Tcp(reply))]
         } else if kind.is_some() {
@@ -320,13 +337,14 @@ impl InternetModel {
     }
 
     fn handle_udp(
-        &mut self,
+        &self,
+        ds: &DayState,
         now: Time,
         hdr: &expanse_packet::Ipv6Header,
         u: UdpDatagram,
     ) -> Vec<Delivery> {
         let dst = hdr.dst;
-        let responder = self.resolve(dst);
+        let responder = self.resolve(ds.day, dst);
         let (machine, protos, kind) = match responder {
             Responder::Alias { machine, protos } => (machine, protos, None),
             Responder::Host {
@@ -336,24 +354,29 @@ impl InternetModel {
             } => (machine, protos, Some(kind)),
             Responder::Nobody => return Vec::new(),
         };
-        if self.lost(dst, 3 + (u.dst_port % 5) as u8, u64::from(u.src_port)) {
+        if self.lost(
+            ds.day,
+            dst,
+            3 + (u.dst_port % 5) as u8,
+            u64::from(u.src_port),
+        ) {
             return Vec::new();
         }
-        if kind.is_some_and(|k| !self.client_gate(dst, k, now)) {
+        if kind.is_some_and(|k| !self.client_gate(ds.day, dst, k, now)) {
             return Vec::new();
         }
         let m = &self.population.machines[machine.0 as usize];
         let flavor = splitmix64(addr_to_u128(dst) as u64 ^ 0xd4d4);
         let ttl = self.observed_ttl(dst, m.reply_ittl(flavor));
         match u.dst_port {
-            53 if self.serves_today(dst, protos, Protocol::Udp53) => {
+            53 if self.serves_today(ds.day, dst, protos, Protocol::Udp53) => {
                 let Ok(resp) = dns::build_response(&u.payload, 0, 1) else {
                     return Vec::new();
                 };
                 let reply = UdpDatagram::new(53, u.src_port, resp);
                 vec![self.reply(now, dst, dst, hdr.src, ttl, Transport::Udp(reply))]
             }
-            443 if self.serves_today(dst, protos, Protocol::Udp443) => {
+            443 if self.serves_today(ds.day, dst, protos, Protocol::Udp443) => {
                 let Ok(init) = quic::QuicLongHeader::parse(&u.payload) else {
                     return Vec::new();
                 };
@@ -383,7 +406,8 @@ impl InternetModel {
     /// Time-exceeded handling for traceroute (hop_limit shorter than the
     /// path).
     fn handle_hops(
-        &mut self,
+        &self,
+        ds: &DayState,
         now: Time,
         hdr: &expanse_packet::Ipv6Header,
         frame: &[u8],
@@ -404,7 +428,7 @@ impl InternetModel {
         if hop_key % 100 < 12 {
             return Some(Vec::new()); // silent router
         }
-        if self.lost(dst, 0x70 ^ hop, u64::from(hop)) {
+        if self.lost(ds.day, dst, 0x70 ^ hop, u64::from(hop)) {
             return Some(Vec::new());
         }
         let hop_addr = self.paths.hop_addr(dst, dst_prefix, cat, hop);
@@ -423,8 +447,11 @@ impl InternetModel {
     }
 }
 
-impl Network for InternetModel {
-    fn inject(&mut self, now: Time, frame: &[u8]) -> Vec<Delivery> {
+impl InternetModel {
+    /// The full engine, against an explicit day state. This is the seam
+    /// the parallel scan fan-out builds on: the model stays shared and
+    /// immutable while every probe stream owns its day state.
+    pub(crate) fn inject_with(&self, ds: &mut DayState, now: Time, frame: &[u8]) -> Vec<Delivery> {
         let Ok((hdr, transport)) = Datagram::parse_transport(frame) else {
             return Vec::new();
         };
@@ -433,7 +460,7 @@ impl Network for InternetModel {
             return Vec::new();
         }
         // Hop-limited probes burn out in transit.
-        if let Some(out) = self.handle_hops(now, &hdr, frame) {
+        if let Some(out) = self.handle_hops(ds, now, &hdr, frame) {
             return out;
         }
         match transport {
@@ -441,10 +468,47 @@ impl Network for InternetModel {
                 ident,
                 seq,
                 payload,
-            }) => self.handle_icmp(now, &hdr, ident, seq, payload),
-            Transport::Tcp(seg) => self.handle_tcp(now, &hdr, seg),
-            Transport::Udp(u) => self.handle_udp(now, &hdr, u),
+            }) => self.handle_icmp(ds, now, &hdr, ident, seq, payload),
+            Transport::Tcp(seg) => self.handle_tcp(ds, now, &hdr, seg),
+            Transport::Udp(u) => self.handle_udp(ds, now, &hdr, u),
             _ => Vec::new(),
+        }
+    }
+}
+
+impl Network for InternetModel {
+    fn inject(&mut self, now: Time, frame: &[u8]) -> Vec<Delivery> {
+        // Split-borrow dance: lift the day state out so the engine can
+        // borrow the model immutably alongside it.
+        let mut ds = std::mem::replace(&mut self.day_state, DayState::detached());
+        let out = self.inject_with(&mut ds, now, frame);
+        self.day_state = ds;
+        out
+    }
+}
+
+/// A scan-time view of an [`InternetModel`]: the shared immutable world
+/// plus this probe stream's own middlebox state. Constructing one costs
+/// a few small `Vec` clones, so parallel fan-outs can take one per job.
+#[derive(Debug)]
+pub struct ScanView<'a> {
+    model: &'a InternetModel,
+    day: DayState,
+}
+
+impl Network for ScanView<'_> {
+    fn inject(&mut self, now: Time, frame: &[u8]) -> Vec<Delivery> {
+        self.model.inject_with(&mut self.day, now, frame)
+    }
+}
+
+impl expanse_netsim::SnapshotNetwork for InternetModel {
+    type Snapshot<'a> = ScanView<'a>;
+
+    fn snapshot(&self) -> ScanView<'_> {
+        ScanView {
+            model: self,
+            day: self.day_state.clone(),
         }
     }
 }
@@ -670,7 +734,10 @@ mod tests {
         let mut answered = 0;
         for b in 1..16u128 {
             let a = expanse_addr::keyed_random_addr(p116.subprefix(4, b), 3);
-            if !m.inject(Time::from_millis(b as u64), &echo(a, 64)).is_empty() {
+            if !m
+                .inject(Time::from_millis(b as u64), &echo(a, 64))
+                .is_empty()
+            {
                 answered += 1;
             }
         }
@@ -706,16 +773,20 @@ mod tests {
             m.set_day(day);
             (0..16u128)
                 .filter(|i| {
-                    let a =
-                        expanse_addr::keyed_random_addr(parent.subprefix(4, i % 16), *i as u64);
-                    !m.inject(Time::from_millis(*i as u64), &echo(a, 64)).is_empty()
+                    let a = expanse_addr::keyed_random_addr(parent.subprefix(4, i % 16), *i as u64);
+                    !m.inject(Time::from_millis(*i as u64), &echo(a, 64))
+                        .is_empty()
                 })
                 .count()
         };
         let counts: Vec<usize> = (0..6).map(|d| count_day(&mut m, d)).collect();
         // Not all days answer the same branches/counts.
         assert!(
-            counts.iter().collect::<std::collections::HashSet<_>>().len() > 1,
+            counts
+                .iter()
+                .collect::<std::collections::HashSet<_>>()
+                .len()
+                > 1,
             "daily variation expected: {counts:?}"
         );
     }

@@ -121,9 +121,7 @@ impl Machine {
                 let offset = splitmix64(self.salt ^ tuple_key) as u32;
                 Some(offset.wrapping_add(ticks as u32))
             }
-            TsBehavior::RandomEach => {
-                Some(splitmix64(self.salt ^ tuple_key ^ abs_ns) as u32)
-            }
+            TsBehavior::RandomEach => Some(splitmix64(self.salt ^ tuple_key ^ abs_ns) as u32),
         }
     }
 
@@ -181,10 +179,12 @@ impl Machine {
     ) -> TcpSegment {
         let (_, mss, wscale, wsize, layout) = self.effective(flavor_key);
         let mut options = Vec::new();
-        let ts = self.tsval(abs_ns, tuple_key).map(|tsval| TcpOption::Timestamps {
-            tsval,
-            tsecr: probe.timestamps().map_or(0, |(v, _)| v),
-        });
+        let ts = self
+            .tsval(abs_ns, tuple_key)
+            .map(|tsval| TcpOption::Timestamps {
+                tsval,
+                tsecr: probe.timestamps().map_or(0, |(v, _)| v),
+            });
         match layout {
             OptLayout::Standard => {
                 options.push(TcpOption::Mss(mss));
@@ -282,8 +282,7 @@ mod tests {
             pathology: Pathology::FlakyIttl,
             ..Machine::linux_like(4)
         };
-        let vals: std::collections::HashSet<u8> =
-            (0..32u64).map(|k| m.reply_ittl(k)).collect();
+        let vals: std::collections::HashSet<u8> = (0..32u64).map(|k| m.reply_ittl(k)).collect();
         assert_eq!(vals, [64u8, 255].into_iter().collect());
         // Healthy machine never flips.
         let healthy = Machine::linux_like(4);

@@ -182,15 +182,9 @@ mod tests {
     #[test]
     fn cpe_oui_concentration() {
         let n = 20_000u64;
-        let zte = (0..n)
-            .filter(|k| pick_cpe_oui(*k) == CPE_OUIS[0].0)
-            .count() as f64
-            / n as f64;
+        let zte = (0..n).filter(|k| pick_cpe_oui(*k) == CPE_OUIS[0].0).count() as f64 / n as f64;
         assert!((zte - 0.479).abs() < 0.02, "zte={zte}");
-        let avm = (0..n)
-            .filter(|k| pick_cpe_oui(*k) == CPE_OUIS[1].0)
-            .count() as f64
-            / n as f64;
+        let avm = (0..n).filter(|k| pick_cpe_oui(*k) == CPE_OUIS[1].0).count() as f64 / n as f64;
         assert!((avm - 0.477).abs() < 0.02, "avm={avm}");
     }
 }

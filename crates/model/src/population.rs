@@ -86,10 +86,7 @@ impl Population {
 /// Scheme mix per AS category: `(scheme, weight)`.
 fn scheme_mix(cat: AsCategory) -> &'static [(Scheme, f64)] {
     match cat {
-        AsCategory::Cdn => &[
-            (Scheme::StructuredCounter, 0.5),
-            (Scheme::RandomIid, 0.5),
-        ],
+        AsCategory::Cdn => &[(Scheme::StructuredCounter, 0.5), (Scheme::RandomIid, 0.5)],
         AsCategory::Hoster => &[
             (Scheme::TinyCounter, 0.55),
             (Scheme::StructuredCounter, 0.30),
@@ -100,10 +97,7 @@ fn scheme_mix(cat: AsCategory) -> &'static [(Scheme, f64)] {
             (Scheme::RandomIid, 0.30),
             (Scheme::Eui64Mixed, 0.15),
         ],
-        AsCategory::Transit => &[
-            (Scheme::TinyCounter, 0.7),
-            (Scheme::ServiceWords, 0.3),
-        ],
+        AsCategory::Transit => &[(Scheme::TinyCounter, 0.7), (Scheme::ServiceWords, 0.3)],
         AsCategory::Academic => &[
             (Scheme::StructuredCounter, 0.45),
             (Scheme::ServiceWords, 0.25),
@@ -415,8 +409,7 @@ impl<'a> Builder<'a> {
             let Some(list) = cat_sites.get(&cat) else {
                 continue;
             };
-            let budget =
-                (self.cfg.n_live_hosts as f64 * live_share(cat)).round() as usize;
+            let budget = (self.cfg.n_live_hosts as f64 * live_share(cat)).round() as usize;
             if budget == 0 || list.is_empty() {
                 continue;
             }
@@ -428,8 +421,7 @@ impl<'a> Builder<'a> {
             let wtotal: f64 = weights.iter().sum();
             for (i, (site, asn)) in list.iter().enumerate() {
                 let scheme = scheme_of_as[asn];
-                let n_live =
-                    ((budget as f64) * weights[i] / wtotal).round().max(0.0) as usize;
+                let n_live = ((budget as f64) * weights[i] / wtotal).round().max(0.0) as usize;
                 let n_ghost = ((n_live as f64) * self.cfg.ghost_ratio) as usize;
                 let want = n_live + n_ghost;
                 if want == 0 {
@@ -564,9 +556,7 @@ impl<'a> Builder<'a> {
             let (site, asn) = hoster_sites[self.rng.random_range(0..hoster_sites.len())];
             // Pick a /64 inside the site.
             let extra = 64 - site.len();
-            let sub = self
-                .rng
-                .random_range(0..(1u128 << extra.min(32)));
+            let sub = self.rng.random_range(0..(1u128 << extra.min(32)));
             let farm64 = site.subprefix(extra, sub);
             let is_lb = i % 3 == 0; // 1/3 LBs, 2/3 racks
             let n_addrs = self.rng.random_range(18..40usize);
@@ -633,9 +623,7 @@ impl<'a> Builder<'a> {
             .collect();
         let cdn_aggregates: Vec<Prefix> = announcements
             .iter()
-            .filter(|(p, asn)| {
-                p.len() == 32 && cdns.first().is_some_and(|c| c.asn == *asn)
-            })
+            .filter(|(p, asn)| p.len() == 32 && cdns.first().is_some_and(|c| c.asn == *asn))
             .map(|(p, _)| *p)
             .collect();
         assert!(
@@ -694,9 +682,8 @@ impl<'a> Builder<'a> {
         }
 
         // --- scattered aliased prefixes of various lengths -------------------
-        let n_scattered = ((announcements.len() as f64 * self.cfg.aliased_prefix_fraction)
-            as usize)
-            .max(8);
+        let n_scattered =
+            ((announcements.len() as f64 * self.cfg.aliased_prefix_fraction) as usize).max(8);
         let candidates: Vec<(Prefix, Asn)> = announcements
             .iter()
             .filter(|(p, _)| p.len() <= 48)
@@ -791,8 +778,8 @@ impl<'a> Builder<'a> {
         // --- alias pool: the addresses sources will sample -------------------
         // Volume: aliased_addr_share of the final hitlist. Computed from
         // the expected non-aliased pool size.
-        let non_aliased: usize = self.cfg.n_live_hosts
-            + (self.cfg.n_live_hosts as f64 * self.cfg.ghost_ratio) as usize;
+        let non_aliased: usize =
+            self.cfg.n_live_hosts + (self.cfg.n_live_hosts as f64 * self.cfg.ghost_ratio) as usize;
         let want = ((non_aliased as f64) * self.cfg.aliased_addr_share
             / (1.0 - self.cfg.aliased_addr_share)) as usize;
         // Concentrate on the dominant CDN's hook (Table 2's 89.7%-style
@@ -882,11 +869,7 @@ mod tests {
             .iter()
             .flat_map(|s| s.addrs.iter().map(|a| addr_to_u128(*a)))
             .collect();
-        let in_pool = pop
-            .hosts
-            .keys()
-            .filter(|k| pool_set.contains(k))
-            .count();
+        let in_pool = pop.hosts.keys().filter(|k| pool_set.contains(k)).count();
         // CPE hosts derive from the path model instead of site pools, so
         // pools cover a large minority (not a majority) of host entries.
         assert!(
@@ -906,10 +889,7 @@ mod tests {
         assert!(!s.cdn_hook_48s.is_empty());
         // partial96: exactly 9 aliased /100 children.
         let aliased_children = (0..16u128)
-            .filter(|b| {
-                pop.aliases
-                    .contains_region(s.partial96.subprefix(4, *b))
-            })
+            .filter(|b| pop.aliases.contains_region(s.partial96.subprefix(4, *b)))
             .count();
         assert_eq!(aliased_children, 9);
         // The /96 itself is not a region.

@@ -211,11 +211,7 @@ mod tests {
         assert!(tree.len() > 500);
         let hitset: std::collections::HashSet<u128> =
             hitlist.iter().map(|a| addr_to_u128(*a)).collect();
-        let overlap = tree
-            .keys
-            .iter()
-            .filter(|k| hitset.contains(k))
-            .count();
+        let overlap = tree.keys.iter().filter(|k| hitset.contains(k)).count();
         let share = overlap as f64 / tree.len() as f64;
         assert!(share < 0.3, "rDNS should be mostly new, overlap={share}");
     }

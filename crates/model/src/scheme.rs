@@ -108,8 +108,10 @@ impl Scheme {
                     // entropy silhouette from TinyCounter.
                     let area = rng.random_range(0..4u64);
                     let rack = rng.random_range(0..8u64);
-                    let s = subnet((area << (subnet_bits.saturating_sub(4)))
-                        | (rack << (subnet_bits.saturating_sub(8))));
+                    let s = subnet(
+                        (area << (subnet_bits.saturating_sub(4)))
+                            | (rack << (subnet_bits.saturating_sub(8))),
+                    );
                     let vlan = rng.random_range(0..8u128);
                     let counter = rng.random_range(1..4000u128);
                     base | s | (vlan << 56) | counter
@@ -177,7 +179,10 @@ mod tests {
             let a = scheme.generate(site(), 200, 42);
             let b = scheme.generate(site(), 200, 42);
             assert_eq!(a, b, "{scheme:?} not deterministic");
-            assert!(a.iter().all(|x| site().contains(*x)), "{scheme:?} escaped site");
+            assert!(
+                a.iter().all(|x| site().contains(*x)),
+                "{scheme:?} escaped site"
+            );
             // Distinctness.
             let mut dedup = a.clone();
             dedup.sort();

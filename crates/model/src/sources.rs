@@ -147,20 +147,14 @@ fn category_mix(id: SourceId) -> &'static [(AsCategory, f64)] {
             (AsCategory::Enterprise, 0.3),
             (AsCategory::Academic, 0.1),
         ],
-        SourceId::Bitnodes => &[
-            (AsCategory::IspEyeball, 0.75),
-            (AsCategory::Hoster, 0.25),
-        ],
+        SourceId::Bitnodes => &[(AsCategory::IspEyeball, 0.75), (AsCategory::Hoster, 0.25)],
         SourceId::RipeAtlas => &[
             (AsCategory::Transit, 0.55),
             (AsCategory::IspEyeball, 0.20),
             (AsCategory::Academic, 0.15),
             (AsCategory::Hoster, 0.10),
         ],
-        SourceId::Scamper => &[
-            (AsCategory::IspEyeball, 0.90),
-            (AsCategory::Transit, 0.10),
-        ],
+        SourceId::Scamper => &[(AsCategory::IspEyeball, 0.90), (AsCategory::Transit, 0.10)],
     }
 }
 
@@ -172,12 +166,24 @@ fn growth_curve(id: SourceId) -> &'static [(f64, f64)] {
         SourceId::DomainLists => &[(0.0, 0.15), (0.2, 0.55), (0.5, 0.8), (1.0, 1.0)],
         SourceId::Fdns => &[(0.0, 0.1), (0.4, 0.5), (1.0, 1.0)],
         // CT log ingestion lands as a step midway.
-        SourceId::Ct => &[(0.0, 0.02), (0.4, 0.08), (0.45, 0.6), (0.8, 0.9), (1.0, 1.0)],
+        SourceId::Ct => &[
+            (0.0, 0.02),
+            (0.4, 0.08),
+            (0.45, 0.6),
+            (0.8, 0.9),
+            (1.0, 1.0),
+        ],
         SourceId::Axfr => &[(0.0, 0.2), (1.0, 1.0)],
         SourceId::Bitnodes => &[(0.0, 0.3), (1.0, 1.0)],
         SourceId::RipeAtlas => &[(0.0, 0.4), (1.0, 1.0)],
         // Explosive late growth (the paper calls it "peculiar").
-        SourceId::Scamper => &[(0.0, 0.0), (0.3, 0.05), (0.6, 0.25), (0.85, 0.7), (1.0, 1.0)],
+        SourceId::Scamper => &[
+            (0.0, 0.0),
+            (0.3, 0.05),
+            (0.6, 0.25),
+            (0.85, 0.7),
+            (1.0, 1.0),
+        ],
     }
 }
 
@@ -409,7 +415,10 @@ mod tests {
             let share = aliased as f64 / s.pool.len() as f64;
             assert!(share > 0.7, "{id:?} alias share {share}");
         }
-        let ra = sources.iter().find(|s| s.id == SourceId::RipeAtlas).unwrap();
+        let ra = sources
+            .iter()
+            .find(|s| s.id == SourceId::RipeAtlas)
+            .unwrap();
         let ra_aliased = ra
             .pool
             .iter()
@@ -423,7 +432,11 @@ mod tests {
         let m = model();
         let sources = build_sources(&m);
         let s = sources.iter().find(|s| s.id == SourceId::Scamper).unwrap();
-        let slaac = s.pool.iter().filter(|a| expanse_addr::is_eui64(**a)).count();
+        let slaac = s
+            .pool
+            .iter()
+            .filter(|a| expanse_addr::is_eui64(**a))
+            .count();
         let share = slaac as f64 / s.pool.len() as f64;
         // Paper: 90.7 % of scamper addresses carry ff:fe.
         assert!(share > 0.7, "SLAAC share {share}");

@@ -118,7 +118,10 @@ mod tests {
         q.push(Time::from_secs(10), "later");
         assert_eq!(q.pop_due(Time::from_secs(5)), None);
         assert_eq!(q.len(), 1);
-        assert_eq!(q.pop_due(Time::from_secs(10)), Some((Time::from_secs(10), "later")));
+        assert_eq!(
+            q.pop_due(Time::from_secs(10)),
+            Some((Time::from_secs(10), "later"))
+        );
         assert!(q.is_empty());
     }
 

@@ -28,7 +28,7 @@ pub mod time;
 
 pub use event::EventQueue;
 pub use loss::{BurstLoss, KeyedLoss};
-pub use network::{Delivery, FaultInjector, Network, TraceRecorder};
+pub use network::{Delivery, FaultInjector, Network, SnapshotNetwork, TraceRecorder};
 pub use ratelimit::TokenBucket;
 pub use synproxy::SynProxy;
 pub use time::{Duration, Time};

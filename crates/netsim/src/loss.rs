@@ -28,7 +28,10 @@ impl KeyedLoss {
     /// # Panics
     /// Panics if `p` is outside [0, 1].
     pub fn new(seed: u64, p: f64) -> Self {
-        assert!((0.0..=1.0).contains(&p), "loss probability {p} out of range");
+        assert!(
+            (0.0..=1.0).contains(&p),
+            "loss probability {p} out of range"
+        );
         KeyedLoss { seed, p }
     }
 

@@ -32,6 +32,29 @@ pub trait Network {
     fn inject(&mut self, now: Time, frame: &[u8]) -> Vec<Delivery>;
 }
 
+/// A network that can hand out cheap independent snapshots of itself.
+///
+/// Parallel scan fan-outs run many probe streams against "the same"
+/// network at once. Cloning a whole simulated Internet per stream would
+/// dominate the scan; most network state is immutable during a scan, so
+/// implementors split it: the snapshot borrows the immutable world and
+/// owns only the state a scan mutates (token buckets, SYN proxy
+/// counters, ...). Snapshots are independent — middlebox state consumed
+/// in one is invisible to the others. That buys determinism under any
+/// executor, at a modeling cost: real destinations share their
+/// middleboxes across concurrent scanners, so per-stream state sees
+/// proportionally less probe pressure as streams multiply. Treat the
+/// stream count as part of the experiment configuration.
+pub trait SnapshotNetwork: Network {
+    /// The per-stream handle; borrows `self` immutably.
+    type Snapshot<'a>: Network + Send
+    where
+        Self: 'a;
+
+    /// Take a snapshot of the current network state.
+    fn snapshot(&self) -> Self::Snapshot<'_>;
+}
+
 impl<N: Network + ?Sized> Network for &mut N {
     fn inject(&mut self, now: Time, frame: &[u8]) -> Vec<Delivery> {
         (**self).inject(now, frame)
@@ -193,7 +216,9 @@ impl<N: Network> TraceRecorder<N> {
             match expanse_packet::Datagram::parse_transport(&e.frame) {
                 Ok((h, t)) => {
                     let what = match t {
-                        expanse_packet::Transport::Icmpv6(m) => format!("icmpv6 type {}", m.msg_type()),
+                        expanse_packet::Transport::Icmpv6(m) => {
+                            format!("icmpv6 type {}", m.msg_type())
+                        }
                         expanse_packet::Transport::Tcp(s) => {
                             format!("tcp {} -> {} [{}]", s.src_port, s.dst_port, s.flags)
                         }

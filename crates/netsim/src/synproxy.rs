@@ -83,9 +83,15 @@ mod tests {
         let mut p = proxy();
         p.on_syn(Time::from_secs(0));
         p.on_syn(Time::from_secs(1));
-        assert!(p.on_syn(Time::from_secs(2)), "third SYN within window activates");
+        assert!(
+            p.on_syn(Time::from_secs(2)),
+            "third SYN within window activates"
+        );
         assert!(p.is_active(Time::from_secs(30)));
-        assert!(!p.is_active(Time::from_secs(100)), "deactivates after active_for");
+        assert!(
+            !p.is_active(Time::from_secs(100)),
+            "deactivates after active_for"
+        );
     }
 
     #[test]

@@ -187,7 +187,10 @@ mod tests {
     use super::*;
 
     fn pair() -> (Ipv6Addr, Ipv6Addr) {
-        ("2001:db8::1".parse().unwrap(), "2001:db8::2".parse().unwrap())
+        (
+            "2001:db8::1".parse().unwrap(),
+            "2001:db8::2".parse().unwrap(),
+        )
     }
 
     #[test]
@@ -225,7 +228,10 @@ mod tests {
         };
         let bytes = msg.emit(s, d);
         match Icmpv6Message::parse(s, d, &bytes).unwrap() {
-            Icmpv6Message::TimeExceeded { code: 0, invoking: inv } => {
+            Icmpv6Message::TimeExceeded {
+                code: 0,
+                invoking: inv,
+            } => {
                 assert_eq!(inv, invoking)
             }
             other => panic!("wrong parse: {other:?}"),

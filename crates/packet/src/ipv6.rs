@@ -34,9 +34,8 @@ impl Ipv6Header {
     /// Emit the 40 header bytes.
     pub fn emit(&self) -> [u8; HEADER_LEN] {
         let mut b = [0u8; HEADER_LEN];
-        let vtf: u32 = (6u32 << 28)
-            | (u32::from(self.traffic_class) << 20)
-            | (self.flow_label & 0x000f_ffff);
+        let vtf: u32 =
+            (6u32 << 28) | (u32::from(self.traffic_class) << 20) | (self.flow_label & 0x000f_ffff);
         b[0..4].copy_from_slice(&vtf.to_be_bytes());
         b[4..6].copy_from_slice(&self.payload_len.to_be_bytes());
         b[6] = self.next_header;

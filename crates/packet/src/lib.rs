@@ -12,29 +12,29 @@
 //! far below where zero-copy would matter.
 //!
 //! Layers:
-//! - [`ipv6`]: fixed 40-byte IPv6 header + full datagram framing
-//! - [`icmpv6`]: echo request/reply, destination unreachable, time exceeded
-//! - [`tcp`]: segments with full option support (MSS, WScale, SACK-permitted,
+//! - [`ipv6`] — fixed 40-byte IPv6 header + full datagram framing
+//! - [`icmpv6`] — echo request/reply, destination unreachable, time exceeded
+//! - [`tcp`] — segments with full option support (MSS, WScale, SACK-permitted,
 //!   timestamps) — §5.4 of the paper fingerprints aliased prefixes via the
 //!   `MSS-SACK-TS-WS` option set
-//! - [`udp`]: datagrams
-//! - [`dns`]: minimal DNS queries/responses for the UDP/53 probe
-//! - [`quic`]: minimal QUIC Initial / Version Negotiation for UDP/443
-//! - [`checksum`]: the Internet checksum with the IPv6 pseudo-header
+//! - [`udp`] — datagrams
+//! - [`dns`] — minimal DNS queries/responses for the UDP/53 probe
+//! - [`quic`] — minimal QUIC Initial / Version Negotiation for UDP/443
+//! - [`checksum`] — the Internet checksum with the IPv6 pseudo-header
 
 pub mod checksum;
-pub mod probe;
 pub mod dns;
 pub mod icmpv6;
 pub mod ipv6;
+pub mod probe;
 pub mod quic;
 pub mod tcp;
 pub mod udp;
 
 pub use icmpv6::Icmpv6Message;
 pub use ipv6::{Datagram, Ipv6Header};
-pub use tcp::{TcpFlags, TcpOption, TcpSegment};
 pub use probe::{ProtoSet, Protocol};
+pub use tcp::{TcpFlags, TcpOption, TcpSegment};
 pub use udp::UdpDatagram;
 
 use std::fmt;
@@ -97,19 +97,13 @@ impl Transport {
     pub fn parse(header: &Ipv6Header, payload: &[u8]) -> Result<Transport, PacketError> {
         match header.next_header {
             proto::ICMPV6 => Ok(Transport::Icmpv6(Icmpv6Message::parse(
-                header.src,
-                header.dst,
-                payload,
+                header.src, header.dst, payload,
             )?)),
             proto::TCP => Ok(Transport::Tcp(TcpSegment::parse(
-                header.src,
-                header.dst,
-                payload,
+                header.src, header.dst, payload,
             )?)),
             proto::UDP => Ok(Transport::Udp(UdpDatagram::parse(
-                header.src,
-                header.dst,
-                payload,
+                header.src, header.dst, payload,
             )?)),
             other => Ok(Transport::Other(other, payload.to_vec())),
         }

@@ -84,15 +84,6 @@ impl ProtoSet {
         ProtoSet(1 << p.index())
     }
 
-    /// Set from an iterator.
-    pub fn from_iter(ps: impl IntoIterator<Item = Protocol>) -> ProtoSet {
-        let mut s = ProtoSet::EMPTY;
-        for p in ps {
-            s = s.with(p);
-        }
-        s
-    }
-
     /// Add a protocol.
     #[must_use]
     pub fn with(self, p: Protocol) -> ProtoSet {
@@ -135,6 +126,16 @@ impl ProtoSet {
     #[must_use]
     pub fn intersect(self, other: ProtoSet) -> ProtoSet {
         ProtoSet(self.0 & other.0)
+    }
+}
+
+impl FromIterator<Protocol> for ProtoSet {
+    fn from_iter<I: IntoIterator<Item = Protocol>>(ps: I) -> ProtoSet {
+        let mut s = ProtoSet::EMPTY;
+        for p in ps {
+            s = s.with(p);
+        }
+        s
     }
 }
 

@@ -68,7 +68,10 @@ mod tests {
     use super::*;
 
     fn pair() -> (Ipv6Addr, Ipv6Addr) {
-        ("2001:db8::1".parse().unwrap(), "2001:db8::53".parse().unwrap())
+        (
+            "2001:db8::1".parse().unwrap(),
+            "2001:db8::53".parse().unwrap(),
+        )
     }
 
     #[test]

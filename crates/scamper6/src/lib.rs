@@ -128,11 +128,12 @@ impl<N: Network> Tracer<N> {
                             }
                         }
                         Transport::Icmpv6(Icmpv6Message::EchoReply { ident, .. })
-                            if ident == f.ident && hdr.src == dst => {
-                                hops.push(Some(dst));
-                                reached = true;
-                                break 'hops;
-                            }
+                            if ident == f.ident && hdr.src == dst =>
+                        {
+                            hops.push(Some(dst));
+                            reached = true;
+                            break 'hops;
+                        }
                         _ => {}
                     }
                 }

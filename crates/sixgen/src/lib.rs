@@ -260,7 +260,11 @@ mod tests {
         // Generated addresses live in the dense /64 predominantly.
         let p64: expanse_addr::Prefix = "2001:db8::/64".parse().unwrap();
         let dense = targets.iter().filter(|t| p64.contains(**t)).count();
-        assert!(dense * 2 >= targets.len(), "dense={dense}/{}", targets.len());
+        assert!(
+            dense * 2 >= targets.len(),
+            "dense={dense}/{}",
+            targets.len()
+        );
         // Distinct.
         let set: HashSet<_> = targets.iter().collect();
         assert_eq!(set.len(), targets.len());

@@ -107,7 +107,7 @@ mod tests {
         assert!(ols(&[]).is_none());
         assert!(ols(&[(1.0, 2.0)]).is_none());
         assert!(ols(&[(1.0, 2.0), (1.0, 3.0)]).is_none()); // zero x-variance
-        // Constant y: exact fit.
+                                                           // Constant y: exact fit.
         let fit = ols(&[(0.0, 5.0), (1.0, 5.0), (2.0, 5.0)]).unwrap();
         assert_eq!(fit.slope, 0.0);
         assert_eq!(fit.r2, 1.0);

@@ -56,11 +56,7 @@ impl<K: Eq + Hash + Clone + Ord> Counter<K> {
     /// The `k` most frequent keys with their counts, ties broken by key
     /// order for determinism.
     pub fn top(&self, k: usize) -> Vec<(K, u64)> {
-        let mut v: Vec<(K, u64)> = self
-            .counts
-            .iter()
-            .map(|(k, &c)| (k.clone(), c))
-            .collect();
+        let mut v: Vec<(K, u64)> = self.counts.iter().map(|(k, &c)| (k.clone(), c)).collect();
         v.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
         v.truncate(k);
         v

@@ -61,10 +61,7 @@ pub fn aggregate(prefixes: &[Prefix]) -> Vec<Prefix> {
 
 /// Are `a` and `b` the two children of one parent?
 fn is_sibling_pair(a: Prefix, b: Prefix) -> bool {
-    a.len() == b.len()
-        && a.len() > 0
-        && a.parent() == b.parent()
-        && a != b
+    a.len() == b.len() && !a.is_default() && a.parent() == b.parent() && a != b
 }
 
 /// Is `p` entirely covered by an existing (equal-or-shorter) member?

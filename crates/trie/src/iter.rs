@@ -105,7 +105,12 @@ mod tests {
     #[test]
     fn iter_order_is_sorted() {
         let mut t = PrefixTrie::new();
-        for s in ["2001:db8:2::/48", "2001:db8::/32", "2001:db8:1::/48", "::/0"] {
+        for s in [
+            "2001:db8:2::/48",
+            "2001:db8::/32",
+            "2001:db8:1::/48",
+            "::/0",
+        ] {
             t.insert(p(s), ());
         }
         let got: Vec<Prefix> = t.iter().map(|(q, _)| q).collect();

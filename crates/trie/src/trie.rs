@@ -196,11 +196,7 @@ impl<V> PrefixTrie<V> {
         }
         // Reached p's node: any value at-or-below means intersection.
         fn subtree_nonempty<V>(n: &Node<V>) -> bool {
-            n.value.is_some()
-                || n.children
-                    .iter()
-                    .flatten()
-                    .any(|c| subtree_nonempty(c))
+            n.value.is_some() || n.children.iter().flatten().any(|c| subtree_nonempty(c))
         }
         subtree_nonempty(node)
     }
@@ -321,7 +317,10 @@ mod tests {
         t.insert(p("2001:db8:1::/48"), 1);
         t.insert(p("2001:db8:2::/48"), 2);
         t.insert(p("2001:db9::/32"), 3);
-        let inside: Vec<_> = t.iter_within(p("2001:db8::/32")).map(|(q, v)| (q, *v)).collect();
+        let inside: Vec<_> = t
+            .iter_within(p("2001:db8::/32"))
+            .map(|(q, v)| (q, *v))
+            .collect();
         assert_eq!(inside.len(), 3);
         assert!(inside.iter().all(|(q, _)| p("2001:db8::/32").covers(q)));
         assert!(t.iter_within(p("3000::/16")).next().is_none());

@@ -8,11 +8,10 @@ use std::net::Ipv6Addr;
 
 fn arb_prefix() -> impl Strategy<Value = Prefix> {
     // Cluster prefixes in a small space so covers/overlaps actually occur.
-    (0u128..64, 0u8..=8u8, any::<u128>())
-        .prop_map(|(hi, len_class, noise)| {
-            let len = len_class * 16; // 0,16,...,128
-            Prefix::from_bits((hi << 121) | (noise >> 7), len)
-        })
+    (0u128..64, 0u8..=8u8, any::<u128>()).prop_map(|(hi, len_class, noise)| {
+        let len = len_class * 16; // 0,16,...,128
+        Prefix::from_bits((hi << 121) | (noise >> 7), len)
+    })
 }
 
 /// Brute-force LPM over a map of prefixes.

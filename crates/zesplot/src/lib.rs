@@ -153,7 +153,10 @@ pub fn plot(mut entries: Vec<ZesEntry>, config: ZesConfig) -> ZesPlot {
             .then_with(|| a.prefix.cmp(&b.prefix))
     });
     let areas: Vec<f64> = if config.sized {
-        entries.iter().map(|e| area_weight(e.prefix.len())).collect()
+        entries
+            .iter()
+            .map(|e| area_weight(e.prefix.len()))
+            .collect()
     } else {
         vec![1.0; entries.len()]
     };

@@ -31,7 +31,12 @@ pub fn layout(areas: &[f64], w: f64, h: f64) -> Vec<Rect> {
     let scaled: Vec<f64> = areas.iter().map(|a| a.max(0.0) * scale).collect();
 
     let mut out: Vec<Rect> = Vec::with_capacity(n);
-    let mut free = Rect { x: 0.0, y: 0.0, w, h };
+    let mut free = Rect {
+        x: 0.0,
+        y: 0.0,
+        w,
+        h,
+    };
     let mut row: Vec<f64> = Vec::new();
     let mut i = 0usize;
 
@@ -167,6 +172,14 @@ mod tests {
     fn single() {
         let rects = layout(&[5.0], 30.0, 20.0);
         assert_eq!(rects.len(), 1);
-        assert_eq!(rects[0], Rect { x: 0.0, y: 0.0, w: 30.0, h: 20.0 });
+        assert_eq!(
+            rects[0],
+            Rect {
+                x: 0.0,
+                y: 0.0,
+                w: 30.0,
+                h: 20.0
+            }
+        );
     }
 }

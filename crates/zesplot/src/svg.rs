@@ -20,11 +20,7 @@ fn heat_color(value: f64, max: f64) -> String {
 /// a `<title>` tooltip with prefix, ASN and value.
 pub fn render_svg(plot: &ZesPlot) -> String {
     let cfg = &plot.config;
-    let max = plot
-        .entries
-        .iter()
-        .map(|e| e.value)
-        .fold(0.0f64, f64::max);
+    let max = plot.entries.iter().map(|e| e.value).fold(0.0f64, f64::max);
     let mut out = String::with_capacity(plot.entries.len() * 160 + 512);
     out.push_str(&format!(
         r#"<svg xmlns="http://www.w3.org/2000/svg" width="{:.0}" height="{:.0}" viewBox="0 0 {:.0} {:.0}">"#,

@@ -82,10 +82,9 @@ mod tests {
 
     #[test]
     fn parse_and_match() {
-        let bl = Blacklist::parse(
-            "# research network opt-outs\n2001:db8:bad::/48\n\n2a00:dead::/32\n",
-        )
-        .expect("valid file");
+        let bl =
+            Blacklist::parse("# research network opt-outs\n2001:db8:bad::/48\n\n2a00:dead::/32\n")
+                .expect("valid file");
         assert_eq!(bl.len(), 2);
         assert!(bl.contains("2001:db8:bad::1".parse().unwrap()));
         assert!(bl.contains("2a00:dead:beef::9".parse().unwrap()));

@@ -65,7 +65,7 @@ impl ReplyKind {
 }
 
 /// A probe module builds probes for targets and classifies replies.
-pub trait ProbeModule {
+pub trait ProbeModule: Send + Sync {
     /// Which service this module scans.
     fn protocol(&self) -> Protocol;
 
@@ -245,10 +245,7 @@ impl ProbeModule for DnsModule {
                 // destination from the invoking packet.
                 let orig = expanse_packet::Ipv6Header::parse(invoking).ok()?;
                 if v.fields(orig.dst).src_port
-                    == u16::from_be_bytes([
-                        *invoking.get(40)?,
-                        *invoking.get(41)?,
-                    ])
+                    == u16::from_be_bytes([*invoking.get(40)?, *invoking.get(41)?])
                 {
                     Some((orig.dst, ReplyKind::Unreachable { code: *code }))
                 } else {
@@ -329,7 +326,10 @@ mod tests {
     }
 
     fn pair() -> (Ipv6Addr, Ipv6Addr) {
-        ("2001:db8::1".parse().unwrap(), "2001:db8::2".parse().unwrap())
+        (
+            "2001:db8::1".parse().unwrap(),
+            "2001:db8::2".parse().unwrap(),
+        )
     }
 
     #[test]
@@ -340,14 +340,23 @@ mod tests {
         assert_eq!(probe.header.dst, dst);
         // Simulate the target echoing back.
         let (hdr, t) = Datagram::parse_transport(&probe.emit()).unwrap();
-        let Transport::Icmpv6(Icmpv6Message::EchoRequest { ident, seq, payload }) = t else {
+        let Transport::Icmpv6(Icmpv6Message::EchoRequest {
+            ident,
+            seq,
+            payload,
+        }) = t
+        else {
             panic!("not an echo request");
         };
         let reply = Datagram::icmpv6(
             dst,
             src,
             60,
-            Icmpv6Message::EchoReply { ident, seq, payload },
+            Icmpv6Message::EchoReply {
+                ident,
+                seq,
+                payload,
+            },
         );
         let (rhdr, rt) = Datagram::parse_transport(&reply.emit()).unwrap();
         let (target, kind) = m.classify(&rhdr, &rt, &v()).unwrap();
@@ -467,7 +476,13 @@ mod tests {
         let (rhdr, rt) = Datagram::parse_transport(&reply.emit()).unwrap();
         let (target, kind) = m.classify(&rhdr, &rt, &v()).unwrap();
         assert_eq!(target, dst);
-        assert_eq!(kind, ReplyKind::DnsResponse { rcode: 0, answers: 1 });
+        assert_eq!(
+            kind,
+            ReplyKind::DnsResponse {
+                rcode: 0,
+                answers: 1
+            }
+        );
         assert!(kind.is_positive());
     }
 

@@ -22,7 +22,7 @@ pub struct ProbeReply {
 }
 
 /// Result of scanning one protocol.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ScanResult {
     /// The scanned protocol.
     pub protocol: Protocol,
@@ -78,10 +78,41 @@ impl ScanResult {
             self.responsive_count() as f64 / self.sent as f64
         }
     }
+
+    /// Fold a same-protocol sub-shard result in: counters add, reply
+    /// maps union. Sub-shards partition the *positions* of the target
+    /// list, so for duplicate-free target lists the reply maps are
+    /// disjoint; if a target appears twice and its replies land in two
+    /// shards, the first-merged shard wins and the other reply counts
+    /// as a duplicate — mirroring the unsharded scan's first-reply-wins
+    /// accounting (`received == replies + duplicates + malformed +
+    /// unvalidated` stays intact).
+    ///
+    /// # Panics
+    /// Panics if `part` scanned a different protocol.
+    pub fn absorb_shard(&mut self, part: ScanResult) {
+        assert_eq!(
+            self.protocol, part.protocol,
+            "absorb_shard across protocols"
+        );
+        self.sent += part.sent;
+        self.blacklisted += part.blacklisted;
+        self.received += part.received;
+        self.malformed += part.malformed;
+        self.unvalidated += part.unvalidated;
+        self.duplicates += part.duplicates;
+        for (target, reply) in part.replies {
+            if let std::collections::hash_map::Entry::Vacant(e) = self.replies.entry(target) {
+                e.insert(reply);
+            } else {
+                self.duplicates += 1;
+            }
+        }
+    }
 }
 
 /// Merged results across protocols (the §6 battery).
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct MultiScanResult {
     /// Per-protocol scan results.
     pub by_protocol: HashMap<Protocol, ScanResult>,
@@ -114,6 +145,125 @@ impl MultiScanResult {
     /// Total probes sent across protocols.
     pub fn total_sent(&self) -> u64 {
         self.by_protocol.values().map(|r| r.sent).sum()
+    }
+
+    /// A canonical FNV-1a digest over every field of every reply, walked
+    /// in sorted order so hash-map iteration order cannot leak in. The
+    /// encoding is injective (variable-length fields are
+    /// length-prefixed), so equal results always produce equal digests
+    /// and unequal results collide only at ordinary 64-bit hash odds;
+    /// the fan-out determinism guard and the throughput bench compare
+    /// this.
+    /// Allocation-free per reply (runs once per virtual day over the
+    /// whole merged battery, so it must stay off the daily loop's back).
+    pub fn digest(&self) -> u64 {
+        let mut h = Fnv::new();
+        let mut protocols: Vec<Protocol> = self.by_protocol.keys().copied().collect();
+        protocols.sort();
+        // Count-prefix every list so the byte stream is self-delimiting
+        // (injectivity must not lean on unenforced counter invariants).
+        h.eat(&(protocols.len() as u64).to_le_bytes());
+        for p in protocols {
+            let r = &self.by_protocol[&p];
+            h.eat(&[p.index() as u8]);
+            for n in [
+                r.sent,
+                r.blacklisted,
+                r.received,
+                r.malformed,
+                r.unvalidated,
+                r.duplicates,
+            ] {
+                h.eat(&n.to_le_bytes());
+            }
+            let mut targets: Vec<Ipv6Addr> = r.replies.keys().copied().collect();
+            targets.sort();
+            h.eat(&(targets.len() as u64).to_le_bytes());
+            for t in targets {
+                let reply = &r.replies[&t];
+                h.eat(&t.octets());
+                h.eat(&reply.from.octets());
+                h.eat(&reply.at.0.to_le_bytes());
+                h.eat(&[reply.ttl]);
+                h.eat_kind(&reply.kind);
+            }
+        }
+        let mut addrs: Vec<Ipv6Addr> = self.responsive.keys().copied().collect();
+        addrs.sort();
+        h.eat(&(addrs.len() as u64).to_le_bytes());
+        for a in addrs {
+            h.eat(&a.octets());
+            h.eat(&[self.responsive[&a].0]);
+        }
+        h.0
+    }
+}
+
+/// FNV-1a folding with a structural (allocation-free) [`ReplyKind`]
+/// encoding: discriminant byte, then each field in declaration order,
+/// `Option`s as a presence byte + payload.
+struct Fnv(u64);
+
+impl Fnv {
+    fn new() -> Self {
+        Fnv(0xcbf2_9ce4_8422_2325)
+    }
+
+    fn eat(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+
+    /// Variable-length field: length-prefixed so adjacent fields cannot
+    /// alias across different splits of the same byte stream.
+    fn eat_var(&mut self, bytes: &[u8]) {
+        self.eat(&(bytes.len() as u64).to_le_bytes());
+        self.eat(bytes);
+    }
+
+    fn eat_kind(&mut self, kind: &ReplyKind) {
+        match kind {
+            ReplyKind::EchoReply => self.eat(&[0]),
+            ReplyKind::SynAck(info) => {
+                self.eat(&[1]);
+                self.eat_var(info.options_text.as_bytes());
+                match info.mss {
+                    Some(v) => {
+                        self.eat(&[1]);
+                        self.eat(&v.to_le_bytes());
+                    }
+                    None => self.eat(&[0]),
+                }
+                match info.wscale {
+                    Some(v) => self.eat(&[1, v]),
+                    None => self.eat(&[0]),
+                }
+                self.eat(&info.window.to_le_bytes());
+                match info.timestamps {
+                    Some((tsval, tsecr)) => {
+                        self.eat(&[1]);
+                        self.eat(&tsval.to_le_bytes());
+                        self.eat(&tsecr.to_le_bytes());
+                    }
+                    None => self.eat(&[0]),
+                }
+            }
+            ReplyKind::Rst => self.eat(&[2]),
+            ReplyKind::DnsResponse { rcode, answers } => {
+                self.eat(&[3, *rcode]);
+                self.eat(&answers.to_le_bytes());
+            }
+            ReplyKind::QuicVersionNegotiation { versions } => {
+                self.eat(&[4]);
+                self.eat(&(versions.len() as u64).to_le_bytes());
+                for v in versions {
+                    self.eat(&v.to_le_bytes());
+                }
+            }
+            ReplyKind::Unreachable { code } => self.eat(&[5, *code]),
+        }
     }
 }
 
@@ -165,7 +315,13 @@ mod tests {
         let mut dns = ScanResult::new(Protocol::Udp53);
         dns.replies.insert(
             "::1".parse().unwrap(),
-            reply("::1", ReplyKind::DnsResponse { rcode: 0, answers: 1 }),
+            reply(
+                "::1",
+                ReplyKind::DnsResponse {
+                    rcode: 0,
+                    answers: 1,
+                },
+            ),
         );
         m.merge(dns);
         let set = m.responsive[&"::1".parse::<Ipv6Addr>().unwrap()];

@@ -1,14 +1,76 @@
 //! The scan loop: permute targets, rate-limit sends, collect and
 //! validate replies.
+//!
+//! # The battery fan-out
+//!
+//! The multi-protocol battery ([`Scanner::scan_battery`]) is the
+//! pipeline's hot path: every virtual day re-probes the whole non-aliased
+//! hitlist once per protocol. It is decomposed into a **fixed grid of
+//! independent jobs** — one per `(protocol, sub-shard)` pair, the
+//! sub-shards carved by the same keyed permutation zmap uses for
+//! `--shards` — and each job runs against its own snapshot of the
+//! network starting from the same virtual instant. Because the
+//! decomposition is fixed by [`Fanout`] (not by the executing thread
+//! count), a worker pool ([`Scanner::scan_battery_parallel`]) and a
+//! sequential loop ([`Scanner::scan_battery_serial`]) produce
+//! **identical** [`MultiScanResult`]s; `tests/fanout_determinism.rs`
+//! in `expanse-core` holds that guarantee.
+//!
+//! The price of independence is deliberate: destination-side middlebox
+//! state (ICMP token buckets, SYN-proxy counters) is *private per job*,
+//! whereas real concurrent scanners share the destination's middleboxes.
+//! Each sub-shard therefore sees a fraction of the probe pressure —
+//! e.g. eight sub-shards give a rate-limited prefix eight private token
+//! buckets — so `shards_per_protocol` is a results-affecting modeling
+//! knob, not a free tuning parameter. The pipeline's paper-shape tests
+//! pin the default (8); change it only alongside them.
 
 use crate::blacklist::Blacklist;
 use crate::module::ProbeModule;
 use crate::permute::Permutation;
 use crate::results::{MultiScanResult, ProbeReply, ScanResult};
 use crate::validate::Validator;
-use expanse_netsim::{Duration, EventQueue, Network, Time};
+use expanse_netsim::{Duration, EventQueue, Network, SnapshotNetwork, Time};
 use expanse_packet::{Datagram, Protocol};
 use std::net::Ipv6Addr;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// How the multi-protocol battery decomposes and executes.
+///
+/// The decomposition (`shards_per_protocol`) fixes the *work grid* and
+/// therefore the results; `parallel` only chooses whether a worker pool
+/// or a sequential loop walks that grid.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Fanout {
+    /// Sub-shards each protocol pass is split into. Results depend on
+    /// this value (each sub-shard has its own virtual clock), so it is
+    /// part of the scan configuration, not an execution detail.
+    pub shards_per_protocol: u64,
+    /// Execute the grid on a worker pool sized to the machine. `false`
+    /// walks the identical grid serially — same results, one core.
+    pub parallel: bool,
+}
+
+impl Default for Fanout {
+    fn default() -> Self {
+        Fanout {
+            shards_per_protocol: 8,
+            parallel: true,
+        }
+    }
+}
+
+impl Fanout {
+    /// A serial executor over the same grid (for A/B determinism checks
+    /// and single-core baselines).
+    pub fn serial(self) -> Self {
+        Fanout {
+            parallel: false,
+            ..self
+        }
+    }
+}
 
 /// Scanner configuration.
 #[derive(Debug, Clone)]
@@ -25,6 +87,8 @@ pub struct ScanConfig {
     pub shard: (u64, u64),
     /// Never-probe prefixes (§10.1 scanning ethics).
     pub blacklist: Blacklist,
+    /// Battery decomposition and execution policy.
+    pub fanout: Fanout,
 }
 
 impl Default for ScanConfig {
@@ -36,6 +100,7 @@ impl Default for ScanConfig {
             cooldown: Duration::from_secs(5),
             shard: (0, 1),
             blacklist: Blacklist::new(),
+            fanout: Fanout::default(),
         }
     }
 }
@@ -80,40 +145,65 @@ impl<N: Network> Scanner<N> {
     /// Scan `targets` with one module. Probes are sent in permuted order
     /// at the configured rate; replies are validated statelessly.
     pub fn scan(&mut self, targets: &[Ipv6Addr], module: &dyn ProbeModule) -> ScanResult {
-        let validator = Validator::new(self.cfg.seed);
+        let (shard, shards) = self.cfg.shard;
+        let (result, end) = Self::scan_job(
+            &mut self.net,
+            &self.cfg,
+            self.clock,
+            targets,
+            module,
+            shard,
+            shards,
+        );
+        self.clock = end;
+        result
+    }
+
+    /// One scan job: the core rate-limited send/receive loop over shard
+    /// `shard` of `shards`, against `net`, starting at `start`. Pure in
+    /// its inputs — this is the unit the battery fan-out distributes.
+    fn scan_job<M: Network>(
+        net: &mut M,
+        cfg: &ScanConfig,
+        start: Time,
+        targets: &[Ipv6Addr],
+        module: &dyn ProbeModule,
+        shard: u64,
+        shards: u64,
+    ) -> (ScanResult, Time) {
+        let validator = Validator::new(cfg.seed);
         let mut result = ScanResult::new(module.protocol());
         if targets.is_empty() {
-            return result;
+            return (result, start);
         }
-        let perm = Permutation::new(targets.len() as u64, self.cfg.seed);
-        let gap = Duration(1_000_000_000 / self.cfg.rate_pps.max(1));
+        let perm = Permutation::new(targets.len() as u64, cfg.seed);
+        let gap = Duration(1_000_000_000 / cfg.rate_pps.max(1));
         let mut rx: EventQueue<Vec<u8>> = EventQueue::new();
-        let (shard, shards) = self.cfg.shard;
+        let mut clock = start;
 
         for idx in perm.shard(shard, shards) {
             let dst = targets[idx as usize];
-            if self.cfg.blacklist.contains(dst) {
+            if cfg.blacklist.contains(dst) {
                 result.blacklisted += 1;
                 continue;
             }
-            let probe = module.build(self.cfg.src, dst, &validator);
+            let probe = module.build(cfg.src, dst, &validator);
             result.sent += 1;
-            for d in self.net.inject(self.clock, &probe.emit()) {
+            for d in net.inject(clock, &probe.emit()) {
                 rx.push(d.at, d.frame);
             }
-            self.clock += gap;
+            clock += gap;
             // Drain replies that have arrived by now.
-            while let Some((at, frame)) = rx.pop_due(self.clock) {
+            while let Some((at, frame)) = rx.pop_due(clock) {
                 Self::receive(&mut result, module, &validator, at, &frame);
             }
         }
         // Cooldown drain.
-        let deadline = self.clock + self.cfg.cooldown;
+        let deadline = clock + cfg.cooldown;
         while let Some((at, frame)) = rx.pop_due(deadline) {
             Self::receive(&mut result, module, &validator, at, &frame);
         }
-        self.clock = deadline;
-        result
+        (result, deadline)
     }
 
     fn receive(
@@ -146,19 +236,148 @@ impl<N: Network> Scanner<N> {
             result.duplicates += 1;
         }
     }
+}
 
+impl<N: SnapshotNetwork + Sync> Scanner<N> {
     /// Run the paper's whole §6 battery over `targets`: one pass per
-    /// protocol, merged per-address.
+    /// protocol, each split into [`Fanout::shards_per_protocol`]
+    /// sub-shards, merged per-address. Dispatches to the parallel or
+    /// serial executor per `cfg.fanout.parallel`; both produce identical
+    /// results for the same configuration.
     pub fn scan_battery(
         &mut self,
         targets: &[Ipv6Addr],
         modules: &[Box<dyn ProbeModule>],
     ) -> MultiScanResult {
-        let mut multi = MultiScanResult::default();
-        for m in modules {
-            let r = self.scan(targets, m.as_ref());
-            multi.merge(r);
+        if self.cfg.fanout.parallel {
+            self.scan_battery_parallel(targets, modules)
+        } else {
+            self.scan_battery_serial(targets, modules)
         }
+    }
+
+    /// The battery grid, walked by one thread. Reference executor for
+    /// determinism checks and single-core baselines.
+    pub fn scan_battery_serial(
+        &mut self,
+        targets: &[Ipv6Addr],
+        modules: &[Box<dyn ProbeModule>],
+    ) -> MultiScanResult {
+        let grid = self.battery_grid(modules.len());
+        let mut cells: Vec<Option<(ScanResult, Time)>> = Vec::with_capacity(grid.len());
+        for &(m, job, jobs) in &grid {
+            let mut net = self.net.snapshot();
+            cells.push(Some(Self::scan_job(
+                &mut net,
+                &self.cfg,
+                self.clock,
+                targets,
+                modules[m].as_ref(),
+                job,
+                jobs,
+            )));
+        }
+        self.merge_battery(modules, cells)
+    }
+
+    /// The battery grid, walked by a worker pool sized to the machine.
+    /// Each worker claims cells off a shared counter; every cell clones
+    /// the network snapshot, so execution order cannot influence results.
+    pub fn scan_battery_parallel(
+        &mut self,
+        targets: &[Ipv6Addr],
+        modules: &[Box<dyn ProbeModule>],
+    ) -> MultiScanResult {
+        let grid = self.battery_grid(modules.len());
+        let workers = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+            .min(grid.len())
+            .max(1);
+        if workers == 1 {
+            // One worker = the serial walk, minus thread/Mutex overhead;
+            // results are identical by construction.
+            return self.scan_battery_serial(targets, modules);
+        }
+        let cells: Vec<Mutex<Option<(ScanResult, Time)>>> =
+            grid.iter().map(|_| Mutex::new(None)).collect();
+        let next = AtomicUsize::new(0);
+        let this: &Scanner<N> = self;
+        std::thread::scope(|s| {
+            for _ in 0..workers {
+                s.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(&(m, job, jobs)) = grid.get(i) else {
+                        break;
+                    };
+                    let mut net = this.net.snapshot();
+                    let out = Self::scan_job(
+                        &mut net,
+                        &this.cfg,
+                        this.clock,
+                        targets,
+                        modules[m].as_ref(),
+                        job,
+                        jobs,
+                    );
+                    *cells[i].lock().expect("cell lock") = Some(out);
+                });
+            }
+        });
+        let cells = cells
+            .into_iter()
+            .map(|c| c.into_inner().expect("cell lock"))
+            .collect();
+        self.merge_battery(modules, cells)
+    }
+
+    /// The fixed work grid: `(module index, sub-shard, total shards)`
+    /// cells, composing the configured zmap-level shard selection with
+    /// the fan-out's per-protocol sub-sharding. For outer selection
+    /// `(s, T)` and `J` sub-shards, sub-shard `j` walks permutation
+    /// positions `i` with `i ≡ s + T·j (mod T·J)` — a partition of the
+    /// outer shard's positions.
+    fn battery_grid(&self, n_modules: usize) -> Vec<(usize, u64, u64)> {
+        let (shard, shards) = self.cfg.shard;
+        let per = self.cfg.fanout.shards_per_protocol.max(1);
+        let mut grid = Vec::with_capacity(n_modules * per as usize);
+        for m in 0..n_modules {
+            for j in 0..per {
+                grid.push((m, shard + shards * j, shards * per));
+            }
+        }
+        grid
+    }
+
+    /// Fold the grid's cells into one [`MultiScanResult`], in module
+    /// order, summing counters and unioning the (disjoint) per-target
+    /// reply maps; the scanner clock advances to the slowest cell's end
+    /// time, like a barrier over parallel zmap processes.
+    fn merge_battery(
+        &mut self,
+        modules: &[Box<dyn ProbeModule>],
+        cells: Vec<Option<(ScanResult, Time)>>,
+    ) -> MultiScanResult {
+        let per = self.cfg.fanout.shards_per_protocol.max(1) as usize;
+        let mut multi = MultiScanResult::default();
+        let mut end = self.clock;
+        let mut cells = cells.into_iter();
+        for module in modules {
+            let mut merged = ScanResult::new(module.protocol());
+            for _ in 0..per {
+                // Every cell is filled by construction (worker panics
+                // propagate out of thread::scope); a hole here would
+                // silently drop a sub-shard's results, so fail loudly.
+                let (part, cell_end) = cells
+                    .next()
+                    .expect("battery grid shorter than modules × shards")
+                    .expect("battery cell left unfilled");
+                merged.absorb_shard(part);
+                end = end.max(cell_end);
+            }
+            multi.merge(merged);
+        }
+        self.clock = end;
         multi
     }
 }
@@ -294,6 +513,102 @@ mod tests {
         // Per-address protocol sets populated.
         let any = multi.responsive.iter().next().unwrap();
         assert!(any.1.len() >= 2, "{:?}", any);
+    }
+
+    #[test]
+    fn parallel_and_serial_battery_identical() {
+        let p48 = InternetModel::build(ModelConfig::tiny(21))
+            .population
+            .special
+            .cdn_hook_48s[0];
+        let targets: Vec<Ipv6Addr> = (0..200u64)
+            .map(|i| expanse_addr::keyed_random_addr(p48, i))
+            .collect();
+        let battery = crate::module::standard_battery();
+        let run = |parallel: bool| {
+            let model = InternetModel::build(ModelConfig::tiny(21));
+            let mut cfg = ScanConfig::default();
+            cfg.fanout.parallel = parallel;
+            let mut s = Scanner::new(model, cfg);
+            let multi = s.scan_battery(&targets, &battery);
+            (multi, s.now())
+        };
+        let (serial, serial_end) = run(false);
+        let (parallel, parallel_end) = run(true);
+        assert_eq!(serial, parallel, "fan-out must not change results");
+        assert_eq!(serial.digest(), parallel.digest());
+        assert_eq!(serial_end, parallel_end, "clock advance must match");
+        assert!(serial.total_sent() >= 200 * 5 - 100);
+    }
+
+    #[test]
+    fn battery_composes_with_outer_zmap_shards() {
+        // Multi-instance scanning: three scanner instances with
+        // shard=(s,3), each sub-sharded 4 ways. The composed grid
+        // (`shard + shards·j` of `shards·per`) must still partition the
+        // target set — every target probed exactly once per protocol
+        // across the instances, none double-probed or skipped.
+        let p48 = InternetModel::build(ModelConfig::tiny(21))
+            .population
+            .special
+            .cdn_hook_48s[0];
+        let targets: Vec<Ipv6Addr> = (0..41u64)
+            .map(|i| expanse_addr::keyed_random_addr(p48, i))
+            .collect();
+        let battery = crate::module::standard_battery();
+        let mut sent_per_protocol: std::collections::HashMap<Protocol, u64> =
+            std::collections::HashMap::new();
+        let mut seen: std::collections::HashMap<Protocol, Vec<Ipv6Addr>> =
+            std::collections::HashMap::new();
+        for shard in 0..3u64 {
+            let model = InternetModel::build(ModelConfig::tiny(21));
+            let mut cfg = ScanConfig {
+                shard: (shard, 3),
+                ..ScanConfig::default()
+            };
+            cfg.fanout.shards_per_protocol = 4;
+            let mut s = Scanner::new(model, cfg);
+            let multi = s.scan_battery(&targets, &battery);
+            for (p, r) in &multi.by_protocol {
+                *sent_per_protocol.entry(*p).or_default() += r.sent;
+                seen.entry(*p)
+                    .or_default()
+                    .extend(r.replies.keys().copied());
+            }
+        }
+        for (p, sent) in &sent_per_protocol {
+            assert_eq!(*sent, 41, "protocol {p:?} probes must partition");
+        }
+        for (p, replies) in &mut seen {
+            let before = replies.len();
+            replies.sort();
+            replies.dedup();
+            assert_eq!(before, replies.len(), "{p:?}: a target answered twice");
+        }
+    }
+
+    #[test]
+    fn battery_shards_partition_sends() {
+        // Whatever the sub-shard count, every target is probed exactly
+        // once per protocol (the grid partitions the permutation).
+        let p48 = InternetModel::build(ModelConfig::tiny(21))
+            .population
+            .special
+            .cdn_hook_48s[0];
+        let targets: Vec<Ipv6Addr> = (0..37u64)
+            .map(|i| expanse_addr::keyed_random_addr(p48, i))
+            .collect();
+        let battery = crate::module::standard_battery();
+        for shards in [1u64, 3, 8, 64] {
+            let model = InternetModel::build(ModelConfig::tiny(21));
+            let mut cfg = ScanConfig::default();
+            cfg.fanout.shards_per_protocol = shards;
+            let mut s = Scanner::new(model, cfg);
+            let multi = s.scan_battery(&targets, &battery);
+            for r in multi.by_protocol.values() {
+                assert_eq!(r.sent, 37, "shards={shards}");
+            }
+        }
     }
 
     #[test]

@@ -113,9 +113,6 @@ mod tests {
     #[test]
     fn secrets_differ() {
         let dst = addr("2001:db8::9");
-        assert_ne!(
-            Validator::new(1).fields(dst),
-            Validator::new(2).fields(dst)
-        );
+        assert_ne!(Validator::new(1).fields(dst), Validator::new(2).fields(dst));
     }
 }

@@ -23,18 +23,17 @@ fn main() {
     plan.extend(specials.cdn_hook_48s.iter().take(6));
 
     let mut apd = Apd::new(ApdConfig::default());
-    println!("probing {} prefixes with 16-way fan-out (ICMPv6 + TCP/80)...", plan.len());
+    println!(
+        "probing {} prefixes with 16-way fan-out (ICMPv6 + TCP/80)...",
+        plan.len()
+    );
     for day in 0..4u16 {
         scanner.network_mut().set_day(day);
         let report = apd.run_day(&mut scanner, &plan);
         println!(
             "day {day}: {} probes, {} prefixes full today",
             report.probes_sent,
-            report
-                .observations
-                .values()
-                .filter(|o| o.full())
-                .count()
+            report.observations.values().filter(|o| o.full()).count()
         );
     }
 

@@ -26,23 +26,26 @@ fn main() {
     // ---- Fig 2a: full-address fingerprints F9_32 ----------------------
     let min_addrs = 60; // scaled-down stand-in for the paper's 100
     let groups32 = fingerprints_by_32(&hitlist, 9, 32, min_addrs);
-    println!("/32 prefixes with ≥{min_addrs} addresses: {}", groups32.len());
-    let pairs: Vec<_> = groups32
-        .iter()
-        .map(|(p, f, _)| (*p, f.clone()))
-        .collect();
+    println!(
+        "/32 prefixes with ≥{min_addrs} addresses: {}",
+        groups32.len()
+    );
+    let pairs: Vec<_> = groups32.iter().map(|(p, f, _)| (*p, f.clone())).collect();
     let clustering = cluster_networks(&pairs, 12, None, 42);
-    println!("\n== Fig 2a: clusters of full-address fingerprints (k={}) ==", clustering.k);
+    println!(
+        "\n== Fig 2a: clusters of full-address fingerprints (k={}) ==",
+        clustering.k
+    );
     print!("{}", render_clusters(&clustering));
 
     // ---- Fig 2b: IID fingerprints F17_32 -------------------------------
     let groups_iid = fingerprints_by_32(&hitlist, 17, 32, min_addrs);
-    let pairs_iid: Vec<_> = groups_iid
-        .iter()
-        .map(|(p, f, _)| (*p, f.clone()))
-        .collect();
+    let pairs_iid: Vec<_> = groups_iid.iter().map(|(p, f, _)| (*p, f.clone())).collect();
     let clustering_iid = cluster_networks(&pairs_iid, 12, None, 42);
-    println!("\n== Fig 2b: clusters of IID fingerprints (k={}) ==", clustering_iid.k);
+    println!(
+        "\n== Fig 2b: clusters of IID fingerprints (k={}) ==",
+        clustering_iid.k
+    );
     print!("{}", render_clusters(&clustering_iid));
 
     // ---- zesplots -------------------------------------------------------
@@ -72,8 +75,7 @@ fn main() {
             ..ZesConfig::default()
         },
     );
-    std::fs::write("out/fig1c_hitlist_zesplot.svg", render_svg(&fig1c))
-        .expect("write fig1c");
+    std::fs::write("out/fig1c_hitlist_zesplot.svg", render_svg(&fig1c)).expect("write fig1c");
 
     // Fig 3b-style: BGP prefixes colored by dominant entropy cluster
     // (unsized plot).
@@ -100,8 +102,7 @@ fn main() {
             ..ZesConfig::default()
         },
     );
-    std::fs::write("out/fig3b_clusters_zesplot.svg", render_svg(&fig3b))
-        .expect("write fig3b");
+    std::fs::write("out/fig3b_clusters_zesplot.svg", render_svg(&fig3b)).expect("write fig3b");
 
     println!("\nwrote out/fig1c_hitlist_zesplot.svg and out/fig3b_clusters_zesplot.svg");
 }

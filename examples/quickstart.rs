@@ -31,10 +31,7 @@ fn main() {
     println!("{}", render_source_table(&rows, &total));
 
     println!("== de-aliasing (§5) ==");
-    println!(
-        "aliased prefixes detected: {}",
-        snap.aliased_prefixes.len()
-    );
+    println!("aliased prefixes detected: {}", snap.aliased_prefixes.len());
     println!(
         "hitlist: {} total -> {} after aliased-prefix filtering ({:.1}% removed)",
         snap.hitlist_total,

@@ -7,7 +7,10 @@ use expanse::model::{InternetModel, ModelConfig};
 use expanse::zmap6::{ScanConfig, Scanner};
 
 fn scanner(seed: u64) -> Scanner<InternetModel> {
-    Scanner::new(InternetModel::build(ModelConfig::tiny(seed)), ScanConfig::default())
+    Scanner::new(
+        InternetModel::build(ModelConfig::tiny(seed)),
+        ScanConfig::default(),
+    )
 }
 
 #[test]
@@ -48,7 +51,10 @@ fn rate_limited_120s_flap_across_days_and_window_stabilizes() {
     // rate limiting; the sliding window absorbs it.
     let mut s = scanner(502);
     let prefixes = s.network_mut().population.special.rate_limited.clone();
-    let mut apd = Apd::new(ApdConfig { window: 3, ..ApdConfig::default() });
+    let mut apd = Apd::new(ApdConfig {
+        window: 3,
+        ..ApdConfig::default()
+    });
     let mut day_bitmaps: Vec<u16> = Vec::new();
     for day in 0..6u16 {
         s.network_mut().set_day(day);
@@ -98,8 +104,10 @@ fn blacklist_suppresses_probes_end_to_end() {
     let hook = model.population.special.cdn_hook_48s[0];
     let mut bl = expanse::zmap6::Blacklist::new();
     bl.add(hook);
-    let mut cfg = ScanConfig::default();
-    cfg.blacklist = bl;
+    let cfg = ScanConfig {
+        blacklist: bl,
+        ..ScanConfig::default()
+    };
     let mut s = Scanner::new(model, cfg);
     let targets: Vec<_> = (0..20u64)
         .map(|i| expanse::addr::keyed_random_addr(hook, i))

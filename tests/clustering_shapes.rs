@@ -34,13 +34,12 @@ fn full_address_clustering_finds_handful_of_schemes() {
     // The cluster table must contain at least one low-entropy (counter)
     // profile and at least one high-entropy (random IID) profile.
     let has_low = clustering.clusters.iter().any(|c| {
-        let mean: f64 =
-            c.median_entropy.iter().sum::<f64>() / c.median_entropy.len() as f64;
+        let mean: f64 = c.median_entropy.iter().sum::<f64>() / c.median_entropy.len() as f64;
         mean < 0.25
     });
     let has_high = clustering.clusters.iter().any(|c| {
-        let iid_mean: f64 = c.median_entropy[8..].iter().sum::<f64>()
-            / (c.median_entropy.len() - 8) as f64;
+        let iid_mean: f64 =
+            c.median_entropy[8..].iter().sum::<f64>() / (c.median_entropy.len() - 8) as f64;
         iid_mean > 0.7
     });
     assert!(has_low, "no counter-style cluster found");
@@ -57,7 +56,11 @@ fn eui64_cluster_has_fffe_notch() {
         .into_iter()
         .filter(|a| expanse::addr::is_eui64(*a))
         .collect();
-    assert!(slaac.len() > 500, "too few SLAAC addresses: {}", slaac.len());
+    assert!(
+        slaac.len() > 500,
+        "too few SLAAC addresses: {}",
+        slaac.len()
+    );
     let groups = fingerprints_by_32(&slaac, 9, 32, 50);
     assert!(!groups.is_empty());
     for (_, f, _) in &groups {

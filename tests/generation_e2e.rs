@@ -43,8 +43,7 @@ fn both_generators_produce_valid_targets() {
 #[test]
 fn generators_overlap_little() {
     let (seeds, _model) = seeds_and_model();
-    let eip_targets: HashSet<Ipv6Addr> =
-        eip::train(&seeds).generate(800).into_iter().collect();
+    let eip_targets: HashSet<Ipv6Addr> = eip::train(&seeds).generate(800).into_iter().collect();
     let six_targets = sixgen::generate(
         &sixgen::grow_regions(&seeds, &sixgen::SixGenConfig::default()),
         800,

@@ -6,8 +6,10 @@ use expanse::model::{ModelConfig, SourceId};
 
 #[test]
 fn servers_outlive_cpe_over_a_week() {
-    let mut cfg = PipelineConfig::default();
-    cfg.trace_budget = 0; // keep days cheap; no new router addresses
+    let cfg = PipelineConfig {
+        trace_budget: 0, // keep days cheap; no new router addresses
+        ..PipelineConfig::default()
+    };
     let mut p = Pipeline::new(ModelConfig::tiny(3003), cfg);
     p.collect_sources(30);
     p.warmup_apd(3);
@@ -32,13 +34,18 @@ fn servers_outlive_cpe_over_a_week() {
     };
     // Paper: DL keeps ~98-99 % after two weeks; scamper drops to ~68 %.
     assert!(dl > 0.9, "DL survival {dl}");
-    assert!(scamper < dl, "scamper {scamper} should decay faster than DL {dl}");
+    assert!(
+        scamper < dl,
+        "scamper {scamper} should decay faster than DL {dl}"
+    );
 }
 
 #[test]
 fn survival_series_start_at_one_and_never_exceed_it() {
-    let mut cfg = PipelineConfig::default();
-    cfg.trace_budget = 0;
+    let cfg = PipelineConfig {
+        trace_budget: 0,
+        ..PipelineConfig::default()
+    };
     let mut p = Pipeline::new(ModelConfig::tiny(3004), cfg);
     p.collect_sources(30);
     p.warmup_apd(3);

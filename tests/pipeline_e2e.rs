@@ -6,8 +6,10 @@ use expanse::model::ModelConfig;
 use expanse::packet::Protocol;
 
 fn pipeline(seed: u64) -> Pipeline {
-    let mut cfg = PipelineConfig::default();
-    cfg.trace_budget = 25;
+    let cfg = PipelineConfig {
+        trace_budget: 25,
+        ..PipelineConfig::default()
+    };
     Pipeline::new(ModelConfig::tiny(seed), cfg)
 }
 
@@ -31,7 +33,12 @@ fn sources_to_service_files() {
 
     // Service artifacts are well-formed.
     let hitlist_file = service::hitlist_file(&snap);
-    assert!(hitlist_file.lines().count() == snap.responsive.len() + 1);
+    // Two provenance lines: counts + scan digest.
+    assert!(hitlist_file.lines().count() == snap.responsive.len() + 2);
+    assert!(
+        hitlist_file.contains(&format!("# scan digest {:016x}", snap.battery_digest)),
+        "digest stamp missing"
+    );
     let aliased_file = service::aliased_prefixes_file(&snap);
     // Aggregation merges detection-granularity siblings, so the file is
     // never longer than the raw detection list.

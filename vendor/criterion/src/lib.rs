@@ -1,0 +1,235 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Implements the macro and type surface the workspace's benches use —
+//! [`criterion_group!`], [`criterion_main!`], [`Criterion`],
+//! [`BenchmarkGroup`], [`Bencher::iter`], [`Bencher::iter_batched`],
+//! [`Throughput`], [`BatchSize`] — measuring wall-clock time with
+//! `std::time::Instant`. No statistics, plots, or comparisons: each
+//! benchmark prints one `name: <time>/iter (<rate>)` line, which is
+//! enough to track hot-path regressions by eye or by CI log diff.
+
+use std::time::{Duration, Instant};
+
+/// Measurement tuning shared by every benchmark in a run.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    /// Target time to spend measuring one benchmark.
+    measurement: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            measurement: Duration::from_millis(300),
+        }
+    }
+}
+
+/// Units for [`BenchmarkGroup::throughput`] rate reporting.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Batch sizing for [`Bencher::iter_batched`]; the stand-in always runs
+/// one setup per routine call, so the variants only document intent.
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One batch per iteration.
+    PerIteration,
+}
+
+/// The measurement handle passed to benchmark closures.
+pub struct Bencher<'a> {
+    measurement: Duration,
+    result: &'a mut Option<Duration>,
+}
+
+impl Bencher<'_> {
+    /// Measure `routine` repeatedly; records mean time per call.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // Warm up, then scale the iteration count to the target budget.
+        let t0 = Instant::now();
+        std::hint::black_box(routine());
+        let once = t0.elapsed().max(Duration::from_nanos(1));
+        let iters = (self.measurement.as_nanos() / once.as_nanos()).clamp(1, 1_000_000) as u64;
+        let t1 = Instant::now();
+        for _ in 0..iters {
+            std::hint::black_box(routine());
+        }
+        *self.result = Some(t1.elapsed() / iters.max(1) as u32);
+    }
+
+    /// Measure `routine` over fresh inputs from `setup`, excluding setup
+    /// time from the measurement.
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        let input = setup();
+        let t0 = Instant::now();
+        std::hint::black_box(routine(input));
+        let once = t0.elapsed().max(Duration::from_nanos(1));
+        let iters = (self.measurement.as_nanos() / once.as_nanos()).clamp(1, 10_000) as u64;
+        let mut total = Duration::ZERO;
+        for _ in 0..iters {
+            let input = setup();
+            let t = Instant::now();
+            std::hint::black_box(routine(input));
+            total += t.elapsed();
+        }
+        *self.result = Some(total / iters.max(1) as u32);
+    }
+}
+
+fn human(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.2} s", ns as f64 / 1e9)
+    }
+}
+
+fn report(name: &str, per_iter: Duration, throughput: Option<Throughput>) {
+    let rate = throughput.map(|t| {
+        let secs = per_iter.as_secs_f64().max(1e-12);
+        match t {
+            Throughput::Elements(n) => format!(" ({:.0} elem/s)", n as f64 / secs),
+            Throughput::Bytes(n) => format!(" ({:.0} B/s)", n as f64 / secs),
+        }
+    });
+    println!(
+        "{name}: {}/iter{}",
+        human(per_iter),
+        rate.unwrap_or_default()
+    );
+}
+
+impl Criterion {
+    /// Run one named benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut result = None;
+        f(&mut Bencher {
+            measurement: self.measurement,
+            result: &mut result,
+        });
+        if let Some(d) = result {
+            report(name, d, None);
+        }
+        self
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+            throughput: None,
+        }
+    }
+}
+
+/// A group of related benchmarks sharing a throughput annotation.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Annotate per-iteration throughput for rate reporting.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Run one named benchmark within the group.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut result = None;
+        f(&mut Bencher {
+            measurement: self.criterion.measurement,
+            result: &mut result,
+        });
+        if let Some(d) = result {
+            report(&format!("{}/{name}", self.name), d, self.throughput);
+        }
+        self
+    }
+
+    /// Close the group.
+    pub fn finish(self) {}
+}
+
+/// Declare a benchmark group function, criterion-style.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declare the bench harness `main`, criterion-style.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_reports() {
+        let mut c = Criterion {
+            measurement: Duration::from_millis(5),
+        };
+        let mut ran = 0u64;
+        c.bench_function("noop", |b| b.iter(|| std::hint::black_box(1 + 1)));
+        c.bench_function("count", |b| {
+            b.iter(|| {
+                ran += 1;
+                ran
+            })
+        });
+        assert!(ran > 0);
+    }
+
+    #[test]
+    fn group_with_throughput() {
+        let mut c = Criterion {
+            measurement: Duration::from_millis(5),
+        };
+        let mut g = c.benchmark_group("g");
+        g.throughput(Throughput::Elements(10));
+        g.bench_function("f", |b| {
+            b.iter_batched(|| vec![1u8; 16], |v| v.len(), BatchSize::SmallInput)
+        });
+        g.finish();
+    }
+}

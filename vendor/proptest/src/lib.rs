@@ -1,0 +1,383 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Implements the subset of the proptest API this workspace's property
+//! tests use: the [`proptest!`] macro, [`Strategy`] with `prop_map`,
+//! [`any`], range strategies, tuple strategies, [`Just`],
+//! [`prop_oneof!`], [`collection::vec`], and [`ProptestConfig`]. Cases
+//! are drawn from a deterministic RNG seeded by the test name, so runs
+//! are reproducible; there is no shrinking — a failing case panics with
+//! its assertion message directly.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SampleUniform, SeedableRng};
+
+/// The RNG driving case generation.
+pub type TestRng = StdRng;
+
+/// The case RNG for a named property (used by the `proptest!` macro).
+pub fn rng_for(name: &str) -> TestRng {
+    TestRng::seed_from_u64(seed_for(name))
+}
+
+/// Per-`proptest!` block configuration.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of cases to run per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// Deterministic seed for a property, derived from its name (FNV-1a).
+pub fn seed_for(name: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// A generator of values for one property argument.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Draw one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transform generated values.
+    fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Type-erase the strategy.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        Box::new(self)
+    }
+}
+
+/// A type-erased strategy.
+pub type BoxedStrategy<V> = Box<dyn Strategy<Value = V>>;
+
+impl<V> Strategy for BoxedStrategy<V> {
+    type Value = V;
+
+    fn generate(&self, rng: &mut TestRng) -> V {
+        (**self).generate(rng)
+    }
+}
+
+/// Output of [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// A strategy producing one fixed value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Full-domain strategy for primitive types; see [`any`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+impl<T: rand::Standard> Strategy for Any<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        rng.random::<T>()
+    }
+}
+
+/// A uniform value over `T`'s whole domain.
+pub fn any<T: rand::Standard>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+impl<T: SampleUniform + Clone> Strategy for std::ops::Range<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        rng.random_range(self.clone())
+    }
+}
+
+impl<T: SampleUniform + Clone> Strategy for std::ops::RangeInclusive<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        rng.random_range(self.clone())
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($($s:ident),+) => {
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($s,)+) = self;
+                ($($s.generate(rng),)+)
+            }
+        }
+    };
+}
+impl_tuple_strategy!(A);
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+impl_tuple_strategy!(A, B, C, D, E);
+impl_tuple_strategy!(A, B, C, D, E, F);
+impl_tuple_strategy!(A, B, C, D, E, F, G);
+impl_tuple_strategy!(A, B, C, D, E, F, G, H);
+impl_tuple_strategy!(A, B, C, D, E, F, G, H, I);
+impl_tuple_strategy!(A, B, C, D, E, F, G, H, I, J);
+impl_tuple_strategy!(A, B, C, D, E, F, G, H, I, J, K);
+impl_tuple_strategy!(A, B, C, D, E, F, G, H, I, J, K, L);
+
+/// Uniform choice between boxed alternatives; built by [`prop_oneof!`].
+pub struct Union<V> {
+    arms: Vec<BoxedStrategy<V>>,
+}
+
+impl<V> Union<V> {
+    /// Build from the (non-empty) list of alternatives.
+    pub fn new(arms: Vec<BoxedStrategy<V>>) -> Self {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        Union { arms }
+    }
+}
+
+impl<V> Strategy for Union<V> {
+    type Value = V;
+
+    fn generate(&self, rng: &mut TestRng) -> V {
+        let i = rng.random_range(0..self.arms.len());
+        self.arms[i].generate(rng)
+    }
+}
+
+/// Collection strategies.
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use rand::Rng;
+
+    /// Length specifications accepted by [`vec`]: an exact size, an
+    /// exclusive range, or an inclusive range.
+    pub trait IntoSizeRange {
+        /// Normalize to inclusive `(min, max)` bounds.
+        fn bounds(self) -> (usize, usize);
+    }
+
+    impl IntoSizeRange for usize {
+        fn bounds(self) -> (usize, usize) {
+            (self, self)
+        }
+    }
+
+    impl IntoSizeRange for std::ops::Range<usize> {
+        fn bounds(self) -> (usize, usize) {
+            (self.start, self.end.saturating_sub(1))
+        }
+    }
+
+    impl IntoSizeRange for std::ops::RangeInclusive<usize> {
+        fn bounds(self) -> (usize, usize) {
+            self.into_inner()
+        }
+    }
+
+    /// A `Vec` with length drawn from `len` and elements from `elem`.
+    pub struct VecStrategy<S> {
+        elem: S,
+        min: usize,
+        max: usize,
+    }
+
+    /// Strategy for vectors: `vec(element_strategy, length_spec)`.
+    pub fn vec<S: Strategy, L: IntoSizeRange>(elem: S, len: L) -> VecStrategy<S> {
+        let (min, max) = len.bounds();
+        VecStrategy { elem, min, max }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = if self.min >= self.max {
+                self.min
+            } else {
+                rng.random_range(self.min..=self.max)
+            };
+            (0..n).map(|_| self.elem.generate(rng)).collect()
+        }
+    }
+}
+
+/// Everything a property test module needs.
+pub mod prelude {
+    pub use crate::collection;
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest, Any, BoxedStrategy,
+        Just, ProptestConfig, Strategy,
+    };
+}
+
+/// Assert inside a property; panics with the formatted message.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Assert equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Assert inequality inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// Uniformly pick one of several strategies producing the same type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::Union::new(vec![
+            $(Box::new($arm) as $crate::BoxedStrategy<_>,)+
+        ])
+    };
+}
+
+/// The property-test harness macro. Each `fn name(arg in strategy, ...)`
+/// becomes a `#[test]` running `ProptestConfig::cases` random cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_body! { cfg = $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_body! { cfg = $crate::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_body {
+    (cfg = $cfg:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident ( $($arg:pat in $strat:expr),+ $(,)? ) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let __cfg: $crate::ProptestConfig = $cfg;
+            let mut __rng = $crate::rng_for(stringify!($name));
+            // The argument strategies, bundled as one tuple strategy.
+            let __strats = ($($strat,)+);
+            for __case in 0..__cfg.cases {
+                let __vals = $crate::Strategy::generate(&__strats, &mut __rng);
+                // Bodies may `return Ok(())` early, proptest-style; run
+                // each case in a Result-returning closure to allow it.
+                let __run = || -> ::std::result::Result<(), ::std::string::String> {
+                    let ($($arg,)+) = __vals;
+                    $body
+                    ::std::result::Result::Ok(())
+                };
+                if let ::std::result::Result::Err(__e) = __run() {
+                    panic!("proptest case {__case} failed: {__e}");
+                }
+            }
+        }
+    )*};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[derive(Debug, Clone, PartialEq)]
+    enum Pick {
+        A,
+        B(u16),
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(128))]
+
+        #[test]
+        fn ranges_respected(x in 5u32..10, y in 0u8..=3, f in 0.25f64..0.75) {
+            prop_assert!((5..10).contains(&x));
+            prop_assert!(y <= 3);
+            prop_assert!((0.25..0.75).contains(&f));
+        }
+
+        #[test]
+        fn map_and_tuple(v in (any::<u16>(), 1usize..4).prop_map(|(a, n)| vec![a; n])) {
+            prop_assert!(!v.is_empty() && v.len() < 4);
+            prop_assert!(v.iter().all(|&x| x == v[0]));
+        }
+
+        #[test]
+        fn oneof_hits_all_arms(p in prop_oneof![Just(Pick::A), any::<u16>().prop_map(Pick::B)]) {
+            match p {
+                Pick::A => {}
+                Pick::B(_) => {}
+            }
+        }
+
+        #[test]
+        fn vec_lengths(v in collection::vec(any::<u64>(), 0..5)) {
+            prop_assert!(v.len() < 5);
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let mut a = <TestRng as ::rand::SeedableRng>::seed_from_u64(seed_for("x"));
+        let mut b = <TestRng as ::rand::SeedableRng>::seed_from_u64(seed_for("x"));
+        let s = (any::<u64>(), 0u8..=16);
+        for _ in 0..32 {
+            assert_eq!(s.generate(&mut a), s.generate(&mut b));
+        }
+    }
+
+    use crate::{seed_for, Strategy, TestRng};
+}

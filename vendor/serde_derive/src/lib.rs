@@ -1,0 +1,51 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Emits empty impls of the vendored serde marker traits. Supports plain
+//! (non-generic) structs and enums, which is all the workspace derives
+//! on. Written against `proc_macro` directly so it builds without `syn`
+//! or `quote` (no network access in this environment).
+
+use proc_macro::{TokenStream, TokenTree};
+
+/// Find the type name: the identifier following `struct` or `enum`.
+fn type_name(input: TokenStream) -> Option<String> {
+    let mut saw_kw = false;
+    for tt in input {
+        match tt {
+            TokenTree::Ident(id) => {
+                let s = id.to_string();
+                if saw_kw {
+                    return Some(s);
+                }
+                if s == "struct" || s == "enum" {
+                    saw_kw = true;
+                }
+            }
+            _ => {
+                if saw_kw {
+                    // `struct` followed by a non-ident: malformed for us.
+                    return None;
+                }
+            }
+        }
+    }
+    None
+}
+
+/// Derive the `serde::Serialize` marker.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let name = type_name(input).expect("derive(Serialize) on a named struct/enum");
+    format!("impl ::serde::Serialize for {name} {{}}")
+        .parse()
+        .expect("valid impl block")
+}
+
+/// Derive the `serde::Deserialize` marker.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let name = type_name(input).expect("derive(Deserialize) on a named struct/enum");
+    format!("impl<'de> ::serde::Deserialize<'de> for {name} {{}}")
+        .parse()
+        .expect("valid impl block")
+}
