@@ -10,6 +10,14 @@
 //! the [`fanout`] module implements it deterministically so that repeated
 //! scans probe reproducible targets.
 //!
+//! The [`table`] and [`set`] modules hold the workspace's interned
+//! address store: [`AddrTable`] issues dense, stable [`AddrId`] handles
+//! for unique addresses, [`AddrSet`] is a sorted id run with linear-merge
+//! set algebra, and [`AddrMap`] is a self-interning columnar map. The
+//! layers above (hitlist, scan results, APD planning, entropy
+//! fingerprints) speak ids end-to-end instead of re-hashing
+//! `Ipv6Addr` keys per day.
+//!
 //! # Example
 //!
 //! ```
@@ -30,11 +38,15 @@ pub mod iter;
 pub mod mac;
 pub mod nybbles;
 pub mod prefix;
+pub mod set;
+pub mod table;
 
 pub use fanout::{fanout16, keyed_random_addr, FanoutTarget};
 pub use iter::AddrIter;
 pub use mac::MacAddr;
 pub use prefix::{Prefix, PrefixParseError};
+pub use set::AddrSet;
+pub use table::{AddrId, AddrMap, AddrTable};
 
 use std::net::Ipv6Addr;
 

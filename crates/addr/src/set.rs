@@ -1,0 +1,192 @@
+//! [`AddrSet`]: a sorted-run set of [`AddrId`]s.
+//!
+//! The hitlist layers pass address *collections* around constantly —
+//! the live hitlist, the APD-kept subset, per-source slices, baseline
+//! cohorts. As sorted runs of dense ids they cost 4 bytes per member,
+//! set algebra is a linear merge walk instead of hashing, and because
+//! ids are issued in insertion order, ascending-id iteration doubles as
+//! insertion-order iteration. Materializing concrete [`Ipv6Addr`]s is
+//! deferred to [`AddrSet::addrs`], which resolves against the owning
+//! [`AddrTable`] on demand.
+
+use crate::table::{AddrId, AddrTable};
+use std::net::Ipv6Addr;
+
+/// A set of interned addresses: strictly increasing run of ids.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct AddrSet {
+    ids: Vec<AddrId>,
+}
+
+impl AddrSet {
+    /// The empty set.
+    pub fn new() -> Self {
+        AddrSet::default()
+    }
+
+    /// Build from an already strictly-increasing id run.
+    ///
+    /// # Panics
+    /// Debug-panics if `ids` is not strictly increasing.
+    pub fn from_sorted(ids: Vec<AddrId>) -> Self {
+        debug_assert!(ids.windows(2).all(|w| w[0] < w[1]), "ids not sorted");
+        AddrSet { ids }
+    }
+
+    /// Build from ids in any order, with duplicates.
+    pub fn from_unsorted(mut ids: Vec<AddrId>) -> Self {
+        ids.sort_unstable();
+        ids.dedup();
+        AddrSet { ids }
+    }
+
+    /// Number of members.
+    pub fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// Is the set empty?
+    pub fn is_empty(&self) -> bool {
+        self.ids.is_empty()
+    }
+
+    /// Membership test (binary search).
+    pub fn contains(&self, id: AddrId) -> bool {
+        self.ids.binary_search(&id).is_ok()
+    }
+
+    /// The ids as a sorted slice.
+    pub fn as_slice(&self) -> &[AddrId] {
+        &self.ids
+    }
+
+    /// Iterate ids ascending (= table insertion order).
+    pub fn iter(&self) -> impl Iterator<Item = AddrId> + '_ {
+        self.ids.iter().copied()
+    }
+
+    /// Resolve members to concrete addresses against their table, in id
+    /// order, on demand.
+    pub fn addrs<'a>(&'a self, table: &'a AddrTable) -> impl Iterator<Item = Ipv6Addr> + 'a {
+        self.ids.iter().map(|&id| table.addr(id))
+    }
+
+    /// Set union (linear merge).
+    pub fn union(&self, other: &AddrSet) -> AddrSet {
+        let mut out = Vec::with_capacity(self.len() + other.len());
+        let (mut i, mut j) = (0, 0);
+        while i < self.ids.len() && j < other.ids.len() {
+            match self.ids[i].cmp(&other.ids[j]) {
+                std::cmp::Ordering::Less => {
+                    out.push(self.ids[i]);
+                    i += 1;
+                }
+                std::cmp::Ordering::Greater => {
+                    out.push(other.ids[j]);
+                    j += 1;
+                }
+                std::cmp::Ordering::Equal => {
+                    out.push(self.ids[i]);
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        out.extend_from_slice(&self.ids[i..]);
+        out.extend_from_slice(&other.ids[j..]);
+        AddrSet { ids: out }
+    }
+
+    /// Set intersection (linear merge).
+    pub fn intersect(&self, other: &AddrSet) -> AddrSet {
+        let mut out = Vec::new();
+        let (mut i, mut j) = (0, 0);
+        while i < self.ids.len() && j < other.ids.len() {
+            match self.ids[i].cmp(&other.ids[j]) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    out.push(self.ids[i]);
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        AddrSet { ids: out }
+    }
+
+    /// Set difference: members of `self` not in `other` (linear merge).
+    pub fn difference(&self, other: &AddrSet) -> AddrSet {
+        let mut out = Vec::new();
+        let (mut i, mut j) = (0, 0);
+        while i < self.ids.len() && j < other.ids.len() {
+            match self.ids[i].cmp(&other.ids[j]) {
+                std::cmp::Ordering::Less => {
+                    out.push(self.ids[i]);
+                    i += 1;
+                }
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        out.extend_from_slice(&self.ids[i..]);
+        AddrSet { ids: out }
+    }
+}
+
+impl FromIterator<AddrId> for AddrSet {
+    fn from_iter<I: IntoIterator<Item = AddrId>>(iter: I) -> Self {
+        AddrSet::from_unsorted(iter.into_iter().collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn set(ids: &[usize]) -> AddrSet {
+        AddrSet::from_unsorted(ids.iter().map(|&i| AddrId::from_index(i)).collect())
+    }
+
+    #[test]
+    fn construction_dedups_and_sorts() {
+        let s = set(&[5, 1, 3, 1, 5]);
+        assert_eq!(s.len(), 3);
+        let ids: Vec<usize> = s.iter().map(AddrId::index).collect();
+        assert_eq!(ids, vec![1, 3, 5]);
+        assert!(s.contains(AddrId::from_index(3)));
+        assert!(!s.contains(AddrId::from_index(2)));
+    }
+
+    #[test]
+    fn algebra() {
+        let a = set(&[1, 2, 3, 7]);
+        let b = set(&[2, 4, 7, 9]);
+        let u: Vec<usize> = a.union(&b).iter().map(AddrId::index).collect();
+        assert_eq!(u, vec![1, 2, 3, 4, 7, 9]);
+        let i: Vec<usize> = a.intersect(&b).iter().map(AddrId::index).collect();
+        assert_eq!(i, vec![2, 7]);
+        let d: Vec<usize> = a.difference(&b).iter().map(AddrId::index).collect();
+        assert_eq!(d, vec![1, 3]);
+        assert!(AddrSet::new().union(&AddrSet::new()).is_empty());
+    }
+
+    #[test]
+    fn resolves_against_table() {
+        let mut t = AddrTable::new();
+        let i1 = t.intern("2001:db8::1".parse().unwrap());
+        let i2 = t.intern("2001:db8::2".parse().unwrap());
+        let s: AddrSet = [i2, i1].into_iter().collect();
+        let addrs: Vec<std::net::Ipv6Addr> = s.addrs(&t).collect();
+        assert_eq!(
+            addrs,
+            vec![
+                "2001:db8::1".parse::<std::net::Ipv6Addr>().unwrap(),
+                "2001:db8::2".parse().unwrap()
+            ]
+        );
+    }
+}

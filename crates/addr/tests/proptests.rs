@@ -1,9 +1,11 @@
 //! Property-based tests for address primitives.
 
 use expanse_addr::{
-    addr_to_u128, fanout16, keyed_random_addr, nybbles, prefix::mask, u128_to_addr, Prefix,
+    addr_to_u128, fanout16, keyed_random_addr, nybbles, prefix::mask, u128_to_addr, AddrId,
+    AddrSet, AddrTable, Prefix,
 };
 use proptest::prelude::*;
+use std::collections::BTreeSet;
 use std::net::Ipv6Addr;
 
 fn arb_addr() -> impl Strategy<Value = Ipv6Addr> {
@@ -90,5 +92,60 @@ proptest! {
         let off = if p.is_default() { off } else { off % p.size() };
         let a = p.addr_at(off);
         prop_assert_eq!(p.offset_of(a), Some(off));
+    }
+
+    // ---- interned address store -------------------------------------
+
+    #[test]
+    fn interner_roundtrips_u128_addr_id(vals in proptest::collection::vec(any::<u128>(), 0..200)) {
+        let mut table = AddrTable::new();
+        for &v in &vals {
+            let a = u128_to_addr(v);
+            let id = table.intern(a);
+            // u128 ↔ Ipv6Addr ↔ AddrId all resolve back to each other.
+            prop_assert_eq!(table.bits(id), v);
+            prop_assert_eq!(table.addr(id), a);
+            prop_assert_eq!(table.lookup(a), Some(id));
+            prop_assert_eq!(table.lookup_u128(v), Some(id));
+        }
+    }
+
+    #[test]
+    fn interner_stable_under_duplicate_inserts(vals in proptest::collection::vec(0u128..64, 0..200)) {
+        // Small value domain forces heavy duplication.
+        let mut table = AddrTable::new();
+        let first: Vec<AddrId> = vals.iter().map(|&v| table.intern_u128(v).0).collect();
+        let len = table.len();
+        let second: Vec<AddrId> = vals.iter().map(|&v| table.intern_u128(v).0).collect();
+        prop_assert_eq!(&first, &second, "re-interning must return identical ids");
+        prop_assert_eq!(table.len(), len, "re-interning must not grow the table");
+        // Ids are dense and agree with a BTreeSet of uniques.
+        let uniq: BTreeSet<u128> = vals.iter().copied().collect();
+        prop_assert_eq!(table.len(), uniq.len());
+        for id in first {
+            prop_assert!(id.index() < table.len());
+        }
+    }
+
+    #[test]
+    fn addr_set_matches_btreeset_oracle(
+        xs in proptest::collection::vec(0usize..80, 0..120),
+        ys in proptest::collection::vec(0usize..80, 0..120),
+        probe in 0usize..100,
+    ) {
+        let set = |v: &[usize]| -> AddrSet {
+            v.iter().map(|&i| AddrId::from_index(i)).collect()
+        };
+        let oracle = |v: &[usize]| -> BTreeSet<usize> { v.iter().copied().collect() };
+        let (sa, sb) = (set(&xs), set(&ys));
+        let (oa, ob) = (oracle(&xs), oracle(&ys));
+        let ids = |s: &AddrSet| -> Vec<usize> { s.iter().map(AddrId::index).collect() };
+        let sorted = |o: &BTreeSet<usize>| -> Vec<usize> { o.iter().copied().collect() };
+        prop_assert_eq!(ids(&sa), sorted(&oa), "construction dedups + sorts");
+        prop_assert_eq!(ids(&sa.union(&sb)), sorted(&oa.union(&ob).copied().collect()));
+        prop_assert_eq!(ids(&sa.intersect(&sb)), sorted(&oa.intersection(&ob).copied().collect()));
+        prop_assert_eq!(ids(&sa.difference(&sb)), sorted(&oa.difference(&ob).copied().collect()));
+        prop_assert_eq!(sa.contains(AddrId::from_index(probe)), oa.contains(&probe));
+        prop_assert_eq!(sa.len(), oa.len());
     }
 }

@@ -8,7 +8,7 @@
 //! children non-aliased (or vice versa); LPM ensures the most specific
 //! verdict wins per address.
 
-use expanse_addr::Prefix;
+use expanse_addr::{AddrSet, AddrTable, Prefix};
 use expanse_trie::PrefixTrie;
 use std::net::Ipv6Addr;
 
@@ -64,6 +64,23 @@ impl AliasFilter {
             }
         }
         (kept, removed)
+    }
+
+    /// Split an interned hitlist into (kept, removed) id sets. Both
+    /// outputs preserve ascending-id (= insertion) order, so targets
+    /// materialized from `kept` are byte-identical to the slice-based
+    /// [`AliasFilter::split`] over the same addresses.
+    pub fn split_set(&self, table: &AddrTable, ids: &AddrSet) -> (AddrSet, AddrSet) {
+        let mut kept = Vec::new();
+        let mut removed = Vec::new();
+        for id in ids.iter() {
+            if self.is_aliased(table.addr(id)) {
+                removed.push(id);
+            } else {
+                kept.push(id);
+            }
+        }
+        (AddrSet::from_sorted(kept), AddrSet::from_sorted(removed))
     }
 
     /// Number of aliased prefixes in the filter.
@@ -124,5 +141,21 @@ mod tests {
     fn empty_filter_keeps_everything() {
         let f = AliasFilter::default();
         assert!(!f.is_aliased("::1".parse().unwrap()));
+    }
+
+    #[test]
+    fn split_set_matches_slice_split() {
+        let f = AliasFilter::new(["2001:db8::/32".parse().unwrap()]);
+        let addrs: Vec<Ipv6Addr> = vec![
+            "2001:db8::1".parse().unwrap(),
+            "2a00::1".parse().unwrap(),
+            "2001:db8:ffff::2".parse().unwrap(),
+        ];
+        let mut table = AddrTable::new();
+        let ids: AddrSet = addrs.iter().map(|&a| table.intern(a)).collect();
+        let (kept_ids, removed_ids) = f.split_set(&table, &ids);
+        let (kept, removed) = f.split(&addrs);
+        assert_eq!(kept_ids.addrs(&table).collect::<Vec<_>>(), kept);
+        assert_eq!(removed_ids.addrs(&table).collect::<Vec<_>>(), removed);
     }
 }

@@ -5,7 +5,7 @@
 //! (100) known addresses — exempting /64s so every known /64 is analyzed
 //! — and separately probes BGP-announced prefixes as announced.
 
-use expanse_addr::Prefix;
+use expanse_addr::{AddrSet, AddrTable, Prefix};
 use std::collections::HashMap;
 use std::net::Ipv6Addr;
 
@@ -33,18 +33,43 @@ impl Default for PlanConfig {
     }
 }
 
-/// Build the target-based probe plan for a hitlist.
-pub fn plan_targets(hitlist: &[Ipv6Addr], cfg: &PlanConfig) -> Vec<Prefix> {
+/// The probed levels for a configuration: `min_level..=max_level` in
+/// `step`-bit increments.
+fn levels(cfg: &PlanConfig) -> Vec<u8> {
     assert!(cfg.step > 0 && cfg.min_level <= cfg.max_level);
-    let mut counts: HashMap<Prefix, usize> = HashMap::new();
+    let mut out = Vec::new();
     let mut level = cfg.min_level;
     while level <= cfg.max_level {
-        for &a in hitlist {
-            *counts.entry(Prefix::new(a, level)).or_insert(0) += 1;
-        }
+        out.push(level);
         level = level.saturating_add(cfg.step);
         if level == cfg.max_level.saturating_add(cfg.step) {
             break;
+        }
+    }
+    out
+}
+
+/// Build the target-based probe plan for a hitlist given as an address
+/// slice.
+pub fn plan_targets(hitlist: &[Ipv6Addr], cfg: &PlanConfig) -> Vec<Prefix> {
+    plan_targets_iter(hitlist.iter().copied(), cfg)
+}
+
+/// Build the target-based probe plan straight off the interned store:
+/// the pipeline passes its [`AddrTable`] and the live [`AddrSet`]
+/// instead of materializing an owned address vector every day.
+pub fn plan_targets_set(table: &AddrTable, ids: &AddrSet, cfg: &PlanConfig) -> Vec<Prefix> {
+    plan_targets_iter(ids.addrs(table), cfg)
+}
+
+fn plan_targets_iter(hitlist: impl Iterator<Item = Ipv6Addr>, cfg: &PlanConfig) -> Vec<Prefix> {
+    let levels = levels(cfg);
+    let mut counts: HashMap<Prefix, usize> = HashMap::new();
+    // One pass over the addresses, all levels per address: same counts
+    // as a per-level sweep, one address-stream walk.
+    for a in hitlist {
+        for &level in &levels {
+            *counts.entry(Prefix::new(a, level)).or_insert(0) += 1;
         }
     }
     let mut out: Vec<Prefix> = counts
@@ -140,5 +165,19 @@ mod tests {
     #[test]
     fn empty_hitlist_empty_plan() {
         assert!(plan_targets(&[], &PlanConfig::default()).is_empty());
+    }
+
+    #[test]
+    fn set_and_slice_plans_agree() {
+        let addrs: Vec<_> = (0..150u128)
+            .map(|i| u128_to_addr((0x2001_0db8u128 << 96) | (i << 24)))
+            .collect();
+        let mut table = AddrTable::new();
+        let ids: AddrSet = addrs.iter().map(|&a| table.intern(a)).collect();
+        let cfg = PlanConfig::default();
+        assert_eq!(
+            plan_targets_set(&table, &ids, &cfg),
+            plan_targets(&addrs, &cfg)
+        );
     }
 }

@@ -8,7 +8,7 @@ use expanse_addr::{fanout16, keyed_random_addr, u128_to_addr, Prefix};
 use expanse_entropy::Fingerprint;
 use expanse_model::{InternetModel, ModelConfig};
 use expanse_netsim::{Network, Time};
-use expanse_packet::{Datagram, Icmpv6Message, TcpSegment};
+use expanse_packet::{Datagram, Icmpv6Message, Protocol, TcpSegment};
 use expanse_trie::PrefixTrie;
 use expanse_zmap6::{module::IcmpEchoModule, Permutation, ScanConfig, Scanner};
 use std::net::Ipv6Addr;
@@ -202,6 +202,115 @@ fn bench_battery_fanout(c: &mut Criterion) {
     g.finish();
 }
 
+fn bench_addr_store(c: &mut Criterion) {
+    // The PR 2 hot path: the daily merge (per-protocol responder lists
+    // → per-address protocol set, then hand the map to the snapshot)
+    // and the responsiveness pass, hashmap-style vs the interned
+    // columnar store. Same inputs, same outputs; only the container
+    // changes.
+    use expanse_addr::{addr_to_u128, AddrId, AddrMap, AddrTable};
+    use expanse_packet::ProtoSet;
+    use std::collections::HashMap;
+
+    const N: u64 = 20_000;
+    // Five protocol passes with overlapping responder sets (every 2nd,
+    // 3rd, ... address answers), like a real battery day.
+    let passes: Vec<(Protocol, Vec<Ipv6Addr>)> = Protocol::ALL
+        .iter()
+        .enumerate()
+        .map(|(i, &p)| {
+            let step = i as u64 + 2;
+            let addrs: Vec<Ipv6Addr> = (0..N)
+                .filter(|a| a % step == 0)
+                .map(|a| u128_to_addr((0x2001_0db8u128 << 96) | u128::from(a)))
+                .collect();
+            (p, addrs)
+        })
+        .collect();
+    let mut g = c.benchmark_group("addr_store");
+    g.throughput(Throughput::Elements(
+        passes.iter().map(|(_, v)| v.len() as u64).sum(),
+    ));
+    g.bench_function("daily_merge_hashmap", |b| {
+        b.iter(|| {
+            let mut resp: HashMap<Ipv6Addr, ProtoSet> = HashMap::new();
+            for (proto, addrs) in &passes {
+                for &a in addrs {
+                    let e = resp.entry(a).or_insert(ProtoSet::EMPTY);
+                    *e = e.with(*proto);
+                }
+            }
+            // The seed's snapshot handoff: clone the whole map.
+            let copy = resp.clone();
+            (resp.len(), copy.len())
+        })
+    });
+    g.bench_function("daily_merge_columnar", |b| {
+        b.iter(|| {
+            let mut resp: AddrMap<ProtoSet> = AddrMap::new();
+            for (proto, addrs) in &passes {
+                for &a in addrs {
+                    let e = resp.entry_or(a, ProtoSet::EMPTY);
+                    *e = e.with(*proto);
+                }
+            }
+            // The columnar handoff: the snapshot takes ownership.
+            let copy = std::mem::take(&mut resp);
+            (resp.len(), copy.len())
+        })
+    });
+    // Responsiveness pass over the merged day: hash-probed map updates
+    // vs dense id resolution + a column write.
+    let mut merged: AddrMap<ProtoSet> = AddrMap::new();
+    for (proto, addrs) in &passes {
+        for &a in addrs {
+            let e = merged.entry_or(a, ProtoSet::EMPTY);
+            *e = e.with(*proto);
+        }
+    }
+    let mut hitlist_table = AddrTable::new();
+    for a in 0..N {
+        hitlist_table.intern_u128((0x2001_0db8u128 << 96) | u128::from(a));
+    }
+    let members: HashMap<u128, ()> = (0..N)
+        .map(|a| ((0x2001_0db8u128 << 96) | u128::from(a), ()))
+        .collect();
+    g.throughput(Throughput::Elements(merged.len() as u64));
+    // The seed's last-responsive map was long-lived (accumulating across
+    // days); pre-populate it so the timed region is the steady-state
+    // daily cost — probes and updates — not map construction.
+    let mut last_hash: HashMap<u128, u16> = merged.keys().map(|a| (addr_to_u128(a), 6)).collect();
+    g.bench_function("responsiveness_hashmap", |b| {
+        b.iter(|| {
+            let mut touched = 0usize;
+            for a in merged.keys() {
+                let key = addr_to_u128(a);
+                if members.contains_key(&key) {
+                    let e = last_hash.entry(key).or_insert(7);
+                    *e = (*e).max(7);
+                    touched += 1;
+                }
+            }
+            touched
+        })
+    });
+    let mut last_col: Vec<u16> = vec![u16::MAX; hitlist_table.len()];
+    g.bench_function("responsiveness_columnar", |b| {
+        b.iter(|| {
+            let mut day_pass: Vec<AddrId> = merged
+                .keys()
+                .filter_map(|a| hitlist_table.lookup(a))
+                .collect();
+            day_pass.sort_unstable();
+            for id in &day_pass {
+                last_col[id.index()] = 7;
+            }
+            day_pass.len()
+        })
+    });
+    g.finish();
+}
+
 criterion_group!(
     benches,
     bench_trie,
@@ -212,6 +321,7 @@ criterion_group!(
     bench_packet,
     bench_permutation,
     bench_scanner,
-    bench_battery_fanout
+    bench_battery_fanout,
+    bench_addr_store
 );
 criterion_main!(benches);

@@ -71,7 +71,7 @@ fn main() {
         }
         scale = Some(Scale::Small);
         ids.extend(
-            ["table2", "fig2a", "table3", "fig7"]
+            ["table2", "fig2a", "table3", "fig7", "bench-pipeline"]
                 .iter()
                 .map(|s| s.to_string()),
         );

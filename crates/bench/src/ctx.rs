@@ -96,9 +96,10 @@ impl Ctx {
         InternetModel::build(self.scale.model_config(self.seed))
     }
 
-    /// The full hitlist address vector (clone of the shared pipeline's).
+    /// The full hitlist address vector (materialized from the shared
+    /// pipeline's interned store, insertion order).
     pub fn hitlist_addrs(&mut self) -> Vec<Ipv6Addr> {
-        self.pipeline().hitlist.addrs().to_vec()
+        self.pipeline().hitlist.iter().collect()
     }
 
     /// The shared hitlist by reference.

@@ -1,7 +1,9 @@
 //! §4 experiments: entropy clustering (Figures 2a, 2b, 3a, 3b).
 
 use crate::ctx::{header, pct, Ctx};
-use expanse_entropy::{cluster_networks, fingerprints_by_32, render_clusters, Clustering};
+use expanse_entropy::{
+    cluster_networks, fingerprints_by_32, fingerprints_by_32_set, render_clusters, Clustering,
+};
 use expanse_model::Asn;
 use expanse_zesplot::{plot, render_svg, ZesConfig, ZesEntry};
 use std::collections::HashMap;
@@ -32,10 +34,15 @@ pub fn fig2a(ctx: &mut Ctx) -> String {
         "Fig 2a",
     );
     let min = ctx.scale.min_cluster_addrs();
-    let addrs = ctx.hitlist_addrs();
-    let groups = fingerprints_by_32(&addrs, 9, 32, min);
+    let seed = ctx.seed;
+    // Fingerprint straight off the interned store: no owned address
+    // vector, buckets are 4-byte id runs against the shared table.
+    let groups = {
+        let h = ctx.hitlist();
+        fingerprints_by_32_set(h.table(), &h.live_set(), 9, 32, min)
+    };
     let pairs: Vec<_> = groups.iter().map(|(p, f, _)| (*p, f.clone())).collect();
-    let c = cluster_networks(&pairs, 12, None, ctx.seed);
+    let c = cluster_networks(&pairs, 12, None, seed);
     out.push_str(&cluster_report(
         &c,
         "expected motifs: a dominant near-zero-entropy counter cluster, a structured \
@@ -45,7 +52,7 @@ pub fn fig2a(ctx: &mut Ctx) -> String {
     ));
     // The paper picked k = 6 from visual elbow inspection; show the same
     // fixed-k view for motif-by-motif comparison.
-    let c6 = cluster_networks(&pairs, 12, Some(6), ctx.seed);
+    let c6 = cluster_networks(&pairs, 12, Some(6), seed);
     out.push_str("\nfixed k = 6 (the paper's choice):\n");
     out.push_str(&render_clusters(&c6));
     // Motif check: the most popular cluster should be low-entropy.
@@ -65,22 +72,28 @@ pub fn fig2b(ctx: &mut Ctx) -> String {
         "Fig 2b",
     );
     let min = ctx.scale.min_cluster_addrs();
-    let addrs = ctx.hitlist_addrs();
-    let full_groups = fingerprints_by_32(&addrs, 9, 32, min);
+    let seed = ctx.seed;
+    let (full_groups, groups) = {
+        let h = ctx.hitlist();
+        let live = h.live_set();
+        (
+            fingerprints_by_32_set(h.table(), &live, 9, 32, min),
+            fingerprints_by_32_set(h.table(), &live, 17, 32, min),
+        )
+    };
     let full_pairs: Vec<_> = full_groups
         .iter()
         .map(|(p, f, _)| (*p, f.clone()))
         .collect();
-    let k_full = cluster_networks(&full_pairs, 12, None, ctx.seed).k;
-    let groups = fingerprints_by_32(&addrs, 17, 32, min);
+    let k_full = cluster_networks(&full_pairs, 12, None, seed).k;
     let pairs: Vec<_> = groups.iter().map(|(p, f, _)| (*p, f.clone())).collect();
-    let c = cluster_networks(&pairs, 12, None, ctx.seed);
+    let c = cluster_networks(&pairs, 12, None, seed);
     out.push_str(&cluster_report(
         &c,
         "IID-only fingerprints collapse network-half structure",
         4,
     ));
-    let c4 = cluster_networks(&pairs, 12, Some(4), ctx.seed);
+    let c4 = cluster_networks(&pairs, 12, Some(4), seed);
     out.push_str("\nfixed k = 4 (the paper's choice):\n");
     out.push_str(&render_clusters(&c4));
     out.push_str(&format!(

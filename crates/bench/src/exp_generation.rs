@@ -87,8 +87,8 @@ pub fn table7_fig9(ctx: &mut Ctx, fig9: bool) -> String {
     let eip_multi = p.scanner.scan_battery(&eip_targets, &battery);
     let six_multi = p.scanner.scan_battery(&six_targets, &battery);
 
-    let eip_resp: HashMap<Ipv6Addr, ProtoSet> = eip_multi.responsive.clone();
-    let six_resp: HashMap<Ipv6Addr, ProtoSet> = six_multi.responsive.clone();
+    let eip_resp = &eip_multi.responsive;
+    let six_resp = &six_multi.responsive;
     out.push_str(&format!(
         "responsive: Entropy/IP {} ({}), 6Gen {} ({})   (paper: 278k vs 489k, 0.3% overall)\n",
         eip_resp.len(),
@@ -96,21 +96,18 @@ pub fn table7_fig9(ctx: &mut Ctx, fig9: bool) -> String {
         six_resp.len(),
         pct(six_resp.len() as f64 / six_targets.len().max(1) as f64),
     ));
-    let resp_overlap = six_resp
-        .keys()
-        .filter(|a| eip_resp.contains_key(*a))
-        .count();
+    let resp_overlap = six_resp.keys().filter(|a| eip_resp.contains(*a)).count();
     out.push_str(&format!(
         "responsive overlap: {resp_overlap} (paper: 17k of 785k, higher hit rate on overlap)\n\n",
     ));
 
     if !fig9 {
         // Table 7: top-5 protocol combinations per tool.
-        let combos = |resp: &HashMap<Ipv6Addr, ProtoSet>| -> Counter<u8> {
+        let combos = |resp: &expanse_addr::AddrMap<ProtoSet>| -> Counter<u8> {
             resp.values().map(|s| s.0).collect()
         };
-        let ec = combos(&eip_resp);
-        let sc = combos(&six_resp);
+        let ec = combos(eip_resp);
+        let sc = combos(six_resp);
         let mut all_keys: Vec<u8> = ec
             .iter()
             .map(|(k, _)| *k)
@@ -136,7 +133,7 @@ pub fn table7_fig9(ctx: &mut Ctx, fig9: bool) -> String {
             "\n(paper's top row: ICMP-only — 66.8% of 6Gen vs 41.1% of Entropy/IP;\n\
              Entropy/IP responders are ~3x more likely to be DNS servers)\n",
         );
-        let dns_share = |resp: &HashMap<Ipv6Addr, ProtoSet>| {
+        let dns_share = |resp: &expanse_addr::AddrMap<ProtoSet>| {
             resp.values()
                 .filter(|s| s.contains(Protocol::Udp53))
                 .count() as f64
@@ -144,8 +141,8 @@ pub fn table7_fig9(ctx: &mut Ctx, fig9: bool) -> String {
         };
         out.push_str(&format!(
             "DNS share: Entropy/IP {} vs 6Gen {}\n",
-            pct(dns_share(&eip_resp)),
-            pct(dns_share(&six_resp))
+            pct(dns_share(eip_resp)),
+            pct(dns_share(six_resp))
         ));
     } else {
         // Fig 9: concentration curves over ASes and prefixes.
@@ -157,11 +154,11 @@ pub fn table7_fig9(ctx: &mut Ctx, fig9: bool) -> String {
         }
         out.push('\n');
         let mut as_sets: HashMap<&str, HashSet<u32>> = HashMap::new();
-        for (name, resp) in [("Entropy/IP", &eip_resp), ("6Gen", &six_resp)] {
+        for (name, resp) in [("Entropy/IP", eip_resp), ("6Gen", six_resp)] {
             let mut by_as: Counter<u32> = Counter::new();
             let mut by_pfx: Counter<(u128, u8)> = Counter::new();
             for a in resp.keys() {
-                if let Some((px, asn)) = model.bgp.lookup(*a) {
+                if let Some((px, asn)) = model.bgp.lookup(a) {
                     by_as.push(asn.0);
                     by_pfx.push((px.bits(), px.len()));
                     as_sets.entry(name).or_default().insert(asn.0);

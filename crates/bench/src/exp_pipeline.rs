@@ -1,0 +1,178 @@
+//! Pipeline throughput bench: the daily merge + responsiveness pass,
+//! hashmap-style vs columnar, plus battery and APD-plan throughput.
+//!
+//! Not a paper artifact — this is the perf trajectory of the system
+//! itself. Besides the rendered report it writes
+//! `BENCH_pipeline.json` (machine-readable, uploaded by CI) so the
+//! numbers can be tracked across PRs.
+
+use crate::ctx::{header, Ctx};
+use expanse_addr::{addr_to_u128, AddrId, AddrMap};
+use expanse_packet::ProtoSet;
+use std::collections::HashMap;
+use std::hint::black_box;
+use std::net::Ipv6Addr;
+use std::time::Instant;
+
+/// Mean seconds per round of `f` over `rounds` runs.
+fn time<T>(rounds: usize, mut f: impl FnMut() -> T) -> f64 {
+    let t0 = Instant::now();
+    for _ in 0..rounds {
+        black_box(f());
+    }
+    t0.elapsed().as_secs_f64() / rounds as f64
+}
+
+/// Run the bench; writes `BENCH_pipeline.json` next to the reports.
+pub fn bench_pipeline(ctx: &mut Ctx) -> String {
+    let mut out = header(
+        "BENCH: daily merge / responsiveness / battery / APD-plan throughput",
+        "system perf trajectory, not a paper figure",
+    );
+    let rounds = match ctx.scale {
+        crate::ctx::Scale::Small => 20,
+        _ => 5,
+    };
+    let scale = format!("{:?}", ctx.scale).to_lowercase();
+    let p = ctx.pipeline();
+    // Warm the alias filter so the kept set is realistic, then freeze
+    // one day's world: targets, battery result, responder set.
+    p.warmup_apd(1);
+    let live = p.hitlist.live_set();
+    let (kept_ids, _) = p.apd.filter().split_set(p.hitlist.table(), &live);
+    let kept: Vec<Ipv6Addr> = kept_ids.addrs(p.hitlist.table()).collect();
+    let battery = expanse_zmap6::standard_battery();
+
+    // ---- battery: the fan-out grid, as configured ---------------------
+    let t0 = Instant::now();
+    let multi = p.scanner.scan_battery(&kept, &battery);
+    let battery_s = t0.elapsed().as_secs_f64();
+    let battery_per_s = (kept.len() * battery.len()) as f64 / battery_s.max(1e-9);
+
+    // ---- daily merge: per-protocol replies → per-address ProtoSet -----
+    // Hashmap style (the seed's path): rebuild a HashMap<Ipv6Addr,
+    // ProtoSet> from every protocol's reply map, then clone it for the
+    // snapshot (the clone the columnar path eliminated).
+    let merge_hash_s = time(rounds, || {
+        let mut resp: HashMap<Ipv6Addr, ProtoSet> = HashMap::new();
+        for r in multi.by_protocol.values() {
+            for reply in r.replies.values() {
+                if reply.kind.is_positive() {
+                    let e = resp.entry(reply.target).or_insert(ProtoSet::EMPTY);
+                    *e = e.with(r.protocol);
+                }
+            }
+        }
+        let snapshot_copy = resp.clone();
+        (resp, snapshot_copy)
+    });
+    // Columnar: the same merge into an interned AddrMap; the snapshot
+    // takes ownership instead of cloning.
+    let merge_col_s = time(rounds, || {
+        let mut resp: AddrMap<ProtoSet> = AddrMap::new();
+        for r in multi.by_protocol.values() {
+            for reply in r.replies.values() {
+                if reply.kind.is_positive() {
+                    let e = resp.entry_or(reply.target, ProtoSet::EMPTY);
+                    *e = e.with(r.protocol);
+                }
+            }
+        }
+        let snapshot_copy = std::mem::take(&mut resp);
+        (resp, snapshot_copy)
+    });
+    let merged = multi.responsive.len().max(1);
+
+    // ---- responsiveness pass: record who answered today ---------------
+    // Hashmap style: membership probe + last-responsive update per
+    // responder against *persistent* maps, the seed's steady state
+    // (Hitlist kept both as long-lived HashMap<u128, _>; the daily cost
+    // is the probes and updates, not map construction).
+    let members: HashMap<u128, ()> = p.hitlist.iter().map(|a| (addr_to_u128(a), ())).collect();
+    let mut last_hash: HashMap<u128, u16> = multi
+        .responsive
+        .keys()
+        .map(|a| (addr_to_u128(a), 6))
+        .collect();
+    let resp_hash_s = time(rounds, || {
+        let mut touched = 0usize;
+        for (a, _) in multi.responsive.iter() {
+            let key = addr_to_u128(a);
+            if members.contains_key(&key) {
+                let e = last_hash.entry(key).or_insert(7);
+                *e = (*e).max(7);
+                touched += 1;
+            }
+        }
+        touched
+    });
+    // Columnar: resolve responders to dense ids once, sort, then write
+    // a u16 column — the pipeline's actual daily pass.
+    let mut last_col: Vec<u16> = vec![u16::MAX; p.hitlist.table().len()];
+    let resp_col_s = time(rounds, || {
+        let mut day_pass: Vec<(AddrId, ProtoSet)> = multi
+            .responsive
+            .iter()
+            .filter_map(|(a, s)| p.hitlist.id_of(a).map(|id| (id, *s)))
+            .collect();
+        day_pass.sort_unstable_by_key(|(id, _)| *id);
+        for &(id, _) in &day_pass {
+            last_col[id.index()] = 7;
+        }
+        day_pass.len()
+    });
+
+    // ---- APD plan off the interned store ------------------------------
+    let plan_s = time(rounds.min(5), || {
+        expanse_apd::plan_targets_set(p.hitlist.table(), &live, &p.cfg.plan)
+    });
+    let plan_addrs_per_s = live.len() as f64 / plan_s.max(1e-9);
+
+    let per_s = |s: f64| merged as f64 / s.max(1e-9);
+    let hitlist_len = p.hitlist.len();
+    out.push_str(&format!(
+        "model scale {scale}: hitlist {hitlist_len}, kept {} targets, {} responders\n\n",
+        kept.len(),
+        merged,
+    ));
+    out.push_str(&format!(
+        "battery           {:>12.0} addr·probe/s  ({} targets × {} protocols)\n",
+        battery_per_s,
+        kept.len(),
+        battery.len()
+    ));
+    out.push_str(&format!(
+        "merge hashmap     {:>12.0} addr/s\nmerge columnar    {:>12.0} addr/s  ({:.2}x)\n",
+        per_s(merge_hash_s),
+        per_s(merge_col_s),
+        merge_hash_s / merge_col_s.max(1e-12),
+    ));
+    out.push_str(&format!(
+        "respond hashmap   {:>12.0} addr/s\nrespond columnar  {:>12.0} addr/s  ({:.2}x)\n",
+        per_s(resp_hash_s),
+        per_s(resp_col_s),
+        resp_hash_s / resp_col_s.max(1e-12),
+    ));
+    out.push_str(&format!(
+        "apd plan          {plan_addrs_per_s:>12.0} addr/s\n"
+    ));
+
+    let json = format!(
+        "{{\n  \"schema\": 1,\n  \"scale\": \"{scale}\",\n  \"hitlist\": {hitlist_len},\n  \
+         \"kept_targets\": {},\n  \"responders\": {},\n  \"battery\": {{ \"addr_probes_per_s\": {:.1} }},\n  \
+         \"merge\": {{ \"hashmap_addrs_per_s\": {:.1}, \"columnar_addrs_per_s\": {:.1} }},\n  \
+         \"responsiveness\": {{ \"hashmap_addrs_per_s\": {:.1}, \"columnar_addrs_per_s\": {:.1} }},\n  \
+         \"apd_plan\": {{ \"addrs_per_s\": {:.1} }}\n}}\n",
+        kept.len(),
+        merged,
+        battery_per_s,
+        per_s(merge_hash_s),
+        per_s(merge_col_s),
+        per_s(resp_hash_s),
+        per_s(resp_col_s),
+        plan_addrs_per_s,
+    );
+    ctx.write("BENCH_pipeline.json", &json);
+    out.push_str("\nwrote BENCH_pipeline.json\n");
+    out
+}

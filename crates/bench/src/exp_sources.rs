@@ -17,8 +17,8 @@ pub fn table1(ctx: &mut Ctx) -> String {
     let model = p.model_ref();
     let mut ases: Counter<u32> = Counter::new();
     let mut pfx: Counter<(u128, u8)> = Counter::new();
-    for a in hit.addrs() {
-        if let Some((px, asn)) = model.bgp.lookup(*a) {
+    for a in hit.iter() {
+        if let Some((px, asn)) = model.bgp.lookup(a) {
             ases.push(asn.0);
             pfx.push((px.bits(), px.len()));
         }

@@ -17,6 +17,7 @@ pub mod exp_apd;
 pub mod exp_entropy;
 pub mod exp_fingerprint;
 pub mod exp_generation;
+pub mod exp_pipeline;
 pub mod exp_probing;
 pub mod exp_rdns_crowd;
 pub mod exp_sources;
@@ -55,6 +56,7 @@ pub const ALL_EXPERIMENTS: &[&str] = &[
     "abl-elbow",
     "abl-cluster-as",
     "abl-bgp-apd",
+    "bench-pipeline",
 ];
 
 /// Run one experiment by id; returns the rendered report.
@@ -90,6 +92,7 @@ pub fn run(id: &str, ctx: &mut Ctx) -> Option<String> {
         "abl-elbow" => exp_ablations::elbow(ctx),
         "abl-cluster-as" => exp_ablations::cluster_as(ctx),
         "abl-bgp-apd" => exp_ablations::bgp_apd(ctx),
+        "bench-pipeline" => exp_pipeline::bench_pipeline(ctx),
         _ => return None,
     };
     Some(out)

@@ -4,25 +4,45 @@
 //! indefinitely in our scanning list." Addresses carry a source bitmask
 //! so Table 2's "new IPs" column (what each source added beyond earlier
 //! sources) and per-source AS statistics can be derived.
+//!
+//! # Representation
+//!
+//! The hitlist is a struct-of-arrays over an interned address store:
+//! one [`AddrTable`] assigns every unique address a dense [`AddrId`],
+//! and provenance/responsiveness live in parallel columns indexed by
+//! that id (instead of the seed's three `HashMap<u128, …>` plus a
+//! shadow `order: Vec<Ipv6Addr>`). Ids are stable for the lifetime of
+//! the hitlist — expiry tombstones a row rather than renumbering — so
+//! the pipeline, ledger, and daily snapshot can key state by id across
+//! days, and every daily pass is a sequential column walk.
 
-use expanse_addr::addr_to_u128;
+use expanse_addr::{AddrId, AddrSet, AddrTable};
 use expanse_model::SourceId;
-use std::collections::HashMap;
 use std::net::Ipv6Addr;
 
 /// Bitmask of sources (bit = SourceId order).
+///
+/// `u16`-wide: 7 sources today, with headroom enforced at compile time
+/// (`SourceId::ALL` must fit the mask width — see the assert below).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
-pub struct SourceMask(pub u8);
+pub struct SourceMask(pub u16);
+
+// `with`/`contains` shift by the SourceId discriminant; a variant added
+// beyond the mask width would silently alias. Fail the build instead.
+const _: () = assert!(
+    SourceId::ALL.len() <= u16::BITS as usize,
+    "SourceMask too narrow for SourceId::ALL; widen the mask type"
+);
 
 impl SourceMask {
-    /// Add a protocol to the set.
+    /// Add a source to the set.
     pub fn with(self, s: SourceId) -> SourceMask {
-        SourceMask(self.0 | (1 << s as u8))
+        SourceMask(self.0 | (1 << s as u16))
     }
 
     /// Contains.
     pub fn contains(self, s: SourceId) -> bool {
-        self.0 & (1 << s as u8) != 0
+        self.0 & (1 << s as u16) != 0
     }
 
     /// Is empty.
@@ -31,18 +51,24 @@ impl SourceMask {
     }
 }
 
+/// Column sentinel: the address never answered a probe.
+const NEVER: u16 = u16::MAX;
+
 /// The accumulated hitlist.
 #[derive(Debug, Clone, Default)]
 pub struct Hitlist {
-    /// Address → sources that contributed it.
-    members: HashMap<u128, SourceMask>,
-    /// Insertion-ordered addresses (stable iteration).
-    order: Vec<Ipv6Addr>,
-    /// First source that contributed each address (for "new IPs").
-    first_source: HashMap<u128, SourceId>,
-    /// Last probing day each address answered any protocol (absent =
-    /// never responded since tracking began).
-    last_responsive: HashMap<u128, u16>,
+    /// The interner: id ↔ address.
+    table: AddrTable,
+    /// Id → sources that contributed the address.
+    sources: Vec<SourceMask>,
+    /// Id → first source that contributed it (for "new IPs").
+    first_source: Vec<SourceId>,
+    /// Id → last probing day the address answered ([`NEVER`] if none).
+    last_responsive: Vec<u16>,
+    /// Id → still a member (expiry tombstones instead of renumbering).
+    alive: Vec<bool>,
+    /// Live member count.
+    live: usize,
 }
 
 impl Hitlist {
@@ -51,80 +77,132 @@ impl Hitlist {
         Hitlist::default()
     }
 
-    /// Add addresses from a source; returns how many were new.
+    /// Add addresses from a source; returns how many were new. An
+    /// address re-added after expiry revives its old id (and counts as
+    /// new, with fresh provenance).
     pub fn add_from(&mut self, source: SourceId, addrs: &[Ipv6Addr]) -> usize {
         let mut new = 0;
         for &a in addrs {
-            let key = addr_to_u128(a);
-            let entry = self.members.entry(key).or_insert_with(|| {
-                self.order.push(a);
-                self.first_source.insert(key, source);
+            let (id, inserted) = self.table.intern_u128(expanse_addr::addr_to_u128(a));
+            if inserted {
+                self.sources.push(SourceMask::default().with(source));
+                self.first_source.push(source);
+                self.last_responsive.push(NEVER);
+                self.alive.push(true);
+                self.live += 1;
                 new += 1;
-                SourceMask::default()
-            });
-            *entry = entry.with(source);
+            } else if !self.alive[id.index()] {
+                // Revival: provenance restarts with the re-adding source.
+                self.sources[id.index()] = SourceMask::default().with(source);
+                self.first_source[id.index()] = source;
+                self.last_responsive[id.index()] = NEVER;
+                self.alive[id.index()] = true;
+                self.live += 1;
+                new += 1;
+            } else {
+                let m = &mut self.sources[id.index()];
+                *m = m.with(source);
+            }
         }
         new
     }
 
-    /// Total unique addresses.
+    /// Total unique live addresses.
     pub fn len(&self) -> usize {
-        self.order.len()
+        self.live
     }
 
     /// Is the hitlist empty?
     pub fn is_empty(&self) -> bool {
-        self.order.is_empty()
+        self.live == 0
     }
 
-    /// All addresses in insertion order.
-    pub fn addrs(&self) -> &[Ipv6Addr] {
-        &self.order
+    /// The backing interner. Ids issued by it are valid for the
+    /// hitlist's lifetime (expired rows keep their id, tombstoned).
+    pub fn table(&self) -> &AddrTable {
+        &self.table
+    }
+
+    /// The id of a live member.
+    pub fn id_of(&self, a: Ipv6Addr) -> Option<AddrId> {
+        self.table.lookup(a).filter(|id| self.alive[id.index()])
+    }
+
+    /// The set of live ids, ascending (= insertion order).
+    pub fn live_set(&self) -> AddrSet {
+        AddrSet::from_sorted(
+            (0..self.table.len())
+                .filter(|&i| self.alive[i])
+                .map(AddrId::from_index)
+                .collect(),
+        )
+    }
+
+    /// All live addresses in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = Ipv6Addr> + '_ {
+        self.table
+            .iter()
+            .filter(|(id, _)| self.alive[id.index()])
+            .map(|(_, a)| a)
     }
 
     /// Sources of one address.
     pub fn sources_of(&self, a: Ipv6Addr) -> SourceMask {
-        self.members
-            .get(&addr_to_u128(a))
-            .copied()
+        self.id_of(a)
+            .map(|id| self.sources_of_id(id))
             .unwrap_or_default()
+    }
+
+    /// Sources of one member by id.
+    pub fn sources_of_id(&self, id: AddrId) -> SourceMask {
+        self.sources[id.index()]
     }
 
     /// Membership test.
     pub fn contains(&self, a: Ipv6Addr) -> bool {
-        self.members.contains_key(&addr_to_u128(a))
+        self.id_of(a).is_some()
     }
 
     /// Addresses a source contributed (whether or not first).
     pub fn of_source(&self, s: SourceId) -> Vec<Ipv6Addr> {
-        self.order
+        self.table
             .iter()
-            .filter(|a| self.sources_of(**a).contains(s))
-            .copied()
+            .filter(|(id, _)| self.alive[id.index()] && self.sources[id.index()].contains(s))
+            .map(|(_, a)| a)
             .collect()
     }
 
     /// Addresses a source contributed *first* (Table 2's "new IPs").
     pub fn new_of_source(&self, s: SourceId) -> Vec<Ipv6Addr> {
-        self.order
+        self.table
             .iter()
-            .filter(|a| self.first_source.get(&addr_to_u128(**a)) == Some(&s))
-            .copied()
+            .filter(|(id, _)| self.alive[id.index()] && self.first_source[id.index()] == s)
+            .map(|(_, a)| a)
             .collect()
     }
 
     /// Record that `addr` answered a probe on `day`.
     pub fn mark_responsive(&mut self, addr: Ipv6Addr, day: u16) {
-        let key = addr_to_u128(addr);
-        if self.members.contains_key(&key) {
-            let e = self.last_responsive.entry(key).or_insert(day);
-            *e = (*e).max(day);
+        if let Some(id) = self.id_of(addr) {
+            self.mark_responsive_id(id, day);
+        }
+    }
+
+    /// [`Hitlist::mark_responsive`] by id: a single column write, the
+    /// unit of the pipeline's dense daily responsiveness pass.
+    pub fn mark_responsive_id(&mut self, id: AddrId, day: u16) {
+        debug_assert!(day < NEVER, "day saturates the sentinel");
+        let e = &mut self.last_responsive[id.index()];
+        if *e == NEVER || *e < day {
+            *e = day;
         }
     }
 
     /// Last day `addr` answered, if ever.
     pub fn last_responsive(&self, addr: Ipv6Addr) -> Option<u16> {
-        self.last_responsive.get(&addr_to_u128(addr)).copied()
+        self.id_of(addr)
+            .map(|id| self.last_responsive[id.index()])
+            .filter(|&d| d != NEVER)
     }
 
     /// Expire addresses that have not answered any probe in the last
@@ -135,23 +213,26 @@ impl Hitlist {
     /// This implements the retention policy the paper leaves as future
     /// work (§3: "We may revisit this decision in the future, and remove
     /// IP addresses after a certain window of unresponsiveness").
+    /// Removal tombstones the row; the id stays reserved and revives in
+    /// place if a source re-contributes the address.
     pub fn expire_unresponsive(&mut self, today: u16, window: u16) -> usize {
         let cutoff = today.saturating_sub(window);
         if cutoff == 0 {
             return 0;
         }
-        let before = self.order.len();
-        let last = &self.last_responsive;
-        self.order.retain(|a| {
-            let key = addr_to_u128(*a);
-            last.get(&key).copied().unwrap_or(0) >= cutoff
-        });
-        let alive: std::collections::HashSet<u128> =
-            self.order.iter().map(|a| addr_to_u128(*a)).collect();
-        self.members.retain(|k, _| alive.contains(k));
-        self.first_source.retain(|k, _| alive.contains(k));
-        self.last_responsive.retain(|k, _| alive.contains(k));
-        before - self.order.len()
+        let before = self.live;
+        for i in 0..self.alive.len() {
+            if !self.alive[i] {
+                continue;
+            }
+            let last = self.last_responsive[i];
+            let effective = if last == NEVER { 0 } else { last };
+            if effective < cutoff {
+                self.alive[i] = false;
+                self.live -= 1;
+            }
+        }
+        before - self.live
     }
 }
 
@@ -192,7 +273,12 @@ mod tests {
         let mut h = Hitlist::new();
         h.add_from(SourceId::Ct, &[a("::9"), a("::1")]);
         h.add_from(SourceId::Axfr, &[a("::5")]);
-        assert_eq!(h.addrs(), &[a("::9"), a("::1"), a("::5")]);
+        let order: Vec<Ipv6Addr> = h.iter().collect();
+        assert_eq!(order, vec![a("::9"), a("::1"), a("::5")]);
+        // live_set ids follow the same order and resolve to the same
+        // addresses.
+        let via_set: Vec<Ipv6Addr> = h.live_set().addrs(h.table()).collect();
+        assert_eq!(via_set, order);
     }
 
     #[test]
@@ -215,13 +301,32 @@ mod tests {
         // Expire with a 3-day window at day 10: cutoff 7.
         let removed = h.expire_unresponsive(10, 3);
         assert_eq!(removed, 3);
-        assert_eq!(h.addrs(), &addrs[..1]);
+        let left: Vec<Ipv6Addr> = h.iter().collect();
+        assert_eq!(left, &addrs[..1]);
         assert!(h.contains(addrs[0]));
         assert!(!h.contains(addrs[1]));
         // Early days: nothing expires (cutoff saturates to 0).
         let mut h2 = Hitlist::new();
         h2.add_from(SourceId::Ct, &addrs);
         assert_eq!(h2.expire_unresponsive(2, 3), 0);
+    }
+
+    #[test]
+    fn expired_address_revives_in_place() {
+        let mut h = Hitlist::new();
+        h.add_from(SourceId::Ct, &[a("::1"), a("::2")]);
+        h.mark_responsive(a("::1"), 8);
+        assert_eq!(h.expire_unresponsive(10, 3), 1);
+        assert!(!h.contains(a("::2")));
+        // Re-added by a different source: counts as new, fresh
+        // provenance, same id (insertion position preserved).
+        assert_eq!(h.add_from(SourceId::Fdns, &[a("::2")]), 1);
+        assert!(h.contains(a("::2")));
+        assert_eq!(h.last_responsive(a("::2")), None);
+        assert_eq!(h.new_of_source(SourceId::Fdns), vec![a("::2")]);
+        assert!(!h.sources_of(a("::2")).contains(SourceId::Ct));
+        let order: Vec<Ipv6Addr> = h.iter().collect();
+        assert_eq!(order, vec![a("::1"), a("::2")]);
     }
 
     #[test]
@@ -239,5 +344,19 @@ mod tests {
         assert!(m.contains(SourceId::Scamper));
         assert!(!m.contains(SourceId::Ct));
         assert!(SourceMask::default().is_empty());
+    }
+
+    #[test]
+    fn ids_stable_across_expiry() {
+        let mut h = Hitlist::new();
+        h.add_from(SourceId::Ct, &[a("::1"), a("::2"), a("::3")]);
+        let id2 = h.id_of(a("::2")).unwrap();
+        h.mark_responsive(a("::1"), 9);
+        h.mark_responsive(a("::3"), 9);
+        h.expire_unresponsive(10, 1);
+        assert_eq!(h.id_of(a("::2")), None, "expired ids are not live");
+        h.add_from(SourceId::Ct, &[a("::2")]);
+        assert_eq!(h.id_of(a("::2")), Some(id2), "revival reuses the id");
+        assert_eq!(h.id_of(a("::3")).map(|i| i.index()), Some(2));
     }
 }

@@ -4,12 +4,18 @@
 //! continuously even if it disappears from our hitlist's daily input
 //! sources... As a baseline for each source we take all responsive
 //! addresses on the first day."
+//!
+//! The ledger keys everything by the hitlist's stable [`AddrId`]s:
+//! baselines are [`AddrSet`] id runs and each day's survival count is a
+//! linear merge-join of the baseline against the day's sorted
+//! `(id, protocols)` pass — no per-day `HashSet<Ipv6Addr>` membership
+//! probing.
 
 use crate::hitlist::Hitlist;
+use expanse_addr::{AddrId, AddrSet};
 use expanse_model::SourceId;
 use expanse_packet::{ProtoSet, Protocol};
-use std::collections::{HashMap, HashSet};
-use std::net::Ipv6Addr;
+use std::collections::HashMap;
 
 /// Row keys of the Fig 8 matrix: sources, with CT/AXFR split into
 /// QUIC and non-QUIC rows (their QUIC response rates flap separately).
@@ -41,13 +47,29 @@ impl Fig8Row {
         }
         v
     }
+
+    /// Does a member with these answering protocols count for the row?
+    fn counts(self, protos: ProtoSet) -> bool {
+        match self {
+            Fig8Row::Source(_) => !protos.is_empty(),
+            Fig8Row::SourceQuic(_) => protos.contains(Protocol::Udp443),
+        }
+    }
+
+    /// The source whose baseline this row tracks.
+    fn source(self) -> SourceId {
+        match self {
+            Fig8Row::Source(s) | Fig8Row::SourceQuic(s) => s,
+        }
+    }
 }
 
 /// The responsiveness ledger.
 #[derive(Debug, Clone, Default)]
 pub struct Ledger {
-    /// Baseline (day-0 responsive) per row.
-    baselines: HashMap<Fig8Row, HashSet<Ipv6Addr>>,
+    /// Baseline (day-0 responsive) id set per row, in [`Fig8Row::all`]
+    /// order.
+    baselines: Vec<(Fig8Row, AddrSet)>,
     /// Per day, per row: surviving fraction of the baseline.
     survival: HashMap<Fig8Row, Vec<f64>>,
     days_recorded: u16,
@@ -59,50 +81,52 @@ impl Ledger {
         Ledger::default()
     }
 
-    /// Record one day of battery results.
-    pub fn record_day(
-        &mut self,
-        day: u16,
-        responsive: &HashMap<Ipv6Addr, ProtoSet>,
-        hitlist: &Hitlist,
-        _multi: &expanse_zmap6::MultiScanResult,
-    ) {
+    /// Record one day of battery results. `responsive` is the day's
+    /// dense pass: `(hitlist id, answering protocols)` sorted ascending
+    /// by id (the pipeline resolves the battery's responsive map into
+    /// hitlist-id space once per day).
+    pub fn record_day(&mut self, day: u16, responsive: &[(AddrId, ProtoSet)], hitlist: &Hitlist) {
+        debug_assert!(
+            responsive.windows(2).all(|w| w[0].0 < w[1].0),
+            "daily pass must be sorted by id"
+        );
         if self.baselines.is_empty() {
             // Establish baselines on the first recorded day (after any
             // APD warmup the pipeline ran).
             for row in Fig8Row::all() {
-                let set: HashSet<Ipv6Addr> = responsive
+                let ids: Vec<AddrId> = responsive
                     .iter()
-                    .filter(|(a, protos)| match row {
-                        Fig8Row::Source(s) => {
-                            hitlist.sources_of(**a).contains(s) && !protos.is_empty()
-                        }
-                        Fig8Row::SourceQuic(s) => {
-                            hitlist.sources_of(**a).contains(s) && protos.contains(Protocol::Udp443)
-                        }
+                    .filter(|(id, protos)| {
+                        hitlist.sources_of_id(*id).contains(row.source()) && row.counts(*protos)
                     })
-                    .map(|(a, _)| *a)
+                    .map(|(id, _)| *id)
                     .collect();
-                self.baselines.insert(row, set);
+                self.baselines.push((row, AddrSet::from_sorted(ids)));
             }
         }
-        for row in Fig8Row::all() {
-            let baseline = self.baselines.entry(row).or_default();
+        for (row, baseline) in &self.baselines {
             let alive = if baseline.is_empty() {
                 f64::NAN
             } else {
-                let n = baseline
-                    .iter()
-                    .filter(|a| match row {
-                        Fig8Row::Source(_) => responsive.get(a).is_some_and(|p| !p.is_empty()),
-                        Fig8Row::SourceQuic(_) => responsive
-                            .get(a)
-                            .is_some_and(|p| p.contains(Protocol::Udp443)),
-                    })
-                    .count();
+                let mut n = 0usize;
+                let base = baseline.as_slice();
+                let (mut i, mut j) = (0usize, 0usize);
+                while i < base.len() && j < responsive.len() {
+                    match base[i].cmp(&responsive[j].0) {
+                        std::cmp::Ordering::Less => i += 1,
+                        std::cmp::Ordering::Greater => j += 1,
+                        std::cmp::Ordering::Equal => {
+                            if row.counts(responsive[j].1) {
+                                n += 1;
+                            }
+                            i += 1;
+                            j += 1;
+                        }
+                    }
+                }
                 n as f64 / baseline.len() as f64
             };
-            self.survival.entry(row).or_default().push(alive);
+            self.survival.entry(*row).or_default().push(alive);
         }
         let _ = day;
         self.days_recorded += 1;
@@ -115,7 +139,10 @@ impl Ledger {
 
     /// Baseline size for a row.
     pub fn baseline_len(&self, row: Fig8Row) -> usize {
-        self.baselines.get(&row).map_or(0, |s| s.len())
+        self.baselines
+            .iter()
+            .find(|(r, _)| *r == row)
+            .map_or(0, |(_, s)| s.len())
     }
 
     /// Days recorded so far.
@@ -153,22 +180,27 @@ impl Ledger {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::net::Ipv6Addr;
 
     fn addr(i: u32) -> Ipv6Addr {
         expanse_addr::u128_to_addr((0x2001u128 << 112) | u128::from(i))
     }
 
-    fn mk_responsive(addrs: &[Ipv6Addr], quic: bool) -> HashMap<Ipv6Addr, ProtoSet> {
-        addrs
+    /// The day's sorted id pass for `addrs`, everyone answering ICMP
+    /// (plus QUIC when asked).
+    fn mk_responsive(h: &Hitlist, addrs: &[Ipv6Addr], quic: bool) -> Vec<(AddrId, ProtoSet)> {
+        let mut v: Vec<(AddrId, ProtoSet)> = addrs
             .iter()
             .map(|a| {
                 let mut p = ProtoSet::only(Protocol::Icmp);
                 if quic {
                     p = p.with(Protocol::Udp443);
                 }
-                (*a, p)
+                (h.id_of(*a).expect("member"), p)
             })
-            .collect()
+            .collect();
+        v.sort_by_key(|(id, _)| *id);
+        v
     }
 
     #[test]
@@ -177,16 +209,15 @@ mod tests {
         let addrs: Vec<Ipv6Addr> = (0..10).map(addr).collect();
         h.add_from(SourceId::DomainLists, &addrs);
         let mut ledger = Ledger::new();
-        let multi = expanse_zmap6::MultiScanResult::default();
 
         // Day 0: all 10 respond.
-        ledger.record_day(0, &mk_responsive(&addrs, false), &h, &multi);
+        ledger.record_day(0, &mk_responsive(&h, &addrs, false), &h);
         assert_eq!(
             ledger.baseline_len(Fig8Row::Source(SourceId::DomainLists)),
             10
         );
         // Day 1: 8 respond.
-        ledger.record_day(1, &mk_responsive(&addrs[..8], false), &h, &multi);
+        ledger.record_day(1, &mk_responsive(&h, &addrs[..8], false), &h);
         let series = ledger.series(Fig8Row::Source(SourceId::DomainLists));
         assert_eq!(series.len(), 2);
         assert!((series[0] - 1.0).abs() < 1e-9);
@@ -199,11 +230,10 @@ mod tests {
         let addrs: Vec<Ipv6Addr> = (0..4).map(addr).collect();
         h.add_from(SourceId::Ct, &addrs);
         let mut ledger = Ledger::new();
-        let multi = expanse_zmap6::MultiScanResult::default();
-        ledger.record_day(0, &mk_responsive(&addrs, true), &h, &multi);
+        ledger.record_day(0, &mk_responsive(&h, &addrs, true), &h);
         assert_eq!(ledger.baseline_len(Fig8Row::SourceQuic(SourceId::Ct)), 4);
         // Day 1: QUIC flaps off but ICMP persists.
-        ledger.record_day(1, &mk_responsive(&addrs, false), &h, &multi);
+        ledger.record_day(1, &mk_responsive(&h, &addrs, false), &h);
         let q = ledger.series(Fig8Row::SourceQuic(SourceId::Ct));
         assert!((q[1] - 0.0).abs() < 1e-9, "QUIC survival should drop to 0");
         let all = ledger.series(Fig8Row::Source(SourceId::Ct));
@@ -216,8 +246,7 @@ mod tests {
         let addrs: Vec<Ipv6Addr> = (0..3).map(addr).collect();
         h.add_from(SourceId::RipeAtlas, &addrs);
         let mut ledger = Ledger::new();
-        let multi = expanse_zmap6::MultiScanResult::default();
-        ledger.record_day(0, &mk_responsive(&addrs, false), &h, &multi);
+        ledger.record_day(0, &mk_responsive(&h, &addrs, false), &h);
         let s = ledger.render();
         assert!(s.contains("RA"), "{s}");
         assert!(s.contains("1.00"), "{s}");

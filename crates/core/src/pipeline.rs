@@ -3,13 +3,12 @@
 
 use crate::hitlist::Hitlist;
 use crate::longitudinal::Ledger;
-use expanse_addr::Prefix;
+use expanse_addr::{AddrId, AddrMap, Prefix};
 use expanse_apd::{Apd, ApdConfig, PlanConfig};
 use expanse_model::{InternetModel, ModelConfig, Source, SourceId};
 use expanse_packet::ProtoSet;
 use expanse_scamper6::{TraceConfig, Tracer};
 use expanse_zmap6::{standard_battery, MultiScanResult, ScanConfig, Scanner};
-use std::collections::HashMap;
 use std::net::Ipv6Addr;
 
 /// Pipeline configuration.
@@ -52,8 +51,10 @@ pub struct DailySnapshot {
     pub hitlist_after_apd: usize,
     /// Aliased prefixes currently classified.
     pub aliased_prefixes: Vec<Prefix>,
-    /// Per-address responsive protocol sets (non-aliased targets only).
-    pub responsive: HashMap<Ipv6Addr, ProtoSet>,
+    /// Per-address responsive protocol sets (non-aliased targets only),
+    /// taken over from the battery result — the snapshot owns the
+    /// columnar map, no per-day clone.
+    pub responsive: AddrMap<ProtoSet>,
     /// Router addresses harvested by scamper today.
     pub routers_found: usize,
     /// Probes sent today (APD + battery + traceroute).
@@ -133,7 +134,8 @@ impl Pipeline {
         for _ in 0..days {
             let day = self.day;
             self.scanner.network_mut().set_day(day);
-            let plan = expanse_apd::plan_targets(self.hitlist.addrs(), &self.cfg.plan);
+            let live = self.hitlist.live_set();
+            let plan = expanse_apd::plan_targets_set(self.hitlist.table(), &live, &self.cfg.plan);
             if !plan.is_empty() {
                 self.apd.run_day(&mut self.scanner, &plan);
             }
@@ -149,15 +151,21 @@ impl Pipeline {
 
     /// [`Pipeline::run_day`], also returning the battery's merged scan
     /// result (the fan-out determinism guard compares these across
-    /// executors).
+    /// executors). The snapshot takes ownership of the merged responsive
+    /// map; the returned result carries the per-protocol breakdown.
     pub fn run_day_full(&mut self) -> (DailySnapshot, MultiScanResult) {
         let day = self.day;
         self.scanner.network_mut().set_day(day);
         let mut probes = 0u64;
 
+        // One id-space view of the hitlist for the whole day: the APD
+        // plan, the alias split, and the battery targets all derive from
+        // it (routers harvested mid-day join tomorrow's view, as before).
+        let live = self.hitlist.live_set();
+
         // ---- aliased prefix detection --------------------------------
         let plan: Vec<Prefix> = if day.is_multiple_of(self.cfg.full_apd_every) {
-            expanse_apd::plan_targets(self.hitlist.addrs(), &self.cfg.plan)
+            expanse_apd::plan_targets_set(self.hitlist.table(), &live, &self.cfg.plan)
         } else {
             self.hot_prefixes.clone()
         };
@@ -179,7 +187,12 @@ impl Pipeline {
             }
         }
         let filter = self.apd.filter();
-        let (kept, _removed) = filter.split(self.hitlist.addrs());
+        let (kept_ids, _removed) = filter.split_set(self.hitlist.table(), &live);
+        // Materialize the non-aliased targets once, in id (= insertion)
+        // order — the same byte-for-byte target list the fan-out grid's
+        // snapshot workers partition, so the canonical digest is
+        // unchanged by the id-based plumbing.
+        let kept: Vec<Ipv6Addr> = kept_ids.addrs(self.hitlist.table()).collect();
 
         // ---- scamper: learn router addresses -------------------------
         let trace_targets: Vec<Ipv6Addr> =
@@ -202,15 +215,25 @@ impl Pipeline {
 
         // ---- responsiveness battery ----------------------------------
         let battery = standard_battery();
-        let multi: MultiScanResult = self.scanner.scan_battery(&kept, &battery);
+        let mut multi: MultiScanResult = self.scanner.scan_battery(&kept, &battery);
         probes += multi.total_sent();
-        let responsive: HashMap<Ipv6Addr, ProtoSet> = multi.responsive.clone();
+        let battery_digest = multi.digest();
 
-        // ---- ledger ---------------------------------------------------
-        self.ledger
-            .record_day(day, &responsive, &self.hitlist, &multi);
-        for a in responsive.keys() {
-            self.hitlist.mark_responsive(*a, day);
+        // ---- ledger: one dense id pass over the day's responders -----
+        // Battery targets are live hitlist members, so every responder
+        // resolves; sorted by id for the ledger's merge-joins.
+        let mut day_pass: Vec<(AddrId, ProtoSet)> = multi
+            .responsive
+            .iter()
+            .map(|(a, protos)| {
+                let id = self.hitlist.id_of(a).expect("responder not in hitlist");
+                (id, *protos)
+            })
+            .collect();
+        day_pass.sort_unstable_by_key(|(id, _)| *id);
+        self.ledger.record_day(day, &day_pass, &self.hitlist);
+        for &(id, _) in &day_pass {
+            self.hitlist.mark_responsive_id(id, day);
         }
 
         let snapshot = DailySnapshot {
@@ -218,10 +241,13 @@ impl Pipeline {
             hitlist_total: self.hitlist.len(),
             hitlist_after_apd: kept.len(),
             aliased_prefixes: self.apd.aliased_prefixes(),
-            responsive,
+            // The snapshot takes the merged responsive map over; the
+            // returned MultiScanResult keeps the per-protocol results
+            // (its own responsive map is left empty).
+            responsive: multi.take_responsive(),
             routers_found,
             probes_sent: probes,
-            battery_digest: multi.digest(),
+            battery_digest,
         };
         self.day += 1;
         (snapshot, multi)
@@ -298,7 +324,7 @@ mod tests {
         let filter = p.apd.filter();
         for addr in snap.responsive.keys() {
             assert!(
-                !filter.is_aliased(*addr),
+                !filter.is_aliased(addr),
                 "{addr} responsive but aliased-filtered"
             );
         }

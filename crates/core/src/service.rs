@@ -20,9 +20,7 @@ pub fn hitlist_file(snap: &DailySnapshot) -> String {
         "# scan digest {:016x} — identical for serial and parallel probing\n",
         snap.battery_digest,
     ));
-    let mut addrs: Vec<_> = snap.responsive.keys().copied().collect();
-    addrs.sort();
-    for a in addrs {
+    for a in snap.responsive.sorted_addrs() {
         out.push_str(&expanded(a));
         out.push('\n');
     }
@@ -52,7 +50,7 @@ pub fn protocol_file(snap: &DailySnapshot, proto: Protocol) -> String {
         .responsive
         .iter()
         .filter(|(_, set)| set.contains(proto))
-        .map(|(a, _)| *a)
+        .map(|(a, _)| a)
         .collect();
     addrs.sort();
     let mut out = String::new();
@@ -72,12 +70,11 @@ pub fn protocol_file(snap: &DailySnapshot, proto: Protocol) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use expanse_addr::AddrMap;
     use expanse_packet::ProtoSet;
-    use std::collections::HashMap;
-    use std::net::Ipv6Addr;
 
     fn snap() -> DailySnapshot {
-        let mut responsive: HashMap<Ipv6Addr, ProtoSet> = HashMap::new();
+        let mut responsive: AddrMap<ProtoSet> = AddrMap::new();
         responsive.insert(
             "2001:db8::1".parse().unwrap(),
             ProtoSet::only(Protocol::Icmp).with(Protocol::Tcp443),

@@ -29,12 +29,18 @@ fn default_config_round_trips_parallel_and_serial() {
     let (snap_par, multi_par) = pipeline_with(true).run_day_full();
     let (snap_ser, multi_ser) = pipeline_with(false).run_day_full();
 
-    // The merged battery results are identical, field for field.
+    // The per-protocol battery results are identical, field for field.
+    // (The snapshot took ownership of each result's merged responsive
+    // map, so this comparison covers `by_protocol`; the responsive maps
+    // are compared below via the snapshots, and must not be empty —
+    // otherwise the equality would be vacuous.)
     assert_eq!(multi_par, multi_ser);
     assert_eq!(multi_par.digest(), multi_ser.digest());
+    assert!(multi_par.responsive.is_empty(), "taken by the snapshot");
 
     // And everything derived from them in the daily snapshot agrees.
     assert_eq!(snap_par.battery_digest, snap_ser.battery_digest);
+    assert!(!snap_par.responsive.is_empty(), "someone must answer");
     assert_eq!(snap_par.responsive, snap_ser.responsive);
     assert_eq!(snap_par.hitlist_total, snap_ser.hitlist_total);
     assert_eq!(snap_par.hitlist_after_apd, snap_ser.hitlist_after_apd);

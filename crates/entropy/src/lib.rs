@@ -28,5 +28,8 @@ pub mod fingerprint;
 pub mod kmeans;
 
 pub use cluster::{cluster_networks, render_clusters, ClusterSummary, Clustering};
-pub use fingerprint::{fingerprint_groups, fingerprints_by_32, Fingerprint, MIN_ADDRS};
+pub use fingerprint::{
+    fingerprint_groups, fingerprint_groups_set, fingerprints_by_32, fingerprints_by_32_set,
+    Fingerprint, MIN_ADDRS,
+};
 pub use kmeans::{elbow, kmeans, sse_curve, KMeansResult};

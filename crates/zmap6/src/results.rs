@@ -1,6 +1,7 @@
 //! Scan result containers.
 
 use crate::module::ReplyKind;
+use expanse_addr::AddrMap;
 use expanse_netsim::Time;
 use expanse_packet::{ProtoSet, Protocol};
 use std::collections::HashMap;
@@ -116,8 +117,12 @@ impl ScanResult {
 pub struct MultiScanResult {
     /// Per-protocol scan results.
     pub by_protocol: HashMap<Protocol, ScanResult>,
-    /// Per-address positive protocol set.
-    pub responsive: HashMap<Ipv6Addr, ProtoSet>,
+    /// Per-address positive protocol set: a columnar interned map
+    /// (address column + `ProtoSet` column) instead of a per-day
+    /// `HashMap<Ipv6Addr, ProtoSet>` rebuild. Its equality is
+    /// content-based, so executors that merge in different orders still
+    /// compare equal.
+    pub responsive: AddrMap<ProtoSet>,
 }
 
 impl MultiScanResult {
@@ -125,10 +130,7 @@ impl MultiScanResult {
     pub fn merge(&mut self, r: ScanResult) {
         for reply in r.replies.values() {
             if reply.kind.is_positive() {
-                let e = self
-                    .responsive
-                    .entry(reply.target)
-                    .or_insert(ProtoSet::EMPTY);
+                let e = self.responsive.entry_or(reply.target, ProtoSet::EMPTY);
                 *e = e.with(r.protocol);
             }
         }
@@ -137,9 +139,15 @@ impl MultiScanResult {
 
     /// Addresses answering at least one protocol.
     pub fn responsive_addrs(&self) -> Vec<Ipv6Addr> {
-        let mut v: Vec<Ipv6Addr> = self.responsive.keys().copied().collect();
-        v.sort();
-        v
+        self.responsive.sorted_addrs()
+    }
+
+    /// Move the merged responsive map out (the per-protocol results
+    /// stay). The daily pipeline hands it to the snapshot instead of
+    /// cloning; compute [`MultiScanResult::digest`] first if the full
+    /// digest is wanted.
+    pub fn take_responsive(&mut self) -> AddrMap<ProtoSet> {
+        std::mem::take(&mut self.responsive)
     }
 
     /// Total probes sent across protocols.
@@ -188,12 +196,11 @@ impl MultiScanResult {
                 h.eat_kind(&reply.kind);
             }
         }
-        let mut addrs: Vec<Ipv6Addr> = self.responsive.keys().copied().collect();
-        addrs.sort();
+        let addrs = self.responsive.sorted_addrs();
         h.eat(&(addrs.len() as u64).to_le_bytes());
         for a in addrs {
             h.eat(&a.octets());
-            h.eat(&[self.responsive[&a].0]);
+            h.eat(&[self.responsive.get(a).expect("sorted key present").0]);
         }
         h.0
     }
@@ -324,7 +331,7 @@ mod tests {
             ),
         );
         m.merge(dns);
-        let set = m.responsive[&"::1".parse::<Ipv6Addr>().unwrap()];
+        let set = *m.responsive.get("::1".parse().unwrap()).unwrap();
         assert!(set.contains(Protocol::Icmp));
         assert!(set.contains(Protocol::Udp53));
         assert_eq!(set.len(), 2);

@@ -98,7 +98,7 @@ fn responsive_addresses_never_aliased() {
     let snap = p.run_day();
     for a in snap.responsive.keys() {
         assert!(
-            !p.apd.filter().is_aliased(*a),
+            !p.apd.filter().is_aliased(a),
             "{a} both responsive and filtered"
         );
     }
