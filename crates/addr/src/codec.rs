@@ -1,0 +1,519 @@
+//! Versioned, checksummed binary codec for snapshot persistence.
+//!
+//! The paper's hitlist accumulates "indefinitely" (§3) and its service
+//! publishes daily files for years; a real deployment must survive
+//! restarts without replaying months of probing. This module is the
+//! wire layer that makes the interned store durable: a tiny
+//! little-endian framing ([`Encoder`]/[`Decoder`]) plus raw-column
+//! readers and writers for [`AddrTable`], [`AddrSet`], and [`Prefix`].
+//!
+//! # Format
+//!
+//! Every envelope is `magic (8 bytes) · version (u16) · payload ·
+//! fnv1a64 checksum (u64)`. The checksum covers the magic, version,
+//! and payload, so a flipped bit anywhere — header included — fails
+//! [`Decoder::finish`]. All integers are little-endian; collections are
+//! length-prefixed (`u64`). Layers above compose their own payloads out
+//! of the primitive `put_*`/`get_*` calls inside one shared envelope
+//! (see `expanse_core::Pipeline::save_state`), while the standalone
+//! [`save_table`]/[`load_table`] and [`save_set`]/[`load_set`] pairs
+//! wrap a single structure in its own envelope.
+//!
+//! Corrupted input — truncation, wrong magic, unknown version, a failed
+//! checksum, or structurally invalid payloads (duplicate table entries,
+//! unsorted set ids, over-long prefixes) — is reported as a
+//! [`CodecError`], never a panic.
+
+use crate::prefix::mask;
+use crate::set::AddrSet;
+use crate::table::{AddrId, AddrTable};
+use crate::Prefix;
+use std::fmt;
+use std::io::{self, Read, Write};
+
+/// Current snapshot format version, shared by every envelope this
+/// workspace writes.
+pub const CODEC_VERSION: u16 = 1;
+
+/// Envelope magic for a standalone [`AddrTable`] snapshot.
+pub const TABLE_MAGIC: [u8; 8] = *b"EXPADDRT";
+
+/// Envelope magic for a standalone [`AddrSet`] snapshot.
+pub const SET_MAGIC: [u8; 8] = *b"EXPADDRS";
+
+/// Reject length prefixes beyond this (2^40 entries) as corruption
+/// rather than attempting the allocation.
+const MAX_LEN: u64 = 1 << 40;
+
+/// Cap up-front `Vec` reservations while decoding: a corrupted length
+/// prefix must hit [`CodecError::Io`] (truncation) before it can ask
+/// the allocator for implausible capacity.
+const RESERVE_CAP: usize = 1 << 16;
+
+/// A decoding (or I/O) failure. Never a panic: corrupted snapshots are
+/// operational input, not programmer error.
+#[derive(Debug)]
+pub enum CodecError {
+    /// Underlying I/O failure; truncated input surfaces as
+    /// [`io::ErrorKind::UnexpectedEof`].
+    Io(io::Error),
+    /// The stream does not start with the expected magic.
+    BadMagic {
+        /// What the envelope requires.
+        expected: [u8; 8],
+        /// What the stream held.
+        found: [u8; 8],
+    },
+    /// The stream's format version is not the one this build reads.
+    UnsupportedVersion {
+        /// What the stream declared.
+        found: u16,
+        /// The version this build reads.
+        supported: u16,
+    },
+    /// The trailing checksum does not match the decoded bytes.
+    ChecksumMismatch {
+        /// Checksum stored in the stream.
+        stored: u64,
+        /// Checksum of what was actually read.
+        computed: u64,
+    },
+    /// Structurally invalid payload (e.g. duplicate table entries).
+    Corrupt(&'static str),
+}
+
+impl fmt::Display for CodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CodecError::Io(e) => write!(f, "snapshot i/o error: {e}"),
+            CodecError::BadMagic { expected, found } => write!(
+                f,
+                "bad snapshot magic: expected {expected:02x?}, found {found:02x?}"
+            ),
+            CodecError::UnsupportedVersion { found, supported } => write!(
+                f,
+                "unsupported snapshot version {found} (this build reads {supported})"
+            ),
+            CodecError::ChecksumMismatch { stored, computed } => write!(
+                f,
+                "snapshot checksum mismatch: stored {stored:016x}, computed {computed:016x}"
+            ),
+            CodecError::Corrupt(what) => write!(f, "corrupt snapshot: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+impl From<io::Error> for CodecError {
+    fn from(e: io::Error) -> Self {
+        CodecError::Io(e)
+    }
+}
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+#[inline]
+fn fnv1a64(mut h: u64, bytes: &[u8]) -> u64 {
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+/// Checksummed little-endian writer: one envelope, primitive `put_*`
+/// calls, then [`Encoder::finish`] to seal the checksum.
+pub struct Encoder<W: Write> {
+    w: W,
+    hash: u64,
+}
+
+impl<W: Write> Encoder<W> {
+    /// Start an envelope: writes `magic` and `version`.
+    pub fn new(mut w: W, magic: &[u8; 8], version: u16) -> Result<Self, CodecError> {
+        let mut hash = FNV_OFFSET;
+        hash = fnv1a64(hash, magic);
+        hash = fnv1a64(hash, &version.to_le_bytes());
+        w.write_all(magic)?;
+        w.write_all(&version.to_le_bytes())?;
+        Ok(Encoder { w, hash })
+    }
+
+    /// Write raw bytes.
+    pub fn put_bytes(&mut self, b: &[u8]) -> Result<(), CodecError> {
+        self.hash = fnv1a64(self.hash, b);
+        self.w.write_all(b)?;
+        Ok(())
+    }
+
+    /// Write a `u8`.
+    pub fn put_u8(&mut self, v: u8) -> Result<(), CodecError> {
+        self.put_bytes(&[v])
+    }
+
+    /// Write a `bool` as one byte.
+    pub fn put_bool(&mut self, v: bool) -> Result<(), CodecError> {
+        self.put_u8(u8::from(v))
+    }
+
+    /// Write a `u16`.
+    pub fn put_u16(&mut self, v: u16) -> Result<(), CodecError> {
+        self.put_bytes(&v.to_le_bytes())
+    }
+
+    /// Write a `u32`.
+    pub fn put_u32(&mut self, v: u32) -> Result<(), CodecError> {
+        self.put_bytes(&v.to_le_bytes())
+    }
+
+    /// Write a `u64`.
+    pub fn put_u64(&mut self, v: u64) -> Result<(), CodecError> {
+        self.put_bytes(&v.to_le_bytes())
+    }
+
+    /// Write a `u128`.
+    pub fn put_u128(&mut self, v: u128) -> Result<(), CodecError> {
+        self.put_bytes(&v.to_le_bytes())
+    }
+
+    /// Write an `f64` by bit pattern (NaN payloads round-trip exactly).
+    pub fn put_f64(&mut self, v: f64) -> Result<(), CodecError> {
+        self.put_u64(v.to_bits())
+    }
+
+    /// Write a collection length prefix.
+    pub fn put_len(&mut self, n: usize) -> Result<(), CodecError> {
+        self.put_u64(n as u64)
+    }
+
+    /// Seal the envelope: append the checksum and hand the writer back.
+    pub fn finish(mut self) -> Result<W, CodecError> {
+        let h = self.hash;
+        self.w.write_all(&h.to_le_bytes())?;
+        Ok(self.w)
+    }
+}
+
+/// Checksummed little-endian reader mirroring [`Encoder`].
+pub struct Decoder<R: Read> {
+    r: R,
+    hash: u64,
+}
+
+impl<R: Read> Decoder<R> {
+    /// Open an envelope: checks `magic` and that the stream's version
+    /// is **exactly** `version`. Payload readers hardcode one layout,
+    /// so an older stream must be rejected here, not mis-parsed; when a
+    /// version bump lands, migration means reading old snapshots with
+    /// explicit per-version decode paths, not widening this gate.
+    pub fn new(mut r: R, magic: &[u8; 8], version: u16) -> Result<Self, CodecError> {
+        let mut found = [0u8; 8];
+        r.read_exact(&mut found)?;
+        if found != *magic {
+            return Err(CodecError::BadMagic {
+                expected: *magic,
+                found,
+            });
+        }
+        let mut v = [0u8; 2];
+        r.read_exact(&mut v)?;
+        let stream_version = u16::from_le_bytes(v);
+        if stream_version != version {
+            return Err(CodecError::UnsupportedVersion {
+                found: stream_version,
+                supported: version,
+            });
+        }
+        let mut hash = FNV_OFFSET;
+        hash = fnv1a64(hash, magic);
+        hash = fnv1a64(hash, &v);
+        Ok(Decoder { r, hash })
+    }
+
+    fn fill(&mut self, buf: &mut [u8]) -> Result<(), CodecError> {
+        self.r.read_exact(buf)?;
+        self.hash = fnv1a64(self.hash, buf);
+        Ok(())
+    }
+
+    /// Read a `u8`.
+    pub fn get_u8(&mut self) -> Result<u8, CodecError> {
+        let mut b = [0u8; 1];
+        self.fill(&mut b)?;
+        Ok(b[0])
+    }
+
+    /// Read a `bool`; any byte other than 0/1 is corruption.
+    pub fn get_bool(&mut self) -> Result<bool, CodecError> {
+        match self.get_u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            _ => Err(CodecError::Corrupt("bool byte out of range")),
+        }
+    }
+
+    /// Read a `u16`.
+    pub fn get_u16(&mut self) -> Result<u16, CodecError> {
+        let mut b = [0u8; 2];
+        self.fill(&mut b)?;
+        Ok(u16::from_le_bytes(b))
+    }
+
+    /// Read a `u32`.
+    pub fn get_u32(&mut self) -> Result<u32, CodecError> {
+        let mut b = [0u8; 4];
+        self.fill(&mut b)?;
+        Ok(u32::from_le_bytes(b))
+    }
+
+    /// Read a `u64`.
+    pub fn get_u64(&mut self) -> Result<u64, CodecError> {
+        let mut b = [0u8; 8];
+        self.fill(&mut b)?;
+        Ok(u64::from_le_bytes(b))
+    }
+
+    /// Read a `u128`.
+    pub fn get_u128(&mut self) -> Result<u128, CodecError> {
+        let mut b = [0u8; 16];
+        self.fill(&mut b)?;
+        Ok(u128::from_le_bytes(b))
+    }
+
+    /// Read an `f64` by bit pattern.
+    pub fn get_f64(&mut self) -> Result<f64, CodecError> {
+        Ok(f64::from_bits(self.get_u64()?))
+    }
+
+    /// Read a collection length prefix, rejecting implausible values.
+    pub fn get_len(&mut self) -> Result<usize, CodecError> {
+        let n = self.get_u64()?;
+        if n > MAX_LEN {
+            return Err(CodecError::Corrupt("implausible length prefix"));
+        }
+        Ok(n as usize)
+    }
+
+    /// How much to `Vec::reserve` for a decoded collection of `n`
+    /// entries without trusting the length prefix with the allocator.
+    pub fn reserve_hint(n: usize) -> usize {
+        n.min(RESERVE_CAP)
+    }
+
+    /// Verify the trailing checksum. The stored checksum itself is read
+    /// raw (it is not part of its own coverage).
+    pub fn finish(mut self) -> Result<R, CodecError> {
+        let computed = self.hash;
+        let mut b = [0u8; 8];
+        self.r.read_exact(&mut b)?;
+        let stored = u64::from_le_bytes(b);
+        if stored != computed {
+            return Err(CodecError::ChecksumMismatch { stored, computed });
+        }
+        Ok(self.r)
+    }
+}
+
+// ---- raw-column codecs (composable inside a larger envelope) --------
+
+/// Write an [`AddrTable`]'s raw address column. Ids are implicit in the
+/// order: entry `i` is the address behind `AddrId` `i`.
+pub fn write_table<W: Write>(enc: &mut Encoder<W>, t: &AddrTable) -> Result<(), CodecError> {
+    enc.put_len(t.len())?;
+    for &v in t.raw() {
+        enc.put_u128(v)?;
+    }
+    Ok(())
+}
+
+/// Read an [`AddrTable`] written by [`write_table`], rebuilding the
+/// probe index. Every id comes back exactly as issued before the save.
+pub fn read_table<R: Read>(dec: &mut Decoder<R>) -> Result<AddrTable, CodecError> {
+    let n = dec.get_len()?;
+    if n >= u32::MAX as usize {
+        // The table's id space is u32 minus the index sentinel; a
+        // larger claimed length must reject as corruption here rather
+        // than trip the interner's capacity assert mid-decode.
+        return Err(CodecError::Corrupt("table length out of handle range"));
+    }
+    let mut t = AddrTable::with_capacity(Decoder::<R>::reserve_hint(n));
+    for _ in 0..n {
+        let v = dec.get_u128()?;
+        let (_, inserted) = t.intern_u128(v);
+        if !inserted {
+            return Err(CodecError::Corrupt("duplicate address in table"));
+        }
+    }
+    Ok(t)
+}
+
+/// Write an [`AddrSet`] as its strictly-increasing id run.
+pub fn write_set<W: Write>(enc: &mut Encoder<W>, s: &AddrSet) -> Result<(), CodecError> {
+    enc.put_len(s.len())?;
+    for id in s.iter() {
+        enc.put_u32(id.index() as u32)?;
+    }
+    Ok(())
+}
+
+/// Read an [`AddrSet`] written by [`write_set`]; ids must be strictly
+/// increasing and within handle range.
+pub fn read_set<R: Read>(dec: &mut Decoder<R>) -> Result<AddrSet, CodecError> {
+    let n = dec.get_len()?;
+    let mut ids = Vec::with_capacity(Decoder::<R>::reserve_hint(n));
+    let mut prev: Option<u32> = None;
+    for _ in 0..n {
+        let v = dec.get_u32()?;
+        if v == u32::MAX {
+            return Err(CodecError::Corrupt("set id out of handle range"));
+        }
+        if prev.is_some_and(|p| p >= v) {
+            return Err(CodecError::Corrupt("set ids not strictly increasing"));
+        }
+        prev = Some(v);
+        ids.push(AddrId::from_index(v as usize));
+    }
+    Ok(AddrSet::from_sorted(ids))
+}
+
+/// Write a [`Prefix`] as `bits (u128) · len (u8)`.
+pub fn write_prefix<W: Write>(enc: &mut Encoder<W>, p: Prefix) -> Result<(), CodecError> {
+    enc.put_u128(p.bits())?;
+    enc.put_u8(p.len())
+}
+
+/// Read a [`Prefix`]; over-long lengths and set host bits are rejected
+/// (snapshots only hold canonical, masked prefixes).
+pub fn read_prefix<R: Read>(dec: &mut Decoder<R>) -> Result<Prefix, CodecError> {
+    let bits = dec.get_u128()?;
+    let len = dec.get_u8()?;
+    if len > 128 {
+        return Err(CodecError::Corrupt("prefix length out of range"));
+    }
+    if bits & !mask(len) != 0 {
+        return Err(CodecError::Corrupt("prefix has host bits set"));
+    }
+    Ok(Prefix::from_bits(bits, len))
+}
+
+// ---- standalone envelopes -------------------------------------------
+
+/// Save one [`AddrTable`] in its own checksummed envelope.
+pub fn save_table<W: Write>(w: W, t: &AddrTable) -> Result<(), CodecError> {
+    let mut enc = Encoder::new(w, &TABLE_MAGIC, CODEC_VERSION)?;
+    write_table(&mut enc, t)?;
+    enc.finish()?;
+    Ok(())
+}
+
+/// Load an [`AddrTable`] saved by [`save_table`].
+pub fn load_table<R: Read>(r: R) -> Result<AddrTable, CodecError> {
+    let mut dec = Decoder::new(r, &TABLE_MAGIC, CODEC_VERSION)?;
+    let t = read_table(&mut dec)?;
+    dec.finish()?;
+    Ok(t)
+}
+
+/// Save one [`AddrSet`] in its own checksummed envelope.
+pub fn save_set<W: Write>(w: W, s: &AddrSet) -> Result<(), CodecError> {
+    let mut enc = Encoder::new(w, &SET_MAGIC, CODEC_VERSION)?;
+    write_set(&mut enc, s)?;
+    enc.finish()?;
+    Ok(())
+}
+
+/// Load an [`AddrSet`] saved by [`save_set`].
+pub fn load_set<R: Read>(r: R) -> Result<AddrSet, CodecError> {
+    let mut dec = Decoder::new(r, &SET_MAGIC, CODEC_VERSION)?;
+    let s = read_set(&mut dec)?;
+    dec.finish()?;
+    Ok(s)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitive_roundtrip() {
+        let mut buf = Vec::new();
+        let magic = *b"TESTMAGC";
+        let mut enc = Encoder::new(&mut buf, &magic, 1).unwrap();
+        enc.put_u8(7).unwrap();
+        enc.put_u16(0xbeef).unwrap();
+        enc.put_u32(0xdead_beef).unwrap();
+        enc.put_u64(u64::MAX - 1).unwrap();
+        enc.put_u128(1u128 << 100).unwrap();
+        enc.put_f64(f64::NAN).unwrap();
+        enc.put_bool(true).unwrap();
+        enc.put_len(42).unwrap();
+        enc.finish().unwrap();
+
+        let mut dec = Decoder::new(buf.as_slice(), &magic, 1).unwrap();
+        assert_eq!(dec.get_u8().unwrap(), 7);
+        assert_eq!(dec.get_u16().unwrap(), 0xbeef);
+        assert_eq!(dec.get_u32().unwrap(), 0xdead_beef);
+        assert_eq!(dec.get_u64().unwrap(), u64::MAX - 1);
+        assert_eq!(dec.get_u128().unwrap(), 1u128 << 100);
+        assert!(dec.get_f64().unwrap().is_nan());
+        assert!(dec.get_bool().unwrap());
+        assert_eq!(dec.get_len().unwrap(), 42);
+        dec.finish().unwrap();
+    }
+
+    #[test]
+    fn payload_corruption_fails_checksum() {
+        let mut t = AddrTable::new();
+        t.intern_u128(0x2001_0db8 << 96);
+        let mut buf = Vec::new();
+        save_table(&mut buf, &t).unwrap();
+        assert!(load_table(buf.as_slice()).is_ok());
+        // Flip one bit inside the stored address: the table still
+        // decodes structurally (one unique entry), so only the checksum
+        // can catch it.
+        let in_addr = 8 + 2 + 8 + 3; // magic + version + len prefix + 3
+        buf[in_addr] ^= 0x10;
+        assert!(matches!(
+            load_table(buf.as_slice()),
+            Err(CodecError::ChecksumMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn version_gate() {
+        let mut buf = Vec::new();
+        let enc = Encoder::new(&mut buf, &TABLE_MAGIC, 2).unwrap();
+        enc.finish().unwrap();
+        assert!(matches!(
+            Decoder::new(buf.as_slice(), &TABLE_MAGIC, 1),
+            Err(CodecError::UnsupportedVersion {
+                found: 2,
+                supported: 1
+            })
+        ));
+        // Version 0 is never valid.
+        buf[8] = 0;
+        buf[9] = 0;
+        assert!(matches!(
+            Decoder::new(buf.as_slice(), &TABLE_MAGIC, 1),
+            Err(CodecError::UnsupportedVersion { .. })
+        ));
+    }
+
+    #[test]
+    fn prefix_validation() {
+        let mut buf = Vec::new();
+        let mut enc = Encoder::new(&mut buf, &TABLE_MAGIC, 1).unwrap();
+        // Host bits set beyond /64.
+        enc.put_u128(0x2001_0db8 << 96 | 0xff).unwrap();
+        enc.put_u8(64).unwrap();
+        enc.finish().unwrap();
+        let mut dec = Decoder::new(buf.as_slice(), &TABLE_MAGIC, 1).unwrap();
+        assert!(matches!(
+            read_prefix(&mut dec),
+            Err(CodecError::Corrupt("prefix has host bits set"))
+        ));
+    }
+}

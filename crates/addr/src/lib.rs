@@ -32,6 +32,7 @@
 //! assert_eq!(nybble(a, 3), 0x1);
 //! ```
 
+pub mod codec;
 pub mod fanout;
 pub mod format;
 pub mod iter;
@@ -41,6 +42,7 @@ pub mod prefix;
 pub mod set;
 pub mod table;
 
+pub use codec::{CodecError, Decoder, Encoder};
 pub use fanout::{fanout16, keyed_random_addr, FanoutTarget};
 pub use iter::AddrIter;
 pub use mac::MacAddr;

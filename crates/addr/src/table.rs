@@ -168,6 +168,14 @@ impl AddrTable {
         self.addrs[id.index()]
     }
 
+    /// The raw address column, indexed by id. This is the table's
+    /// entire persistent state: the probe index is derived, so the
+    /// snapshot codec stores only this column and rebuilds the rest.
+    #[inline]
+    pub fn raw(&self) -> &[u128] {
+        &self.addrs
+    }
+
     /// All `(id, address)` pairs in id (= insertion) order.
     pub fn iter(&self) -> impl Iterator<Item = (AddrId, Ipv6Addr)> + '_ {
         self.addrs

@@ -15,6 +15,8 @@
 //! - [`window`]: the multi-day sliding window that stabilizes lossy and
 //!   ICMP-rate-limited prefixes (Table 4)
 //! - [`filter`]: longest-prefix-match filtering of hitlist addresses
+//! - [`persist`]: checksummed snapshot encode/decode of the window
+//!   state, for the pipeline's save/resume path
 //! - [`murdock`]: the static-/96 baseline of Murdock et al. for the
 //!   §5.5 comparison
 //! - [`fingerprint`]: the §5.4 consistency battery (iTTL, optionstext,
@@ -25,6 +27,7 @@ pub mod detector;
 pub mod filter;
 pub mod fingerprint;
 pub mod murdock;
+pub mod persist;
 pub mod plan;
 pub mod window;
 

@@ -1,0 +1,202 @@
+//! Snapshot persistence for the aliased-prefix detector.
+//!
+//! The detector's only long-lived state is the per-prefix sliding
+//! window map (the LPM filter is derived from it on demand), so a
+//! snapshot stores exactly that: each prefix with its window length,
+//! the day bitmaps it currently holds, the previous classification,
+//! and the flip counter. Prefixes are written in sorted order so the
+//! byte stream never depends on hash-map iteration order.
+
+use crate::detector::{Apd, ApdConfig};
+use crate::window::WindowState;
+use expanse_addr::codec::{self, CodecError, Decoder, Encoder};
+use std::collections::{HashMap, VecDeque};
+use std::io::{Read, Write};
+
+impl Apd {
+    /// Serialize the detector's window state into an open snapshot
+    /// envelope.
+    pub fn encode<W: Write>(&self, enc: &mut Encoder<W>) -> Result<(), CodecError> {
+        let mut entries: Vec<_> = self.windows.iter().collect();
+        entries.sort_by_key(|(p, _)| **p);
+        enc.put_len(entries.len())?;
+        for (p, w) in entries {
+            codec::write_prefix(enc, *p)?;
+            enc.put_u64(w.window as u64)?;
+            enc.put_len(w.days.len())?;
+            for &d in &w.days {
+                enc.put_u16(d)?;
+            }
+            match w.last {
+                None => enc.put_u8(0)?,
+                Some(false) => enc.put_u8(1)?,
+                Some(true) => enc.put_u8(2)?,
+            }
+            enc.put_u32(w.flips)?;
+        }
+        Ok(())
+    }
+
+    /// Rebuild a detector from [`Apd::encode`] output. The config is
+    /// not part of the snapshot — it comes back from the pipeline
+    /// configuration, like every other knob.
+    pub fn decode<R: Read>(cfg: ApdConfig, dec: &mut Decoder<R>) -> Result<Apd, CodecError> {
+        let n = dec.get_len()?;
+        let mut windows = HashMap::with_capacity(Decoder::<R>::reserve_hint(n));
+        let mut prev = None;
+        for _ in 0..n {
+            let p = codec::read_prefix(dec)?;
+            if prev.is_some_and(|q| q >= p) {
+                return Err(CodecError::Corrupt("window prefixes not strictly sorted"));
+            }
+            prev = Some(p);
+            let window = usize::try_from(dec.get_u64()?)
+                .map_err(|_| CodecError::Corrupt("window length out of range"))?;
+            // Every live WindowState is built with the config's window
+            // (`WindowState::new(self.cfg.window)`), so a disagreement
+            // means the snapshot was saved under a different ApdConfig
+            // — resuming would mix window lengths across prefixes with
+            // no error. Surface the mismatch instead.
+            if window != cfg.window {
+                return Err(CodecError::Corrupt(
+                    "snapshot window length disagrees with detector config",
+                ));
+            }
+            let held = dec.get_len()?;
+            // Saturating guard: a corrupted `window` near usize::MAX
+            // must reject as corruption, not overflow the `+ 1`; and
+            // the capacity comes from the bounded hint, never the raw
+            // length prefix (see the codec's never-panic contract).
+            if held > window.saturating_add(1) {
+                return Err(CodecError::Corrupt(
+                    "window holds more days than its length",
+                ));
+            }
+            let mut days = VecDeque::with_capacity(Decoder::<R>::reserve_hint(held));
+            for _ in 0..held {
+                days.push_back(dec.get_u16()?);
+            }
+            let last = match dec.get_u8()? {
+                0 => None,
+                1 => Some(false),
+                2 => Some(true),
+                _ => {
+                    return Err(CodecError::Corrupt(
+                        "window classification tag out of range",
+                    ))
+                }
+            };
+            let flips = dec.get_u32()?;
+            windows.insert(
+                p,
+                WindowState {
+                    window,
+                    days,
+                    last,
+                    flips,
+                },
+            );
+        }
+        Ok(Apd { cfg, windows })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use expanse_addr::codec::{Decoder, Encoder};
+    use expanse_addr::Prefix;
+
+    #[test]
+    fn roundtrip_preserves_windows_and_classification() {
+        let cfg = ApdConfig {
+            window: 3,
+            ..ApdConfig::default()
+        };
+        let mut apd = Apd::new(cfg.clone());
+        let p1: Prefix = "2001:db8:1::/48".parse().unwrap();
+        let p2: Prefix = "2001:db8:2::/48".parse().unwrap();
+        // p1 goes partial mid-way; p2 becomes and stays aliased (its
+        // half-days merge inside the window).
+        for (d1, d2) in [(0xffffu16, 0x00ff), (0x0001, 0xff00), (0xffff, 0x0000)] {
+            let w = cfg.window;
+            apd.windows
+                .entry(p1)
+                .or_insert_with(|| WindowState::new(w))
+                .push_day(d1);
+            apd.windows
+                .entry(p2)
+                .or_insert_with(|| WindowState::new(w))
+                .push_day(d2);
+        }
+
+        let mut buf = Vec::new();
+        let mut enc = Encoder::new(&mut buf, b"APDSTEST", 1).unwrap();
+        apd.encode(&mut enc).unwrap();
+        enc.finish().unwrap();
+        let mut dec = Decoder::new(buf.as_slice(), b"APDSTEST", 1).unwrap();
+        let back = Apd::decode(cfg.clone(), &mut dec).unwrap();
+        dec.finish().unwrap();
+
+        assert_eq!(back.windows, apd.windows);
+        assert_eq!(back.aliased_prefixes(), apd.aliased_prefixes());
+        assert_eq!(back.unstable_prefixes(), apd.unstable_prefixes());
+
+        // Resuming under a different window length is a config
+        // mismatch, not a valid restore: classification would mix
+        // window lengths across prefixes. Must error.
+        let mut dec = Decoder::new(buf.as_slice(), b"APDSTEST", 1).unwrap();
+        assert!(matches!(
+            Apd::decode(ApdConfig { window: 5, ..cfg }, &mut dec),
+            Err(CodecError::Corrupt(
+                "snapshot window length disagrees with detector config"
+            ))
+        ));
+    }
+
+    #[test]
+    fn huge_window_field_rejected_without_panic() {
+        // Regression: a corrupted window length of u64::MAX used to
+        // overflow the `window + 1` guard (debug panic), and a huge
+        // `held` used to reach the allocator — both before the
+        // checksum check. Crafted streams must error instead.
+        for (window, held) in [(u64::MAX, 1usize), (1 << 50, 1 << 30)] {
+            let mut buf = Vec::new();
+            let mut enc = Encoder::new(&mut buf, b"APDSTEST", 1).unwrap();
+            enc.put_len(1).unwrap();
+            codec::write_prefix(&mut enc, "2001:db8::/48".parse().unwrap()).unwrap();
+            enc.put_u64(window).unwrap();
+            enc.put_len(held).unwrap();
+            enc.finish().unwrap();
+            let mut dec = Decoder::new(buf.as_slice(), b"APDSTEST", 1).unwrap();
+            // Truncated day payload: either the guard fires or the read
+            // hits EOF — an error either way, never a panic or abort.
+            assert!(Apd::decode(ApdConfig::default(), &mut dec).is_err());
+        }
+    }
+
+    #[test]
+    fn overfull_window_rejected() {
+        // days held may not exceed window + 1 (3 ⇒ at most 4 days, the
+        // default config's window so the length itself passes).
+        let mut buf = Vec::new();
+        let mut enc = Encoder::new(&mut buf, b"APDSTEST", 1).unwrap();
+        enc.put_len(1).unwrap();
+        codec::write_prefix(&mut enc, "2001:db8::/48".parse().unwrap()).unwrap();
+        enc.put_u64(3).unwrap();
+        enc.put_len(5).unwrap();
+        for d in [1u16, 2, 3, 4, 5] {
+            enc.put_u16(d).unwrap();
+        }
+        enc.put_u8(0).unwrap();
+        enc.put_u32(0).unwrap();
+        enc.finish().unwrap();
+        let mut dec = Decoder::new(buf.as_slice(), b"APDSTEST", 1).unwrap();
+        assert!(matches!(
+            Apd::decode(ApdConfig::default(), &mut dec),
+            Err(CodecError::Corrupt(
+                "window holds more days than its length"
+            ))
+        ));
+    }
+}

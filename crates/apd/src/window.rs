@@ -8,15 +8,18 @@
 use std::collections::VecDeque;
 
 /// Per-prefix window state.
-#[derive(Debug, Clone)]
+///
+/// Fields are crate-visible for the snapshot codec ([`crate::persist`]):
+/// the whole struct is persistent detector state.
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct WindowState {
     /// Days kept *in addition to* today (window = 0 ⇒ today only).
-    window: usize,
+    pub(crate) window: usize,
     /// Most recent day last.
-    days: VecDeque<u16>,
+    pub(crate) days: VecDeque<u16>,
     /// Classification of the previous day (after windowing).
-    last: Option<bool>,
-    flips: u32,
+    pub(crate) last: Option<bool>,
+    pub(crate) flips: u32,
 }
 
 impl WindowState {

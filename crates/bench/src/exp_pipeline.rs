@@ -1,5 +1,6 @@
 //! Pipeline throughput bench: the daily merge + responsiveness pass,
-//! hashmap-style vs columnar, plus battery and APD-plan throughput.
+//! hashmap-style vs columnar, plus battery, APD-plan, and
+//! snapshot save/resume throughput.
 //!
 //! Not a paper artifact — this is the perf trajectory of the system
 //! itself. Besides the rendered report it writes
@@ -8,6 +9,7 @@
 
 use crate::ctx::{header, Ctx};
 use expanse_addr::{addr_to_u128, AddrId, AddrMap};
+use expanse_core::{Pipeline, PipelineConfig};
 use expanse_packet::ProtoSet;
 use std::collections::HashMap;
 use std::hint::black_box;
@@ -34,6 +36,7 @@ pub fn bench_pipeline(ctx: &mut Ctx) -> String {
         _ => 5,
     };
     let scale = format!("{:?}", ctx.scale).to_lowercase();
+    let model_cfg = ctx.scale.model_config(ctx.seed);
     let p = ctx.pipeline();
     // Warm the alias filter so the kept set is realistic, then freeze
     // one day's world: targets, battery result, responder set.
@@ -128,6 +131,27 @@ pub fn bench_pipeline(ctx: &mut Ctx) -> String {
     });
     let plan_addrs_per_s = live.len() as f64 / plan_s.max(1e-9);
 
+    // ---- snapshot: persist + resume the whole pipeline state ----------
+    // Save is the codec alone; resume also rebuilds the model from
+    // config (the deliberate trade: the snapshot stores only
+    // pipeline-side state, so restart cost is one model build + one
+    // decode instead of replaying every probing day).
+    let mut snapshot: Vec<u8> = Vec::new();
+    let save_s = time(rounds.min(5), || {
+        snapshot.clear();
+        p.save_state(&mut snapshot).expect("save_state");
+    });
+    let snapshot_bytes = snapshot.len();
+    let save_mb_per_s = snapshot_bytes as f64 / save_s.max(1e-9) / 1e6;
+    let resume_s = time(2, || {
+        Pipeline::resume(
+            model_cfg.clone(),
+            PipelineConfig::default(),
+            &mut snapshot.as_slice(),
+        )
+        .expect("resume")
+    });
+
     let per_s = |s: f64| merged as f64 / s.max(1e-9);
     let hitlist_len = p.hitlist.len();
     out.push_str(&format!(
@@ -156,13 +180,18 @@ pub fn bench_pipeline(ctx: &mut Ctx) -> String {
     out.push_str(&format!(
         "apd plan          {plan_addrs_per_s:>12.0} addr/s\n"
     ));
+    out.push_str(&format!(
+        "snapshot save     {:>12.1} MB/s  ({} bytes for {} addresses)\nsnapshot resume   {:>12.3} s  (decode + model rebuild)\n",
+        save_mb_per_s, snapshot_bytes, hitlist_len, resume_s,
+    ));
 
     let json = format!(
-        "{{\n  \"schema\": 1,\n  \"scale\": \"{scale}\",\n  \"hitlist\": {hitlist_len},\n  \
+        "{{\n  \"schema\": 2,\n  \"scale\": \"{scale}\",\n  \"hitlist\": {hitlist_len},\n  \
          \"kept_targets\": {},\n  \"responders\": {},\n  \"battery\": {{ \"addr_probes_per_s\": {:.1} }},\n  \
          \"merge\": {{ \"hashmap_addrs_per_s\": {:.1}, \"columnar_addrs_per_s\": {:.1} }},\n  \
          \"responsiveness\": {{ \"hashmap_addrs_per_s\": {:.1}, \"columnar_addrs_per_s\": {:.1} }},\n  \
-         \"apd_plan\": {{ \"addrs_per_s\": {:.1} }}\n}}\n",
+         \"apd_plan\": {{ \"addrs_per_s\": {:.1} }},\n  \
+         \"snapshot\": {{ \"bytes\": {snapshot_bytes}, \"save_mb_per_s\": {:.1}, \"resume_s\": {:.4} }}\n}}\n",
         kept.len(),
         merged,
         battery_per_s,
@@ -171,6 +200,8 @@ pub fn bench_pipeline(ctx: &mut Ctx) -> String {
         per_s(resp_hash_s),
         per_s(resp_col_s),
         plan_addrs_per_s,
+        save_mb_per_s,
+        resume_s,
     );
     ctx.write("BENCH_pipeline.json", &json);
     out.push_str("\nwrote BENCH_pipeline.json\n");

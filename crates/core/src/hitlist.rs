@@ -16,8 +16,10 @@
 //! the pipeline, ledger, and daily snapshot can key state by id across
 //! days, and every daily pass is a sequential column walk.
 
+use expanse_addr::codec::{self, CodecError, Decoder, Encoder};
 use expanse_addr::{AddrId, AddrSet, AddrTable};
 use expanse_model::SourceId;
+use std::io::{Read, Write};
 use std::net::Ipv6Addr;
 
 /// Bitmask of sources (bit = SourceId order).
@@ -54,6 +56,28 @@ impl SourceMask {
 /// Column sentinel: the address never answered a probe.
 const NEVER: u16 = u16::MAX;
 
+/// Snapshot wire form of a [`SourceId`]: its [`SourceId::ALL`] index as
+/// one byte. Shared by every snapshot section in this crate (hitlist
+/// first-source column, ledger rows) so the mapping and its validation
+/// live in one place.
+///
+/// The write side uses the enum discriminant, the read side indexes
+/// `ALL`; this is a *persistent* format, so the two orderings agreeing
+/// is load-bearing — `source_wire_form_matches_all_order` pins it.
+pub(crate) fn put_source<W: Write>(enc: &mut Encoder<W>, s: SourceId) -> Result<(), CodecError> {
+    enc.put_u8(s as u8)
+}
+
+/// Decode a [`SourceId`] written by [`put_source`]; unknown indices are
+/// corruption.
+pub(crate) fn get_source<R: Read>(dec: &mut Decoder<R>) -> Result<SourceId, CodecError> {
+    let idx = dec.get_u8()? as usize;
+    SourceId::ALL
+        .get(idx)
+        .copied()
+        .ok_or(CodecError::Corrupt("unknown source id"))
+}
+
 /// The accumulated hitlist.
 #[derive(Debug, Clone, Default)]
 pub struct Hitlist {
@@ -65,6 +89,11 @@ pub struct Hitlist {
     first_source: Vec<SourceId>,
     /// Id → last probing day the address answered ([`NEVER`] if none).
     last_responsive: Vec<u16>,
+    /// Id → day the address was inserted (or last revived). Retention
+    /// grants every member a full unresponsiveness window from this
+    /// day, so a never-responsive address is not expired the moment an
+    /// expiry pass happens to run after its insertion.
+    added_day: Vec<u16>,
     /// Id → still a member (expiry tombstones instead of renumbering).
     alive: Vec<bool>,
     /// Live member count.
@@ -77,10 +106,11 @@ impl Hitlist {
         Hitlist::default()
     }
 
-    /// Add addresses from a source; returns how many were new. An
-    /// address re-added after expiry revives its old id (and counts as
-    /// new, with fresh provenance).
-    pub fn add_from(&mut self, source: SourceId, addrs: &[Ipv6Addr]) -> usize {
+    /// Add addresses from a source on probing day `day`; returns how
+    /// many were new. An address re-added after expiry revives its old
+    /// id (and counts as new, with fresh provenance and a fresh
+    /// `added_day`, so retention grants it a full grace window again).
+    pub fn add_from(&mut self, source: SourceId, addrs: &[Ipv6Addr], day: u16) -> usize {
         let mut new = 0;
         for &a in addrs {
             let (id, inserted) = self.table.intern_u128(expanse_addr::addr_to_u128(a));
@@ -88,6 +118,7 @@ impl Hitlist {
                 self.sources.push(SourceMask::default().with(source));
                 self.first_source.push(source);
                 self.last_responsive.push(NEVER);
+                self.added_day.push(day);
                 self.alive.push(true);
                 self.live += 1;
                 new += 1;
@@ -96,6 +127,7 @@ impl Hitlist {
                 self.sources[id.index()] = SourceMask::default().with(source);
                 self.first_source[id.index()] = source;
                 self.last_responsive[id.index()] = NEVER;
+                self.added_day[id.index()] = day;
                 self.alive[id.index()] = true;
                 self.live += 1;
                 new += 1;
@@ -206,9 +238,12 @@ impl Hitlist {
     }
 
     /// Expire addresses that have not answered any probe in the last
-    /// `window` days (as of `today`). Addresses that never answered are
-    /// expired once they are `window` days old in responsiveness
-    /// tracking. Returns the number removed.
+    /// `window` days (as of `today`). A member's reference day is
+    /// `max(added_day, last_responsive)`: an address that never
+    /// answered gets a full `window` days of grace from its insertion
+    /// (or revival) before it can expire, instead of being treated as
+    /// "last responsive on day 0" and culled immediately. Returns the
+    /// number removed.
     ///
     /// This implements the retention policy the paper leaves as future
     /// work (§3: "We may revisit this decision in the future, and remove
@@ -226,13 +261,83 @@ impl Hitlist {
                 continue;
             }
             let last = self.last_responsive[i];
-            let effective = if last == NEVER { 0 } else { last };
+            let effective = if last == NEVER {
+                self.added_day[i]
+            } else {
+                last.max(self.added_day[i])
+            };
             if effective < cutoff {
                 self.alive[i] = false;
                 self.live -= 1;
             }
         }
         before - self.live
+    }
+
+    /// Serialize the full hitlist state — interner plus every
+    /// provenance/responsiveness column and the expiry tombstones —
+    /// into an open snapshot envelope.
+    pub fn encode<W: Write>(&self, enc: &mut Encoder<W>) -> Result<(), CodecError> {
+        codec::write_table(enc, &self.table)?;
+        for m in &self.sources {
+            enc.put_u16(m.0)?;
+        }
+        for &s in &self.first_source {
+            put_source(enc, s)?;
+        }
+        for &d in &self.last_responsive {
+            enc.put_u16(d)?;
+        }
+        for &d in &self.added_day {
+            enc.put_u16(d)?;
+        }
+        for &a in &self.alive {
+            enc.put_bool(a)?;
+        }
+        Ok(())
+    }
+
+    /// Rebuild a hitlist from [`Hitlist::encode`] output. Ids come back
+    /// exactly as issued before the save (tombstoned rows included), so
+    /// id-keyed state in the ledger and pipeline stays valid.
+    pub fn decode<R: Read>(dec: &mut Decoder<R>) -> Result<Hitlist, CodecError> {
+        let table = codec::read_table(dec)?;
+        let n = table.len();
+        let hint = Decoder::<R>::reserve_hint(n);
+        let mut sources = Vec::with_capacity(hint);
+        for _ in 0..n {
+            let m = dec.get_u16()?;
+            if m >> SourceId::ALL.len() != 0 {
+                return Err(CodecError::Corrupt("source mask has unknown bits"));
+            }
+            sources.push(SourceMask(m));
+        }
+        let mut first_source = Vec::with_capacity(hint);
+        for _ in 0..n {
+            first_source.push(get_source(dec)?);
+        }
+        let mut last_responsive = Vec::with_capacity(hint);
+        for _ in 0..n {
+            last_responsive.push(dec.get_u16()?);
+        }
+        let mut added_day = Vec::with_capacity(hint);
+        for _ in 0..n {
+            added_day.push(dec.get_u16()?);
+        }
+        let mut alive = Vec::with_capacity(hint);
+        for _ in 0..n {
+            alive.push(dec.get_bool()?);
+        }
+        let live = alive.iter().filter(|&&a| a).count();
+        Ok(Hitlist {
+            table,
+            sources,
+            first_source,
+            last_responsive,
+            added_day,
+            alive,
+            live,
+        })
     }
 }
 
@@ -247,9 +352,9 @@ mod tests {
     #[test]
     fn accumulation_and_provenance() {
         let mut h = Hitlist::new();
-        let n1 = h.add_from(SourceId::DomainLists, &[a("::1"), a("::2")]);
+        let n1 = h.add_from(SourceId::DomainLists, &[a("::1"), a("::2")], 0);
         assert_eq!(n1, 2);
-        let n2 = h.add_from(SourceId::Fdns, &[a("::2"), a("::3")]);
+        let n2 = h.add_from(SourceId::Fdns, &[a("::2"), a("::3")], 0);
         assert_eq!(n2, 1, "::2 already present");
         assert_eq!(h.len(), 3);
         assert!(h.sources_of(a("::2")).contains(SourceId::DomainLists));
@@ -263,16 +368,16 @@ mod tests {
     #[test]
     fn duplicate_adds_idempotent() {
         let mut h = Hitlist::new();
-        h.add_from(SourceId::Ct, &[a("::7"), a("::7")]);
+        h.add_from(SourceId::Ct, &[a("::7"), a("::7")], 0);
         assert_eq!(h.len(), 1);
-        assert_eq!(h.add_from(SourceId::Ct, &[a("::7")]), 0);
+        assert_eq!(h.add_from(SourceId::Ct, &[a("::7")], 0), 0);
     }
 
     #[test]
     fn insertion_order_stable() {
         let mut h = Hitlist::new();
-        h.add_from(SourceId::Ct, &[a("::9"), a("::1")]);
-        h.add_from(SourceId::Axfr, &[a("::5")]);
+        h.add_from(SourceId::Ct, &[a("::9"), a("::1")], 0);
+        h.add_from(SourceId::Axfr, &[a("::5")], 0);
         let order: Vec<Ipv6Addr> = h.iter().collect();
         assert_eq!(order, vec![a("::9"), a("::1"), a("::5")]);
         // live_set ids follow the same order and resolve to the same
@@ -287,7 +392,7 @@ mod tests {
         let addrs: Vec<Ipv6Addr> = (1..=4u32)
             .map(|i| expanse_addr::u128_to_addr(u128::from(i)))
             .collect();
-        h.add_from(SourceId::DomainLists, &addrs);
+        h.add_from(SourceId::DomainLists, &addrs, 0);
         // Days 0..10: only addr 1 and 2 keep answering; 2 stops at day 4.
         for day in 0..10u16 {
             h.mark_responsive(addrs[0], day);
@@ -307,20 +412,20 @@ mod tests {
         assert!(!h.contains(addrs[1]));
         // Early days: nothing expires (cutoff saturates to 0).
         let mut h2 = Hitlist::new();
-        h2.add_from(SourceId::Ct, &addrs);
+        h2.add_from(SourceId::Ct, &addrs, 0);
         assert_eq!(h2.expire_unresponsive(2, 3), 0);
     }
 
     #[test]
     fn expired_address_revives_in_place() {
         let mut h = Hitlist::new();
-        h.add_from(SourceId::Ct, &[a("::1"), a("::2")]);
+        h.add_from(SourceId::Ct, &[a("::1"), a("::2")], 0);
         h.mark_responsive(a("::1"), 8);
         assert_eq!(h.expire_unresponsive(10, 3), 1);
         assert!(!h.contains(a("::2")));
         // Re-added by a different source: counts as new, fresh
         // provenance, same id (insertion position preserved).
-        assert_eq!(h.add_from(SourceId::Fdns, &[a("::2")]), 1);
+        assert_eq!(h.add_from(SourceId::Fdns, &[a("::2")], 10), 1);
         assert!(h.contains(a("::2")));
         assert_eq!(h.last_responsive(a("::2")), None);
         assert_eq!(h.new_of_source(SourceId::Fdns), vec![a("::2")]);
@@ -349,14 +454,127 @@ mod tests {
     #[test]
     fn ids_stable_across_expiry() {
         let mut h = Hitlist::new();
-        h.add_from(SourceId::Ct, &[a("::1"), a("::2"), a("::3")]);
+        h.add_from(SourceId::Ct, &[a("::1"), a("::2"), a("::3")], 0);
         let id2 = h.id_of(a("::2")).unwrap();
         h.mark_responsive(a("::1"), 9);
         h.mark_responsive(a("::3"), 9);
         h.expire_unresponsive(10, 1);
         assert_eq!(h.id_of(a("::2")), None, "expired ids are not live");
-        h.add_from(SourceId::Ct, &[a("::2")]);
+        h.add_from(SourceId::Ct, &[a("::2")], 10);
         assert_eq!(h.id_of(a("::2")), Some(id2), "revival reuses the id");
         assert_eq!(h.id_of(a("::3")).map(|i| i.index()), Some(2));
+    }
+
+    /// Regression for the retention-expiry churn bug: never-responsive
+    /// members used to be treated as `last_responsive = 0`, so an
+    /// address added (or revived) just before an expiry pass was
+    /// removed immediately and re-entered as "new" on the next add —
+    /// an endless churn loop inflating new-IP counts.
+    #[test]
+    fn expiry_grants_grace_window_from_insertion() {
+        let mut h = Hitlist::new();
+        // Insert on day 9, expiry pass with a 3-day window on day 10:
+        // the address is 1 day old and must survive.
+        h.add_from(SourceId::Ct, &[a("::1")], 9);
+        assert_eq!(h.expire_unresponsive(10, 3), 0, "1-day-old member culled");
+        // It survives the full window after insertion...
+        assert_eq!(
+            h.expire_unresponsive(12, 3),
+            0,
+            "cutoff 9: day-9 insert survives"
+        );
+        // ...and expires only once the window has fully elapsed.
+        assert_eq!(h.expire_unresponsive(13, 3), 1, "cutoff 10: grace over");
+    }
+
+    #[test]
+    fn revive_expire_revive_cycle_respects_grace() {
+        let mut h = Hitlist::new();
+        h.add_from(SourceId::Ct, &[a("::1")], 0);
+        h.mark_responsive(a("::1"), 1);
+        // Goes quiet; expired on day 10 (window 3, cutoff 7).
+        assert_eq!(h.expire_unresponsive(10, 3), 1);
+        // A source re-contributes it the same day: revival resets
+        // last_responsive to NEVER — the bug's trigger.
+        assert_eq!(h.add_from(SourceId::Fdns, &[a("::1")], 10), 1);
+        // The very next expiry pass must NOT re-expire it: its grace
+        // window restarts at the revival day.
+        assert_eq!(h.expire_unresponsive(11, 3), 0, "revived member re-expired");
+        assert_eq!(
+            h.expire_unresponsive(13, 3),
+            0,
+            "still inside revival grace"
+        );
+        assert!(h.contains(a("::1")));
+        // Responding extends its life past the insertion-based grace.
+        h.mark_responsive(a("::1"), 12);
+        assert_eq!(h.expire_unresponsive(14, 3), 0);
+        // Quiet again: expires a full window after its last answer.
+        assert_eq!(h.expire_unresponsive(16, 3), 1);
+        // And the cycle can restart cleanly (fresh grace once more).
+        assert_eq!(h.add_from(SourceId::Ct, &[a("::1")], 16), 1);
+        assert_eq!(h.expire_unresponsive(17, 3), 0);
+    }
+
+    /// The snapshot codec writes a `SourceId` as its discriminant and
+    /// reads it back as a [`SourceId::ALL`] index (here and in the
+    /// ledger rows). Reordering `ALL` against the enum declaration
+    /// would silently corrupt every existing snapshot's provenance —
+    /// the bytes stay structurally valid and checksummed. Pin the
+    /// agreement so such a change fails loudly.
+    #[test]
+    fn source_wire_form_matches_all_order() {
+        for (i, &s) in SourceId::ALL.iter().enumerate() {
+            assert_eq!(s as usize, i, "SourceId::ALL order diverged at {s:?}");
+        }
+    }
+
+    #[test]
+    fn codec_roundtrip_preserves_all_columns() {
+        use expanse_addr::codec::{Decoder, Encoder};
+        let mut h = Hitlist::new();
+        h.add_from(SourceId::Ct, &[a("::1"), a("::2"), a("::3")], 0);
+        h.add_from(SourceId::Fdns, &[a("::2"), a("::4")], 2);
+        h.mark_responsive(a("::1"), 5);
+        h.mark_responsive(a("::3"), 2);
+        // Cutoff 4: ::2 (added 0), ::3 (last 2), ::4 (added 2) expire.
+        assert_eq!(h.expire_unresponsive(7, 3), 3);
+        h.add_from(SourceId::Axfr, &[a("::4")], 9); // one revival
+        h.mark_responsive(a("::1"), 10);
+
+        let mut buf = Vec::new();
+        let mut enc = Encoder::new(&mut buf, b"HITLTEST", 1).unwrap();
+        h.encode(&mut enc).unwrap();
+        enc.finish().unwrap();
+        let mut dec = Decoder::new(buf.as_slice(), b"HITLTEST", 1).unwrap();
+        let back = Hitlist::decode(&mut dec).unwrap();
+        dec.finish().unwrap();
+
+        assert_eq!(back.len(), h.len());
+        assert_eq!(
+            back.iter().collect::<Vec<_>>(),
+            h.iter().collect::<Vec<_>>()
+        );
+        for addr in h.iter() {
+            assert_eq!(back.id_of(addr), h.id_of(addr), "{addr}");
+            assert_eq!(back.sources_of(addr), h.sources_of(addr), "{addr}");
+            assert_eq!(back.last_responsive(addr), h.last_responsive(addr));
+        }
+        // Tombstones preserved: ::2 and ::3 are expired in both.
+        assert!(!back.contains(a("::2")));
+        assert!(!back.contains(a("::3")));
+        // added_day preserved: the day-9 revival of ::4 still has its
+        // grace window after the round-trip (cutoff 8 < 9)...
+        let mut b2 = back.clone();
+        assert_eq!(b2.expire_unresponsive(11, 3), 0, "::4 grace lost in codec");
+        // ...and runs out exactly when it should (cutoff 10 > 9), while
+        // ::1 (last responsive day 10) stays.
+        assert_eq!(
+            b2.expire_unresponsive(13, 3),
+            1,
+            "::4 must expire at cutoff 10"
+        );
+        assert!(b2.contains(a("::1")));
+        assert!(!b2.contains(a("::4")));
     }
 }

@@ -33,5 +33,5 @@ pub mod service;
 
 pub use hitlist::{Hitlist, SourceMask};
 pub use longitudinal::{Fig8Row, Ledger};
-pub use pipeline::{DailySnapshot, Pipeline, PipelineConfig};
+pub use pipeline::{DailySnapshot, Pipeline, PipelineConfig, RetentionConfig};
 pub use report::{render_source_table, source_table, total_row, SourceRow};

@@ -12,10 +12,12 @@
 //! probing.
 
 use crate::hitlist::Hitlist;
+use expanse_addr::codec::{self, CodecError, Decoder, Encoder};
 use expanse_addr::{AddrId, AddrSet};
 use expanse_model::SourceId;
 use expanse_packet::{ProtoSet, Protocol};
 use std::collections::HashMap;
+use std::io::{Read, Write};
 
 /// Row keys of the Fig 8 matrix: sources, with CT/AXFR split into
 /// QUIC and non-QUIC rows (their QUIC response rates flap separately).
@@ -67,11 +69,16 @@ impl Fig8Row {
 /// The responsiveness ledger.
 #[derive(Debug, Clone, Default)]
 pub struct Ledger {
-    /// Baseline (day-0 responsive) id set per row, in [`Fig8Row::all`]
-    /// order.
+    /// Baseline id set per row, in [`Fig8Row::all`] order. Established
+    /// on the first *non-empty* recorded day: a smoke-scale day with
+    /// zero responders must not pin every row to an empty baseline (and
+    /// a permanent NaN series) forever.
     baselines: Vec<(Fig8Row, AddrSet)>,
-    /// Per day, per row: surviving fraction of the baseline.
+    /// Per day, per row: surviving fraction of the baseline (`NaN`
+    /// before the baseline day and for empty baselines).
     survival: HashMap<Fig8Row, Vec<f64>>,
+    /// First day ever recorded; recording must then stay consecutive.
+    first_day: Option<u16>,
     days_recorded: u16,
 }
 
@@ -90,9 +97,21 @@ impl Ledger {
             responsive.windows(2).all(|w| w[0].0 < w[1].0),
             "daily pass must be sorted by id"
         );
-        if self.baselines.is_empty() {
-            // Establish baselines on the first recorded day (after any
-            // APD warmup the pipeline ran).
+        // Days must arrive consecutively: survival series are indexed
+        // by days-since-first, so a gap or repeat would silently shear
+        // every row's series against the calendar.
+        match self.first_day {
+            None => self.first_day = Some(day),
+            Some(first) => assert_eq!(
+                day,
+                first + self.days_recorded,
+                "ledger days must be recorded consecutively (first day {first}, {} recorded)",
+                self.days_recorded
+            ),
+        }
+        if self.baselines.is_empty() && !responsive.is_empty() {
+            // Establish baselines on the first non-empty recorded day
+            // (after any APD warmup the pipeline ran).
             for row in Fig8Row::all() {
                 let ids: Vec<AddrId> = responsive
                     .iter()
@@ -102,6 +121,13 @@ impl Ledger {
                     .map(|(id, _)| *id)
                     .collect();
                 self.baselines.push((row, AddrSet::from_sorted(ids)));
+            }
+        }
+        if self.baselines.is_empty() {
+            // Pre-baseline (all-quiet) day: keep every series aligned
+            // with days_recorded so day indices stay meaningful.
+            for row in Fig8Row::all() {
+                self.survival.entry(row).or_default().push(f64::NAN);
             }
         }
         for (row, baseline) in &self.baselines {
@@ -128,7 +154,6 @@ impl Ledger {
             };
             self.survival.entry(*row).or_default().push(alive);
         }
-        let _ = day;
         self.days_recorded += 1;
     }
 
@@ -148,6 +173,78 @@ impl Ledger {
     /// Days recorded so far.
     pub fn days(&self) -> u16 {
         self.days_recorded
+    }
+
+    /// The first recorded day, if any day was recorded yet.
+    pub fn first_day(&self) -> Option<u16> {
+        self.first_day
+    }
+
+    /// Serialize baselines, survival series, and the day counters into
+    /// an open snapshot envelope. Rows are written in [`Fig8Row::all`]
+    /// order so the byte stream never depends on hash-map iteration.
+    pub fn encode<W: Write>(&self, enc: &mut Encoder<W>) -> Result<(), CodecError> {
+        match self.first_day {
+            None => enc.put_u8(0)?,
+            Some(d) => {
+                enc.put_u8(1)?;
+                enc.put_u16(d)?;
+            }
+        }
+        enc.put_u16(self.days_recorded)?;
+        enc.put_len(self.baselines.len())?;
+        for (row, set) in &self.baselines {
+            encode_row(enc, *row)?;
+            codec::write_set(enc, set)?;
+        }
+        for row in Fig8Row::all() {
+            let series = self.series(row);
+            enc.put_len(series.len())?;
+            for &v in series {
+                enc.put_f64(v)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Rebuild a ledger from [`Ledger::encode`] output.
+    pub fn decode<R: Read>(dec: &mut Decoder<R>) -> Result<Ledger, CodecError> {
+        let first_day = match dec.get_u8()? {
+            0 => None,
+            1 => Some(dec.get_u16()?),
+            _ => return Err(CodecError::Corrupt("ledger first-day tag out of range")),
+        };
+        let days_recorded = dec.get_u16()?;
+        let n = dec.get_len()?;
+        let rows = Fig8Row::all();
+        if n > rows.len() {
+            return Err(CodecError::Corrupt("too many ledger baselines"));
+        }
+        let mut baselines = Vec::with_capacity(n);
+        for &expected in rows.iter().take(n) {
+            let row = decode_row(dec)?;
+            if row != expected {
+                return Err(CodecError::Corrupt("ledger baselines out of row order"));
+            }
+            baselines.push((row, codec::read_set(dec)?));
+        }
+        let mut survival: HashMap<Fig8Row, Vec<f64>> = HashMap::new();
+        for row in rows {
+            let len = dec.get_len()?;
+            let mut series = Vec::with_capacity(Decoder::<R>::reserve_hint(len));
+            for _ in 0..len {
+                series.push(dec.get_f64()?);
+            }
+            if !series.is_empty() {
+                survival.insert(row, series);
+            }
+        }
+        Ok(Ledger {
+            baselines,
+            survival,
+            first_day,
+            days_recorded,
+        })
     }
 
     /// Render the Fig 8 matrix.
@@ -174,6 +271,28 @@ impl Ledger {
             out.push('\n');
         }
         out
+    }
+}
+
+/// Encode a [`Fig8Row`] as `(tag, source)`, sharing the crate's
+/// [`SourceId`] wire form ([`crate::hitlist::put_source`]).
+fn encode_row<W: Write>(enc: &mut Encoder<W>, row: Fig8Row) -> Result<(), CodecError> {
+    let (tag, s) = match row {
+        Fig8Row::Source(s) => (0u8, s),
+        Fig8Row::SourceQuic(s) => (1u8, s),
+    };
+    enc.put_u8(tag)?;
+    crate::hitlist::put_source(enc, s)
+}
+
+/// Decode a [`Fig8Row`] written by [`encode_row`].
+fn decode_row<R: Read>(dec: &mut Decoder<R>) -> Result<Fig8Row, CodecError> {
+    let tag = dec.get_u8()?;
+    let src = crate::hitlist::get_source(dec)?;
+    match tag {
+        0 => Ok(Fig8Row::Source(src)),
+        1 => Ok(Fig8Row::SourceQuic(src)),
+        _ => Err(CodecError::Corrupt("ledger row tag out of range")),
     }
 }
 
@@ -207,7 +326,7 @@ mod tests {
     fn survival_fractions() {
         let mut h = Hitlist::new();
         let addrs: Vec<Ipv6Addr> = (0..10).map(addr).collect();
-        h.add_from(SourceId::DomainLists, &addrs);
+        h.add_from(SourceId::DomainLists, &addrs, 0);
         let mut ledger = Ledger::new();
 
         // Day 0: all 10 respond.
@@ -228,7 +347,7 @@ mod tests {
     fn quic_rows_track_quic_only() {
         let mut h = Hitlist::new();
         let addrs: Vec<Ipv6Addr> = (0..4).map(addr).collect();
-        h.add_from(SourceId::Ct, &addrs);
+        h.add_from(SourceId::Ct, &addrs, 0);
         let mut ledger = Ledger::new();
         ledger.record_day(0, &mk_responsive(&h, &addrs, true), &h);
         assert_eq!(ledger.baseline_len(Fig8Row::SourceQuic(SourceId::Ct)), 4);
@@ -240,11 +359,95 @@ mod tests {
         assert!((all[1] - 1.0).abs() < 1e-9, "general survival unaffected");
     }
 
+    /// Regression: an all-quiet first day (tiny/smoke configs) used to
+    /// establish empty baselines permanently, pinning every row to a
+    /// NaN series even after responders appeared.
+    #[test]
+    fn baseline_deferred_past_empty_days() {
+        let mut h = Hitlist::new();
+        let addrs: Vec<Ipv6Addr> = (0..5).map(addr).collect();
+        h.add_from(SourceId::DomainLists, &addrs, 0);
+        let mut ledger = Ledger::new();
+
+        // Days 3 and 4: nobody answers. No baseline may be pinned.
+        ledger.record_day(3, &[], &h);
+        ledger.record_day(4, &[], &h);
+        assert_eq!(
+            ledger.baseline_len(Fig8Row::Source(SourceId::DomainLists)),
+            0
+        );
+        assert_eq!(ledger.days(), 2);
+        assert_eq!(ledger.first_day(), Some(3));
+        // Pre-baseline days are recorded as NaN, keeping series aligned.
+        let row = Fig8Row::Source(SourceId::DomainLists);
+        assert_eq!(ledger.series(row).len(), 2);
+        assert!(ledger.series(row).iter().all(|v| v.is_nan()));
+
+        // Day 5: responders appear — the baseline is established now.
+        ledger.record_day(5, &mk_responsive(&h, &addrs, false), &h);
+        assert_eq!(ledger.baseline_len(row), 5);
+        let series = ledger.series(row);
+        assert_eq!(series.len(), 3);
+        assert!((series[2] - 1.0).abs() < 1e-9, "day 5 survival must be 1");
+
+        // Day 6: 3 of 5 respond — a real fraction, not NaN.
+        ledger.record_day(6, &mk_responsive(&h, &addrs[..3], false), &h);
+        assert!((ledger.series(row)[3] - 0.6).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "recorded consecutively")]
+    fn non_consecutive_days_rejected() {
+        let mut h = Hitlist::new();
+        let addrs: Vec<Ipv6Addr> = (0..2).map(addr).collect();
+        h.add_from(SourceId::Ct, &addrs, 0);
+        let mut ledger = Ledger::new();
+        ledger.record_day(0, &mk_responsive(&h, &addrs, false), &h);
+        ledger.record_day(2, &mk_responsive(&h, &addrs, false), &h);
+    }
+
+    #[test]
+    fn codec_roundtrip() {
+        use expanse_addr::codec::{Decoder, Encoder};
+        let mut h = Hitlist::new();
+        let addrs: Vec<Ipv6Addr> = (0..6).map(addr).collect();
+        h.add_from(SourceId::Ct, &addrs, 0);
+        let mut ledger = Ledger::new();
+        ledger.record_day(4, &[], &h); // one pre-baseline NaN day
+        ledger.record_day(5, &mk_responsive(&h, &addrs, true), &h);
+        ledger.record_day(6, &mk_responsive(&h, &addrs[..4], false), &h);
+
+        let mut buf = Vec::new();
+        let mut enc = Encoder::new(&mut buf, b"LEDGTEST", 1).unwrap();
+        ledger.encode(&mut enc).unwrap();
+        enc.finish().unwrap();
+        let mut dec = Decoder::new(buf.as_slice(), b"LEDGTEST", 1).unwrap();
+        let back = Ledger::decode(&mut dec).unwrap();
+        dec.finish().unwrap();
+
+        assert_eq!(back.days(), ledger.days());
+        assert_eq!(back.first_day(), ledger.first_day());
+        for row in Fig8Row::all() {
+            assert_eq!(back.baseline_len(row), ledger.baseline_len(row));
+            let (a, b) = (back.series(row), ledger.series(row));
+            assert_eq!(a.len(), b.len(), "{row:?}");
+            for (x, y) in a.iter().zip(b) {
+                assert!((x.is_nan() && y.is_nan()) || x == y, "{row:?}: {x} vs {y}");
+            }
+        }
+        // The restored ledger keeps recording where it left off.
+        let mut back = back;
+        back.record_day(7, &mk_responsive(&h, &addrs[..2], false), &h);
+        let row = Fig8Row::Source(SourceId::Ct);
+        let s = back.series(row);
+        assert!((s[s.len() - 1] - 2.0 / 6.0).abs() < 1e-9);
+    }
+
     #[test]
     fn render_has_rows() {
         let mut h = Hitlist::new();
         let addrs: Vec<Ipv6Addr> = (0..3).map(addr).collect();
-        h.add_from(SourceId::RipeAtlas, &addrs);
+        h.add_from(SourceId::RipeAtlas, &addrs, 0);
         let mut ledger = Ledger::new();
         ledger.record_day(0, &mk_responsive(&h, &addrs, false), &h);
         let s = ledger.render();

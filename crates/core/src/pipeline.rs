@@ -1,15 +1,48 @@
 //! The daily measurement pipeline (§6): collect → merge → de-alias →
-//! traceroute → probe → record.
+//! traceroute → probe → record — with retention expiry and a
+//! persistent snapshot/resume path for long-running service
+//! deployments.
 
 use crate::hitlist::Hitlist;
 use crate::longitudinal::Ledger;
+use expanse_addr::codec::{self, CodecError, Decoder, Encoder};
 use expanse_addr::{AddrId, AddrMap, Prefix};
 use expanse_apd::{Apd, ApdConfig, PlanConfig};
 use expanse_model::{InternetModel, ModelConfig, Source, SourceId};
+use expanse_netsim::Time;
 use expanse_packet::ProtoSet;
 use expanse_scamper6::{TraceConfig, Tracer};
 use expanse_zmap6::{standard_battery, MultiScanResult, ScanConfig, Scanner};
+use std::collections::BTreeSet;
+use std::io::{Read, Write};
 use std::net::Ipv6Addr;
+
+/// Retention policy: when (if ever) unresponsive members are expired
+/// from the accumulated hitlist.
+///
+/// The paper accumulates indefinitely (§3) but names
+/// unresponsiveness-window removal as future work; this wires
+/// [`Hitlist::expire_unresponsive`] into the daily cycle. Every member
+/// gets a full `window` of grace from insertion (or revival) before it
+/// can expire — see the hitlist docs for the churn bug this prevents.
+#[derive(Debug, Clone)]
+pub struct RetentionConfig {
+    /// Expire members whose last response (or insertion) is more than
+    /// this many days old. `None` disables expiry: accumulate forever,
+    /// the paper's published policy.
+    pub window: Option<u16>,
+    /// Run the expiry pass every N days (values < 1 behave as 1).
+    pub every: u16,
+}
+
+impl Default for RetentionConfig {
+    fn default() -> Self {
+        RetentionConfig {
+            window: None,
+            every: 1,
+        }
+    }
+}
 
 /// Pipeline configuration.
 #[derive(Debug, Clone)]
@@ -26,6 +59,8 @@ pub struct PipelineConfig {
     /// Re-run the full APD plan every N days (between full runs, only
     /// prefixes that ever looked nearly-aliased are re-probed).
     pub full_apd_every: u16,
+    /// Hitlist retention policy.
+    pub retention: RetentionConfig,
 }
 
 impl Default for PipelineConfig {
@@ -36,6 +71,7 @@ impl Default for PipelineConfig {
             plan: PlanConfig::default(),
             trace_budget: 200,
             full_apd_every: 7,
+            retention: RetentionConfig::default(),
         }
     }
 }
@@ -57,6 +93,8 @@ pub struct DailySnapshot {
     pub responsive: AddrMap<ProtoSet>,
     /// Router addresses harvested by scamper today.
     pub routers_found: usize,
+    /// Members expired by the retention policy today (0 when disabled).
+    pub expired_today: usize,
     /// Probes sent today (APD + battery + traceroute).
     pub probes_sent: u64,
     /// Canonical digest of the battery's merged scan result. Identical
@@ -79,8 +117,11 @@ pub struct Pipeline {
     pub sources: Vec<Source>,
     /// Longitudinal responsiveness ledger.
     pub ledger: Ledger,
-    /// Prefixes worth re-probing between full APD runs.
-    hot_prefixes: Vec<Prefix>,
+    /// Prefixes worth re-probing between full APD runs: a sorted set,
+    /// pruned when a prefix is classified aliased or goes cold (a
+    /// classified prefix holds its verdict without daily probes until
+    /// the next full run re-validates it).
+    hot_prefixes: BTreeSet<Prefix>,
     day: u16,
 }
 
@@ -97,7 +138,7 @@ impl Pipeline {
             hitlist: Hitlist::new(),
             sources,
             ledger: Ledger::new(),
-            hot_prefixes: Vec::new(),
+            hot_prefixes: BTreeSet::new(),
             day: 0,
         }
     }
@@ -120,8 +161,9 @@ impl Pipeline {
             .iter()
             .map(|s| (s.id, s.addrs_on_day(runup_day).to_vec()))
             .collect();
+        let day = self.day;
         for (id, addrs) in batches {
-            self.hitlist.add_from(id, &addrs);
+            self.hitlist.add_from(id, &addrs, day);
         }
     }
 
@@ -167,26 +209,37 @@ impl Pipeline {
         let plan: Vec<Prefix> = if day.is_multiple_of(self.cfg.full_apd_every) {
             expanse_apd::plan_targets_set(self.hitlist.table(), &live, &self.cfg.plan)
         } else {
-            self.hot_prefixes.clone()
+            self.hot_prefixes.iter().copied().collect()
         };
-        if !plan.is_empty() {
-            let report = self.apd.run_day(&mut self.scanner, &plan);
+        let report = if plan.is_empty() {
+            None
+        } else {
+            Some(self.apd.run_day(&mut self.scanner, &plan))
+        };
+        // One windowed classification pass for the whole day: the hot
+        // set, the LPM filter, and the snapshot all read this vector
+        // (it is only current *after* today's window update above).
+        let aliased_now = self.apd.aliased_prefixes();
+        if let Some(report) = report {
             probes += report.probes_sent;
-            // Prefixes ≥ 14/16 branches once are worth daily attention.
-            let mut hot: Vec<Prefix> = report
-                .observations
-                .iter()
-                .filter(|(_, o)| o.merged().count_ones() >= 14)
-                .map(|(p, _)| *p)
-                .collect();
-            hot.sort();
-            for p in hot {
-                if !self.hot_prefixes.contains(&p) {
-                    self.hot_prefixes.push(p);
+            // Maintain the hot set from today's evidence: a prefix at
+            // ≥ 14/16 branches is nearly aliased and worth daily
+            // attention — but once the windowed detector classifies it
+            // aliased it needs no extra probing (the verdict holds
+            // until the next full run), and one that went cold leaves.
+            // The set membership updates keep this O(probed · log hot)
+            // instead of the old O(probed · hot) `Vec::contains` scan,
+            // and the old set-only-grows behavior is gone.
+            for (p, o) in &report.observations {
+                let nearly = o.merged().count_ones() >= 14;
+                if nearly && aliased_now.binary_search(p).is_err() {
+                    self.hot_prefixes.insert(*p);
+                } else {
+                    self.hot_prefixes.remove(p);
                 }
             }
         }
-        let filter = self.apd.filter();
+        let filter = expanse_apd::AliasFilter::new(aliased_now.iter().copied());
         let (kept_ids, _removed) = filter.split_set(self.hitlist.table(), &live);
         // Materialize the non-aliased targets once, in id (= insertion)
         // order — the same byte-for-byte target list the fan-out grid's
@@ -211,7 +264,7 @@ impl Pipeline {
             harvest.routers
         };
         let routers_found = routers.len();
-        self.hitlist.add_from(SourceId::Scamper, &routers);
+        self.hitlist.add_from(SourceId::Scamper, &routers, day);
 
         // ---- responsiveness battery ----------------------------------
         let battery = standard_battery();
@@ -236,16 +289,27 @@ impl Pipeline {
             self.hitlist.mark_responsive_id(id, day);
         }
 
+        // ---- retention: expire long-unresponsive members -------------
+        // Runs after today's responses are recorded, so an address that
+        // answered today can never expire today.
+        let expired_today = match self.cfg.retention.window {
+            Some(window) if day.is_multiple_of(self.cfg.retention.every.max(1)) => {
+                self.hitlist.expire_unresponsive(day, window)
+            }
+            _ => 0,
+        };
+
         let snapshot = DailySnapshot {
             day,
             hitlist_total: self.hitlist.len(),
             hitlist_after_apd: kept.len(),
-            aliased_prefixes: self.apd.aliased_prefixes(),
+            aliased_prefixes: aliased_now,
             // The snapshot takes the merged responsive map over; the
             // returned MultiScanResult keeps the per-protocol results
             // (its own responsive map is left empty).
             responsive: multi.take_responsive(),
             routers_found,
+            expired_today,
             probes_sent: probes,
             battery_digest,
         };
@@ -257,7 +321,86 @@ impl Pipeline {
     pub fn day(&self) -> u16 {
         self.day
     }
+
+    /// Serialize the pipeline's persistent state — hitlist (all
+    /// provenance/responsiveness columns + tombstones), ledger
+    /// (baselines + survival series), APD window state, the hot-prefix
+    /// set, the day counter, and the scanner's virtual clock — into one
+    /// versioned, checksummed envelope.
+    ///
+    /// The [`InternetModel`] is **not** stored: it is rebuilt
+    /// deterministically from [`ModelConfig`] + `set_day` at
+    /// [`Pipeline::resume`]. Any model state that turned out to be
+    /// cross-day stateful would be a bug in that contract, guarded by
+    /// the `resume_determinism` integration test.
+    pub fn save_state<W: Write>(&self, w: &mut W) -> Result<(), CodecError> {
+        let mut enc = Encoder::new(w, &PIPELINE_MAGIC, codec::CODEC_VERSION)?;
+        enc.put_u16(self.day)?;
+        enc.put_u64(self.scanner.now().0)?;
+        enc.put_len(self.hot_prefixes.len())?;
+        for &p in &self.hot_prefixes {
+            codec::write_prefix(&mut enc, p)?;
+        }
+        self.hitlist.encode(&mut enc)?;
+        self.ledger.encode(&mut enc)?;
+        self.apd.encode(&mut enc)?;
+        enc.finish()?;
+        Ok(())
+    }
+
+    /// Rebuild a pipeline from [`Pipeline::save_state`] output plus the
+    /// same model and pipeline configuration the saved run used.
+    ///
+    /// Running N + M days straight and running N days → save → resume →
+    /// M days produce byte-identical daily outputs (same
+    /// `battery_digest`, same service files); corrupted or truncated
+    /// snapshots error, they never panic.
+    pub fn resume<R: Read>(
+        model_cfg: ModelConfig,
+        cfg: PipelineConfig,
+        r: &mut R,
+    ) -> Result<Pipeline, CodecError> {
+        let mut dec = Decoder::new(r, &PIPELINE_MAGIC, codec::CODEC_VERSION)?;
+        let day = dec.get_u16()?;
+        let clock = Time(dec.get_u64()?);
+        let n_hot = dec.get_len()?;
+        let mut hot_prefixes = BTreeSet::new();
+        let mut prev = None;
+        for _ in 0..n_hot {
+            let p = codec::read_prefix(&mut dec)?;
+            if prev.is_some_and(|q| q >= p) {
+                return Err(CodecError::Corrupt("hot prefixes not strictly sorted"));
+            }
+            prev = Some(p);
+            hot_prefixes.insert(p);
+        }
+        let hitlist = Hitlist::decode(&mut dec)?;
+        let ledger = Ledger::decode(&mut dec)?;
+        let apd = Apd::decode(cfg.apd.clone(), &mut dec)?;
+        dec.finish()?;
+
+        // Rebuild the deterministic side from config, then restore the
+        // one cross-day scanner scalar: the virtual clock (reply
+        // timestamps — and so the battery digest — build on it).
+        let model = InternetModel::build(model_cfg);
+        let sources = expanse_model::sources::build_sources(&model);
+        let mut scanner = Scanner::new(model, cfg.scan.clone());
+        scanner.set_now(clock);
+        Ok(Pipeline {
+            cfg,
+            scanner,
+            apd,
+            hitlist,
+            sources,
+            ledger,
+            hot_prefixes,
+            day,
+        })
+    }
 }
+
+/// Envelope magic for a full pipeline snapshot.
+pub const PIPELINE_MAGIC: [u8; 8] = *b"EXP6PIPE";
 
 #[cfg(test)]
 mod tests {

@@ -143,7 +143,7 @@ mod tests {
         let sources = expanse_model::sources::build_sources(&model);
         let mut h = Hitlist::new();
         for s in &sources {
-            h.add_from(s.id, s.all());
+            h.add_from(s.id, s.all(), 0);
         }
         let rows = source_table(&h, &model);
         assert_eq!(rows.len(), 7);

@@ -90,6 +90,7 @@ mod tests {
             aliased_prefixes: vec!["2001:db8:47::/48".parse().unwrap()],
             responsive,
             routers_found: 0,
+            expired_today: 0,
             probes_sent: 500,
             battery_digest: 0xfeed_beef_0042_0777,
         }

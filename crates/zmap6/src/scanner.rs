@@ -142,6 +142,16 @@ impl<N: Network> Scanner<N> {
         self.clock
     }
 
+    /// Restore the virtual clock (snapshot resume). The clock is
+    /// genuine cross-day state: every scan starts where the previous
+    /// one ended, reply timestamps build on it, and the canonical
+    /// battery digest hashes those timestamps — so a resumed pipeline
+    /// must continue from the saved clock to stay byte-identical with
+    /// an uninterrupted run.
+    pub fn set_now(&mut self, t: Time) {
+        self.clock = t;
+    }
+
     /// Scan `targets` with one module. Probes are sent in permuted order
     /// at the configured rate; replies are validated statelessly.
     pub fn scan(&mut self, targets: &[Ipv6Addr], module: &dyn ProbeModule) -> ScanResult {
