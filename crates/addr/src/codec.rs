@@ -15,7 +15,7 @@
 //! [`Decoder::finish`]. All integers are little-endian; collections are
 //! length-prefixed (`u64`). Layers above compose their own payloads out
 //! of the primitive `put_*`/`get_*` calls inside one shared envelope
-//! (see `expanse_core::Pipeline::save_state`), while the standalone
+//! (see `expanse_core::Pipeline::save_full`), while the standalone
 //! [`save_table`]/[`load_table`] and [`save_set`]/[`load_set`] pairs
 //! wrap a single structure in its own envelope.
 //!
@@ -23,6 +23,36 @@
 //! checksum, or structurally invalid payloads (duplicate table entries,
 //! unsorted set ids, over-long prefixes) — is reported as a
 //! [`CodecError`], never a panic.
+//!
+//! Delta (diff) codecs back the incremental snapshot journal (see
+//! `docs/SNAPSHOT_FORMAT.md`): [`write_table_suffix`] exploits that ids
+//! are never reused, so "the table since the last record" is exactly a
+//! suffix of the address column, and [`write_set_diff`] carries a set's
+//! change as two sorted id runs.
+//!
+//! # Example: a checksummed round-trip
+//!
+//! ```
+//! use expanse_addr::codec::{load_table, save_table, CodecError};
+//! use expanse_addr::AddrTable;
+//!
+//! let mut table = AddrTable::new();
+//! let id = table.intern("2001:db8::1".parse().unwrap());
+//!
+//! let mut bytes = Vec::new();
+//! save_table(&mut bytes, &table).unwrap();
+//! // Every id comes back exactly as issued before the save…
+//! let restored = load_table(bytes.as_slice()).unwrap();
+//! assert_eq!(restored.addr(id), table.addr(id));
+//!
+//! // …and a single flipped bit in the stored address (the payload
+//! // starts after magic + version + length prefix) fails the checksum.
+//! bytes[18] ^= 0x01;
+//! assert!(matches!(
+//!     load_table(bytes.as_slice()),
+//!     Err(CodecError::ChecksumMismatch { .. })
+//! ));
+//! ```
 
 use crate::prefix::mask;
 use crate::set::AddrSet;
@@ -121,6 +151,21 @@ fn fnv1a64(mut h: u64, bytes: &[u8]) -> u64 {
         h = h.wrapping_mul(FNV_PRIME);
     }
     h
+}
+
+/// Verify a complete in-memory envelope's trailing checksum without
+/// decoding it: `frame` must be a whole `magic · version · payload ·
+/// fnv1a64` envelope. This is the journal replayer's pre-flight check —
+/// a frame is applied to live state only after its bytes are known
+/// good, so a torn tail can never half-apply.
+pub fn envelope_checksum_ok(frame: &[u8]) -> bool {
+    // Smallest possible envelope: magic + version + empty payload + checksum.
+    if frame.len() < 8 + 2 + 8 {
+        return false;
+    }
+    let (body, tail) = frame.split_at(frame.len() - 8);
+    let stored = u64::from_le_bytes(tail.try_into().expect("checksum tail is 8 bytes"));
+    fnv1a64(FNV_OFFSET, body) == stored
 }
 
 /// Checksummed little-endian writer: one envelope, primitive `put_*`
@@ -398,6 +443,106 @@ pub fn read_prefix<R: Read>(dec: &mut Decoder<R>) -> Result<Prefix, CodecError> 
     Ok(Prefix::from_bits(bits, len))
 }
 
+// ---- delta (diff) codecs --------------------------------------------
+
+/// Write the tail of an [`AddrTable`]: every address interned after the
+/// first `from` entries, prefixed by `from` itself so the reader can
+/// verify the delta is applied to the state it was diffed against.
+///
+/// This is the append-only building block of the snapshot journal: ids
+/// are never reused or reordered, so "the table since the last record"
+/// is exactly a suffix of the address column.
+pub fn write_table_suffix<W: Write>(
+    enc: &mut Encoder<W>,
+    t: &AddrTable,
+    from: usize,
+) -> Result<(), CodecError> {
+    assert!(from <= t.len(), "suffix start beyond table length");
+    enc.put_len(from)?;
+    enc.put_len(t.len() - from)?;
+    for &v in &t.raw()[from..] {
+        enc.put_u128(v)?;
+    }
+    Ok(())
+}
+
+/// Append a suffix written by [`write_table_suffix`] onto `t`, returning
+/// how many addresses were appended. The stored base length must match
+/// `t.len()` exactly — a delta replayed against the wrong parent state
+/// is corruption, not a best-effort merge — and every appended address
+/// must be new to the table.
+pub fn read_table_suffix<R: Read>(
+    dec: &mut Decoder<R>,
+    t: &mut AddrTable,
+) -> Result<usize, CodecError> {
+    let from = dec.get_len()?;
+    if from != t.len() {
+        return Err(CodecError::Corrupt("table delta does not follow its base"));
+    }
+    let n = dec.get_len()?;
+    if from.saturating_add(n) >= u32::MAX as usize {
+        return Err(CodecError::Corrupt("table length out of handle range"));
+    }
+    for _ in 0..n {
+        let v = dec.get_u128()?;
+        let (_, inserted) = t.intern_u128(v);
+        if !inserted {
+            return Err(CodecError::Corrupt("duplicate address in table suffix"));
+        }
+    }
+    Ok(n)
+}
+
+/// Write the difference between two [`AddrSet`]s as two sorted id runs:
+/// the members of `old` missing from `new` (removals), then the members
+/// of `new` missing from `old` (additions). Applying the diff to `old`
+/// with [`read_set_diff`] reproduces `new` exactly.
+///
+/// The pipeline's journal frames carry their set-valued changes as
+/// bare id runs inline (see `docs/SNAPSHOT_FORMAT.md`); this pair is
+/// the library-level encoding for persisting a *standing* id set
+/// incrementally — e.g. a sharded backend journaling its own
+/// membership columns behind the `AddrTable` seam.
+///
+/// ```
+/// use expanse_addr::codec::{read_set_diff, write_set_diff, Decoder, Encoder};
+/// use expanse_addr::{AddrId, AddrSet};
+///
+/// let old: AddrSet = [1usize, 3, 5].iter().map(|&i| AddrId::from_index(i)).collect();
+/// let new: AddrSet = [1usize, 4, 5].iter().map(|&i| AddrId::from_index(i)).collect();
+/// let mut buf = Vec::new();
+/// let mut enc = Encoder::new(&mut buf, b"EXAMPLE!", 1).unwrap();
+/// write_set_diff(&mut enc, &old, &new).unwrap();
+/// enc.finish().unwrap();
+///
+/// let mut dec = Decoder::new(buf.as_slice(), b"EXAMPLE!", 1).unwrap();
+/// assert_eq!(read_set_diff(&mut dec, &old).unwrap(), new);
+/// ```
+pub fn write_set_diff<W: Write>(
+    enc: &mut Encoder<W>,
+    old: &AddrSet,
+    new: &AddrSet,
+) -> Result<(), CodecError> {
+    write_set(enc, &old.difference(new))?;
+    write_set(enc, &new.difference(old))
+}
+
+/// Apply a diff written by [`write_set_diff`] to `old`, returning the
+/// new set. Every removal must be present in `old` and no addition may
+/// already be a member — anything else means the diff was taken against
+/// a different base set, which is corruption.
+pub fn read_set_diff<R: Read>(dec: &mut Decoder<R>, old: &AddrSet) -> Result<AddrSet, CodecError> {
+    let removed = read_set(dec)?;
+    let added = read_set(dec)?;
+    if removed.intersect(old).len() != removed.len() {
+        return Err(CodecError::Corrupt("set diff removes a non-member"));
+    }
+    if !added.intersect(old).is_empty() {
+        return Err(CodecError::Corrupt("set diff adds an existing member"));
+    }
+    Ok(old.difference(&removed).union(&added))
+}
+
 // ---- standalone envelopes -------------------------------------------
 
 /// Save one [`AddrTable`] in its own checksummed envelope.
@@ -499,6 +644,86 @@ mod tests {
         assert!(matches!(
             Decoder::new(buf.as_slice(), &TABLE_MAGIC, 1),
             Err(CodecError::UnsupportedVersion { .. })
+        ));
+    }
+
+    #[test]
+    fn table_suffix_roundtrip_and_base_mismatch() {
+        let mut t = AddrTable::new();
+        t.intern_u128(1);
+        t.intern_u128(2);
+        let base_len = t.len();
+        t.intern_u128(3);
+        t.intern_u128(4);
+
+        let magic = *b"TESTMAGC";
+        let mut buf = Vec::new();
+        let mut enc = Encoder::new(&mut buf, &magic, 1).unwrap();
+        write_table_suffix(&mut enc, &t, base_len).unwrap();
+        enc.finish().unwrap();
+
+        // Applied to the matching base: ids line up exactly.
+        let mut base = AddrTable::new();
+        base.intern_u128(1);
+        base.intern_u128(2);
+        let mut dec = Decoder::new(buf.as_slice(), &magic, 1).unwrap();
+        assert_eq!(read_table_suffix(&mut dec, &mut base).unwrap(), 2);
+        dec.finish().unwrap();
+        assert_eq!(base.raw(), t.raw());
+
+        // Applied to a base of the wrong length: rejected.
+        let mut wrong = AddrTable::new();
+        wrong.intern_u128(1);
+        let mut dec = Decoder::new(buf.as_slice(), &magic, 1).unwrap();
+        assert!(matches!(
+            read_table_suffix(&mut dec, &mut wrong),
+            Err(CodecError::Corrupt("table delta does not follow its base"))
+        ));
+
+        // A suffix carrying an address the base already holds: rejected.
+        let mut dup = AddrTable::new();
+        dup.intern_u128(9);
+        dup.intern_u128(3);
+        let mut buf2 = Vec::new();
+        let mut enc = Encoder::new(&mut buf2, &magic, 1).unwrap();
+        write_table_suffix(&mut enc, &dup, 1).unwrap();
+        enc.finish().unwrap();
+        let mut clash = AddrTable::new();
+        clash.intern_u128(3);
+        let mut dec = Decoder::new(buf2.as_slice(), &magic, 1).unwrap();
+        assert!(matches!(
+            read_table_suffix(&mut dec, &mut clash),
+            Err(CodecError::Corrupt("duplicate address in table suffix"))
+        ));
+    }
+
+    #[test]
+    fn set_diff_roundtrip_and_base_mismatch() {
+        let ids = |v: &[usize]| -> AddrSet { v.iter().map(|&i| AddrId::from_index(i)).collect() };
+        let old = ids(&[1, 3, 5, 9]);
+        let new = ids(&[1, 4, 9, 12]);
+
+        let magic = *b"TESTMAGC";
+        let mut buf = Vec::new();
+        let mut enc = Encoder::new(&mut buf, &magic, 1).unwrap();
+        write_set_diff(&mut enc, &old, &new).unwrap();
+        enc.finish().unwrap();
+
+        let mut dec = Decoder::new(buf.as_slice(), &magic, 1).unwrap();
+        assert_eq!(read_set_diff(&mut dec, &old).unwrap(), new);
+        dec.finish().unwrap();
+
+        // Against a different base, the removals no longer resolve.
+        let mut dec = Decoder::new(buf.as_slice(), &magic, 1).unwrap();
+        assert!(matches!(
+            read_set_diff(&mut dec, &ids(&[1, 4, 9])),
+            Err(CodecError::Corrupt("set diff removes a non-member"))
+        ));
+        // And against a base that already holds an addition: rejected.
+        let mut dec = Decoder::new(buf.as_slice(), &magic, 1).unwrap();
+        assert!(matches!(
+            read_set_diff(&mut dec, &ids(&[3, 4, 5, 9])),
+            Err(CodecError::Corrupt("set diff adds an existing member"))
         ));
     }
 

@@ -32,6 +32,11 @@
 //! assert_eq!(nybble(a, 3), 0x1);
 //! ```
 
+// This crate is the workspace's bedrock *and* defines the persistent
+// snapshot wire format (docs/SNAPSHOT_FORMAT.md): every public item
+// must say what it is, and the CI docs job keeps it that way.
+#![deny(missing_docs)]
+
 pub mod codec;
 pub mod fanout;
 pub mod format;

@@ -13,6 +13,29 @@ use crate::table::{AddrId, AddrTable};
 use std::net::Ipv6Addr;
 
 /// A set of interned addresses: strictly increasing run of ids.
+///
+/// # Example
+///
+/// ```
+/// use expanse_addr::{AddrSet, AddrTable};
+/// use std::net::Ipv6Addr;
+///
+/// let mut table = AddrTable::new();
+/// let ids: Vec<_> = ["2001:db8::1", "2001:db8::2", "2001:db8::3"]
+///     .iter()
+///     .map(|s| table.intern(s.parse().unwrap()))
+///     .collect();
+///
+/// let evens: AddrSet = [ids[0], ids[2]].into_iter().collect();
+/// let low: AddrSet = [ids[0], ids[1]].into_iter().collect();
+/// // Set algebra is a linear merge over the sorted id runs…
+/// assert_eq!(evens.intersect(&low).len(), 1);
+/// assert_eq!(evens.union(&low).len(), 3);
+/// assert_eq!(evens.difference(&low).len(), 1);
+/// // …and members resolve to addresses against the owning table.
+/// let addrs: Vec<Ipv6Addr> = evens.addrs(&table).collect();
+/// assert_eq!(addrs[0], "2001:db8::1".parse::<Ipv6Addr>().unwrap());
+/// ```
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct AddrSet {
     ids: Vec<AddrId>,

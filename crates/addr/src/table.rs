@@ -56,6 +56,24 @@ impl AddrId {
 const EMPTY: u32 = u32::MAX;
 
 /// Interning table: unique `u128` address values, densely numbered.
+///
+/// # Example
+///
+/// ```
+/// use expanse_addr::AddrTable;
+/// use std::net::Ipv6Addr;
+///
+/// let mut table = AddrTable::new();
+/// let a: Ipv6Addr = "2001:db8::1".parse().unwrap();
+/// let id = table.intern(a);
+/// // Interning is idempotent: the same address keeps its id…
+/// assert_eq!(table.intern(a), id);
+/// // …ids are dense, insertion-ordered, and resolve back.
+/// assert_eq!(id.index(), 0);
+/// assert_eq!(table.addr(id), a);
+/// assert_eq!(table.lookup(a), Some(id));
+/// assert_eq!(table.len(), 1);
+/// ```
 #[derive(Debug, Clone, Default)]
 pub struct AddrTable {
     /// Id → address bits; the primary column.

@@ -11,7 +11,7 @@ use expanse_addr::{fanout16, Prefix};
 use expanse_netsim::Network;
 use expanse_zmap6::module::{IcmpEchoModule, TcpSynModule};
 use expanse_zmap6::{ProbeReply, Scanner};
-use std::collections::HashMap;
+use std::collections::{BTreeSet, HashMap};
 use std::net::Ipv6Addr;
 
 /// Detector configuration.
@@ -75,6 +75,10 @@ pub struct Apd {
     pub cfg: ApdConfig,
     /// Sliding-window state per prefix.
     pub windows: HashMap<Prefix, WindowState>,
+    /// Prefixes whose window state changed since the last journal sync
+    /// point (see [`Apd::mark_synced`] in [`crate::persist`]); kept
+    /// sorted so delta frames are written in deterministic order.
+    pub(crate) dirty: BTreeSet<Prefix>,
 }
 
 impl Apd {
@@ -83,6 +87,7 @@ impl Apd {
         Apd {
             cfg,
             windows: HashMap::new(),
+            dirty: BTreeSet::new(),
         }
     }
 
@@ -166,6 +171,7 @@ impl Apd {
                 .entry(*p)
                 .or_insert_with(|| WindowState::new(self.cfg.window))
                 .push_day(obs.merged());
+            self.dirty.insert(*p);
         }
         report
     }

@@ -1,13 +1,15 @@
 //! The experiment harness CLI.
 //!
 //! Usage:
-//!   experiments <id>...          run specific artifacts (table2, fig7, ...)
-//!   experiments all              run everything in paper order
-//!   experiments --smoke          tiny-scale CI pass over representative ids
-//!   experiments --list           list artifact ids
-//!   experiments --scale small|mid|full   model scale (default mid)
-//!   experiments --seed N         model seed (default 20181031)
-//!   experiments --out DIR        results directory (default results/)
+//! ```text
+//! experiments <id>...          run specific artifacts (table2, fig7, ...)
+//! experiments all              run everything in paper order
+//! experiments --smoke          tiny-scale CI pass over representative ids
+//! experiments --list           list artifact ids
+//! experiments --scale small|mid|full   model scale (default mid)
+//! experiments --seed N         model seed (default 20181031)
+//! experiments --out DIR        results directory (default results/)
+//! ```
 //!
 //! Each run prints the report and writes `results/<id>.txt` (plus SVGs
 //! for the zesplot figures).

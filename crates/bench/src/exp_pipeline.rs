@@ -1,6 +1,7 @@
 //! Pipeline throughput bench: the daily merge + responsiveness pass,
 //! hashmap-style vs columnar, plus battery, APD-plan, and
-//! snapshot save/resume throughput.
+//! snapshot save/resume throughput — including the incremental journal
+//! (per-day delta bytes vs the full base, and base + delta replay).
 //!
 //! Not a paper artifact — this is the perf trajectory of the system
 //! itself. Besides the rendered report it writes
@@ -139,9 +140,12 @@ pub fn bench_pipeline(ctx: &mut Ctx) -> String {
     let mut snapshot: Vec<u8> = Vec::new();
     let save_s = time(rounds.min(5), || {
         snapshot.clear();
-        p.save_state(&mut snapshot).expect("save_state");
+        p.save_full(&mut snapshot).expect("save_full");
     });
     let snapshot_bytes = snapshot.len();
+    // Pair the snapshot size with the hitlist it actually holds: the
+    // journal block below runs more probing days and grows the list.
+    let hitlist_len = p.hitlist.len();
     let save_mb_per_s = snapshot_bytes as f64 / save_s.max(1e-9) / 1e6;
     let resume_s = time(2, || {
         Pipeline::resume(
@@ -152,8 +156,37 @@ pub fn bench_pipeline(ctx: &mut Ctx) -> String {
         .expect("resume")
     });
 
+    // ---- journal: per-day delta records instead of daily full saves ---
+    // Run real probing days against the base snapshot above and seal
+    // each with one delta record; the ratio of delta to base bytes is
+    // what the incremental journal saves a deployment every day, and
+    // the replay time is the restart cost of base + deltas.
+    let mut journal = snapshot.clone();
+    const DELTA_DAYS: usize = 2;
+    let mut delta_bytes_per_day = [0u64; DELTA_DAYS];
+    let mut delta_append_s = [0f64; DELTA_DAYS];
+    for (d, bytes) in delta_bytes_per_day.iter_mut().enumerate() {
+        p.run_day();
+        let before = journal.len();
+        let t0 = Instant::now();
+        p.append_delta(&mut journal).expect("append_delta");
+        delta_append_s[d] = t0.elapsed().as_secs_f64();
+        *bytes = (journal.len() - before) as u64;
+    }
+    let replay_s = time(2, || {
+        let (_, replay) = Pipeline::resume(
+            model_cfg.clone(),
+            PipelineConfig::default(),
+            &mut journal.as_slice(),
+        )
+        .expect("journal resume");
+        assert_eq!(replay.deltas_applied, DELTA_DAYS);
+        assert!(!replay.torn_tail);
+    });
+    let delta_mean = delta_bytes_per_day.iter().sum::<u64>() as f64 / DELTA_DAYS as f64;
+    let delta_ratio = delta_mean / snapshot_bytes as f64;
+
     let per_s = |s: f64| merged as f64 / s.max(1e-9);
-    let hitlist_len = p.hitlist.len();
     out.push_str(&format!(
         "model scale {scale}: hitlist {hitlist_len}, kept {} targets, {} responders\n\n",
         kept.len(),
@@ -184,14 +217,22 @@ pub fn bench_pipeline(ctx: &mut Ctx) -> String {
         "snapshot save     {:>12.1} MB/s  ({} bytes for {} addresses)\nsnapshot resume   {:>12.3} s  (decode + model rebuild)\n",
         save_mb_per_s, snapshot_bytes, hitlist_len, resume_s,
     ));
+    out.push_str(&format!(
+        "journal delta     {:>12.0} bytes/day  ({:.1}% of the full snapshot, {DELTA_DAYS} days measured)\njournal replay    {:>12.3} s  (base + {DELTA_DAYS} deltas + model rebuild)\n",
+        delta_mean,
+        delta_ratio * 100.0,
+        replay_s,
+    ));
 
     let json = format!(
-        "{{\n  \"schema\": 2,\n  \"scale\": \"{scale}\",\n  \"hitlist\": {hitlist_len},\n  \
+        "{{\n  \"schema\": 3,\n  \"scale\": \"{scale}\",\n  \"hitlist\": {hitlist_len},\n  \
          \"kept_targets\": {},\n  \"responders\": {},\n  \"battery\": {{ \"addr_probes_per_s\": {:.1} }},\n  \
          \"merge\": {{ \"hashmap_addrs_per_s\": {:.1}, \"columnar_addrs_per_s\": {:.1} }},\n  \
          \"responsiveness\": {{ \"hashmap_addrs_per_s\": {:.1}, \"columnar_addrs_per_s\": {:.1} }},\n  \
          \"apd_plan\": {{ \"addrs_per_s\": {:.1} }},\n  \
-         \"snapshot\": {{ \"bytes\": {snapshot_bytes}, \"save_mb_per_s\": {:.1}, \"resume_s\": {:.4} }}\n}}\n",
+         \"snapshot\": {{ \"bytes\": {snapshot_bytes}, \"save_mb_per_s\": {:.1}, \"resume_s\": {:.4} }},\n  \
+         \"journal\": {{ \"delta_days\": {DELTA_DAYS}, \"delta_bytes_per_day\": {:.1}, \
+         \"delta_to_base_ratio\": {:.4}, \"append_s_per_day\": {:.5}, \"replay_s\": {:.4} }}\n}}\n",
         kept.len(),
         merged,
         battery_per_s,
@@ -202,6 +243,10 @@ pub fn bench_pipeline(ctx: &mut Ctx) -> String {
         plan_addrs_per_s,
         save_mb_per_s,
         resume_s,
+        delta_mean,
+        delta_ratio,
+        delta_append_s.iter().sum::<f64>() / DELTA_DAYS as f64,
+        replay_s,
     );
     ctx.write("BENCH_pipeline.json", &json);
     out.push_str("\nwrote BENCH_pipeline.json\n");

@@ -98,6 +98,42 @@ pub struct Hitlist {
     alive: Vec<bool>,
     /// Live member count.
     live: usize,
+    /// Rows that existed at the last journal sync point
+    /// ([`Hitlist::mark_synced`]); rows at or beyond this index are
+    /// "appended since" and travel whole in the next delta record.
+    synced_rows: usize,
+    /// Per-row dirty bits ([`DIRTY_ROW`]/[`DIRTY_LAST`]/[`DIRTY_TOMB`])
+    /// for rows < `synced_rows`, classifying what the next delta record
+    /// must carry: a full row rewrite, a `last_responsive` column
+    /// write, or a bare tombstone flip.
+    dirty: Vec<u8>,
+}
+
+/// Dirty bit: the row needs a full rewrite in the next delta (revival
+/// or a new source bit — the provenance columns changed).
+const DIRTY_ROW: u8 = 1;
+/// Dirty bit: only `last_responsive` changed — the delta carries a
+/// 2-byte column write instead of the whole row.
+const DIRTY_LAST: u8 = 2;
+/// Dirty bit: only the tombstone flipped (retention expiry) — the delta
+/// carries the bare id.
+const DIRTY_TOMB: u8 = 4;
+
+/// Does the row need a full rewrite in the next delta? A rewrite
+/// carries every column, so it subsumes the cheaper encodings below.
+fn needs_rewrite(d: u8) -> bool {
+    d & DIRTY_ROW != 0
+}
+
+/// Does the row need a bare `last_responsive` column write (and not a
+/// full rewrite)?
+fn needs_last_write(d: u8) -> bool {
+    d & DIRTY_LAST != 0 && d & DIRTY_ROW == 0
+}
+
+/// Does the row need a bare tombstone flip (and not a full rewrite)?
+fn needs_tombstone(d: u8) -> bool {
+    d & DIRTY_TOMB != 0 && d & DIRTY_ROW == 0
 }
 
 impl Hitlist {
@@ -120,6 +156,7 @@ impl Hitlist {
                 self.last_responsive.push(NEVER);
                 self.added_day.push(day);
                 self.alive.push(true);
+                self.dirty.push(0);
                 self.live += 1;
                 new += 1;
             } else if !self.alive[id.index()] {
@@ -129,11 +166,16 @@ impl Hitlist {
                 self.last_responsive[id.index()] = NEVER;
                 self.added_day[id.index()] = day;
                 self.alive[id.index()] = true;
+                self.touch(id.index(), DIRTY_ROW);
                 self.live += 1;
                 new += 1;
             } else {
                 let m = &mut self.sources[id.index()];
-                *m = m.with(source);
+                let widened = m.with(source);
+                if widened != *m {
+                    *m = widened;
+                    self.touch(id.index(), DIRTY_ROW);
+                }
             }
         }
         new
@@ -227,6 +269,7 @@ impl Hitlist {
         let e = &mut self.last_responsive[id.index()];
         if *e == NEVER || *e < day {
             *e = day;
+            self.touch(id.index(), DIRTY_LAST);
         }
     }
 
@@ -268,10 +311,167 @@ impl Hitlist {
             };
             if effective < cutoff {
                 self.alive[i] = false;
+                self.touch(i, DIRTY_TOMB);
                 self.live -= 1;
             }
         }
         before - self.live
+    }
+
+    /// Mark a pre-sync row as mutated since the last sync point.
+    #[inline]
+    fn touch(&mut self, i: usize, bit: u8) {
+        if i < self.synced_rows {
+            self.dirty[i] |= bit;
+        }
+    }
+
+    /// Declare the current state a journal sync point: the next
+    /// [`Hitlist::encode_delta`] is relative to exactly this state.
+    /// Called by the pipeline after every full save, delta append, and
+    /// journal replay.
+    pub fn mark_synced(&mut self) {
+        self.synced_rows = self.table.len();
+        self.dirty.clear();
+        self.dirty.resize(self.synced_rows, 0);
+    }
+
+    /// Rows changed since the last sync point, as the delta record will
+    /// carry them: `(appended, rewritten, last-responsive writes,
+    /// tombstone flips)`.
+    pub fn delta_size(&self) -> (usize, usize, usize, usize) {
+        let count = |pred: fn(u8) -> bool| self.dirty.iter().filter(|&&d| pred(d)).count();
+        (
+            self.table.len() - self.synced_rows,
+            count(needs_rewrite),
+            count(needs_last_write),
+            count(needs_tombstone),
+        )
+    }
+
+    /// The sorted id run of dirty rows matching `pred`.
+    fn dirty_run(&self, pred: fn(u8) -> bool) -> AddrSet {
+        AddrSet::from_sorted(
+            self.dirty
+                .iter()
+                .enumerate()
+                .filter(|(_, &d)| pred(d))
+                .map(|(i, _)| AddrId::from_index(i))
+                .collect(),
+        )
+    }
+
+    /// One row's mutable columns, shared by the appended and rewritten
+    /// sections of a delta record.
+    fn encode_row<W: Write>(&self, enc: &mut Encoder<W>, i: usize) -> Result<(), CodecError> {
+        enc.put_u16(self.sources[i].0)?;
+        put_source(enc, self.first_source[i])?;
+        enc.put_u16(self.last_responsive[i])?;
+        enc.put_u16(self.added_day[i])?;
+        enc.put_bool(self.alive[i])
+    }
+
+    /// Decode one row's mutable columns written by
+    /// [`Hitlist::encode_row`].
+    fn decode_row<R: Read>(
+        dec: &mut Decoder<R>,
+    ) -> Result<(SourceMask, SourceId, u16, u16, bool), CodecError> {
+        let m = dec.get_u16()?;
+        if m >> SourceId::ALL.len() != 0 {
+            return Err(CodecError::Corrupt("source mask has unknown bits"));
+        }
+        Ok((
+            SourceMask(m),
+            get_source(dec)?,
+            dec.get_u16()?,
+            dec.get_u16()?,
+            dec.get_bool()?,
+        ))
+    }
+
+    /// Serialize everything that changed since the last sync point into
+    /// an open delta frame, cheapest encoding per mutation class:
+    ///
+    /// 1. the interner suffix plus full column values for each appended
+    ///    row;
+    /// 2. a sorted id run of *rewritten* rows (revival, new source bit)
+    ///    with their full new column values;
+    /// 3. a sorted id run of rows whose `last_responsive` alone changed
+    ///    — the daily responders — with one `u16` column write each;
+    /// 4. a sorted id run of bare tombstone flips (retention expiry),
+    ///    no payload at all.
+    ///
+    /// Ids never move, so this is the complete difference between the
+    /// sync-point state and now.
+    pub fn encode_delta<W: Write>(&self, enc: &mut Encoder<W>) -> Result<(), CodecError> {
+        codec::write_table_suffix(enc, &self.table, self.synced_rows)?;
+        for i in self.synced_rows..self.table.len() {
+            self.encode_row(enc, i)?;
+        }
+        let rewritten = self.dirty_run(needs_rewrite);
+        codec::write_set(enc, &rewritten)?;
+        for id in rewritten.iter() {
+            self.encode_row(enc, id.index())?;
+        }
+        let last_writes = self.dirty_run(needs_last_write);
+        codec::write_set(enc, &last_writes)?;
+        for id in last_writes.iter() {
+            enc.put_u16(self.last_responsive[id.index()])?;
+        }
+        codec::write_set(enc, &self.dirty_run(needs_tombstone))?;
+        Ok(())
+    }
+
+    /// Apply a delta written by [`Hitlist::encode_delta`]. The delta
+    /// must follow this exact state (the stored base length is checked);
+    /// afterwards this state *is* the new sync point.
+    pub fn apply_delta<R: Read>(&mut self, dec: &mut Decoder<R>) -> Result<(), CodecError> {
+        let appended = codec::read_table_suffix(dec, &mut self.table)?;
+        for _ in 0..appended {
+            let (m, s, last, added, alive) = Self::decode_row(dec)?;
+            self.sources.push(m);
+            self.first_source.push(s);
+            self.last_responsive.push(last);
+            self.added_day.push(added);
+            self.alive.push(alive);
+            self.live += usize::from(alive);
+        }
+        let synced = self.synced_rows;
+        let in_base = move |id: AddrId, what: &'static str| {
+            if id.index() < synced {
+                Ok(id.index())
+            } else {
+                Err(CodecError::Corrupt(what))
+            }
+        };
+        let rewritten = codec::read_set(dec)?;
+        for id in rewritten.iter() {
+            let i = in_base(id, "delta rewrites an appended row")?;
+            let (m, s, last, added, alive) = Self::decode_row(dec)?;
+            self.live -= usize::from(self.alive[i]);
+            self.live += usize::from(alive);
+            self.sources[i] = m;
+            self.first_source[i] = s;
+            self.last_responsive[i] = last;
+            self.added_day[i] = added;
+            self.alive[i] = alive;
+        }
+        let last_writes = codec::read_set(dec)?;
+        for id in last_writes.iter() {
+            let i = in_base(id, "delta writes last-responsive past the base")?;
+            self.last_responsive[i] = dec.get_u16()?;
+        }
+        let tombstones = codec::read_set(dec)?;
+        for id in tombstones.iter() {
+            let i = in_base(id, "delta tombstones an appended row")?;
+            if !self.alive[i] {
+                return Err(CodecError::Corrupt("delta tombstones a dead row"));
+            }
+            self.alive[i] = false;
+            self.live -= 1;
+        }
+        self.mark_synced();
+        Ok(())
     }
 
     /// Serialize the full hitlist state — interner plus every
@@ -337,6 +537,9 @@ impl Hitlist {
             added_day,
             alive,
             live,
+            // A freshly decoded snapshot is by definition a sync point.
+            synced_rows: n,
+            dirty: vec![0; n],
         })
     }
 }
@@ -514,6 +717,79 @@ mod tests {
         // And the cycle can restart cleanly (fresh grace once more).
         assert_eq!(h.add_from(SourceId::Ct, &[a("::1")], 16), 1);
         assert_eq!(h.expire_unresponsive(17, 3), 0);
+    }
+
+    /// Full state as one envelope, for byte-level equality checks.
+    fn full_bytes(h: &Hitlist) -> Vec<u8> {
+        use expanse_addr::codec::Encoder;
+        let mut buf = Vec::new();
+        let mut enc = Encoder::new(&mut buf, b"HITLTEST", 1).unwrap();
+        h.encode(&mut enc).unwrap();
+        enc.finish().unwrap();
+        buf
+    }
+
+    /// One delta round-trip exercising every mutation class the journal
+    /// distinguishes: appends, full rewrites (source widen + revival),
+    /// bare `last_responsive` column writes, and bare tombstone flips.
+    #[test]
+    fn delta_roundtrip_covers_all_mutation_kinds() {
+        use expanse_addr::codec::{Decoder, Encoder};
+        let mut h = Hitlist::new();
+        h.add_from(SourceId::Ct, &[a("::1"), a("::2"), a("::3"), a("::5")], 0);
+        h.mark_synced();
+        let mut replica = h.clone();
+
+        h.mark_responsive(a("::1"), 4); // last-responsive column write
+        h.add_from(SourceId::Fdns, &[a("::2"), a("::4")], 2); // widen ::2 + append ::4
+        h.mark_responsive(a("::4"), 5); // mutation of an appended row
+                                        // Cutoff 4: ::2 (rewrite + tombstone), ::3 and ::5 (bare
+                                        // tombstones); ::1 (last 4) and ::4 (appended, last 5) survive.
+        assert_eq!(h.expire_unresponsive(7, 3), 3);
+        // Revival flips ::3 back with fresh provenance: a full rewrite.
+        assert_eq!(h.add_from(SourceId::Axfr, &[a("::3")], 8), 1);
+        assert_eq!(h.delta_size(), (1, 2, 1, 1));
+
+        let mut delta = Vec::new();
+        let mut enc = Encoder::new(&mut delta, b"HITDTEST", 1).unwrap();
+        h.encode_delta(&mut enc).unwrap();
+        enc.finish().unwrap();
+
+        let mut dec = Decoder::new(delta.as_slice(), b"HITDTEST", 1).unwrap();
+        replica.apply_delta(&mut dec).unwrap();
+        dec.finish().unwrap();
+        assert_eq!(full_bytes(&replica), full_bytes(&h));
+        assert_eq!(replica.len(), h.len());
+
+        // Applying the same delta again cannot follow the new state:
+        // the stored base length no longer matches.
+        let mut dec = Decoder::new(delta.as_slice(), b"HITDTEST", 1).unwrap();
+        assert!(matches!(
+            replica.apply_delta(&mut dec),
+            Err(CodecError::Corrupt("table delta does not follow its base"))
+        ));
+    }
+
+    #[test]
+    fn unchanged_state_encodes_an_empty_delta() {
+        use expanse_addr::codec::{Decoder, Encoder};
+        let mut h = Hitlist::new();
+        h.add_from(SourceId::Ct, &[a("::1"), a("::2")], 0);
+        h.mark_synced();
+        // Idempotent re-adds and same-day re-marks leave nothing dirty.
+        h.add_from(SourceId::Ct, &[a("::1")], 3);
+        h.mark_responsive(a("::9"), 3); // unknown address: no-op
+        assert_eq!(h.delta_size(), (0, 0, 0, 0));
+        let before = full_bytes(&h);
+        let mut delta = Vec::new();
+        let mut enc = Encoder::new(&mut delta, b"HITDTEST", 1).unwrap();
+        h.encode_delta(&mut enc).unwrap();
+        enc.finish().unwrap();
+        let mut dec = Decoder::new(delta.as_slice(), b"HITDTEST", 1).unwrap();
+        let mut replica = h.clone();
+        replica.apply_delta(&mut dec).unwrap();
+        dec.finish().unwrap();
+        assert_eq!(full_bytes(&replica), before);
     }
 
     /// The snapshot codec writes a `SourceId` as its discriminant and

@@ -26,12 +26,14 @@
 //! ```
 
 pub mod hitlist;
+pub mod journal;
 pub mod longitudinal;
 pub mod pipeline;
 pub mod report;
 pub mod service;
 
 pub use hitlist::{Hitlist, SourceMask};
+pub use journal::{Journal, JournalPolicy, JournalRecord, JournalStore, PathStore};
 pub use longitudinal::{Fig8Row, Ledger};
-pub use pipeline::{DailySnapshot, Pipeline, PipelineConfig, RetentionConfig};
+pub use pipeline::{DailySnapshot, JournalReplay, Pipeline, PipelineConfig, RetentionConfig};
 pub use report::{render_source_table, source_table, total_row, SourceRow};

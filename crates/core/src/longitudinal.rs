@@ -80,6 +80,14 @@ pub struct Ledger {
     /// First day ever recorded; recording must then stay consecutive.
     first_day: Option<u16>,
     days_recorded: u16,
+    /// Days recorded as of the last journal sync point
+    /// ([`Ledger::mark_synced`]); the next delta carries the survival
+    /// suffix past this count.
+    synced_days: u16,
+    /// Were the baselines already established at the last sync point?
+    /// Baselines are write-once, so a delta either carries them whole
+    /// (established since) or not at all.
+    baselines_synced: bool,
 }
 
 impl Ledger {
@@ -192,11 +200,7 @@ impl Ledger {
             }
         }
         enc.put_u16(self.days_recorded)?;
-        enc.put_len(self.baselines.len())?;
-        for (row, set) in &self.baselines {
-            encode_row(enc, *row)?;
-            codec::write_set(enc, set)?;
-        }
+        self.encode_baselines(enc)?;
         for row in Fig8Row::all() {
             let series = self.series(row);
             enc.put_len(series.len())?;
@@ -215,6 +219,55 @@ impl Ledger {
             _ => return Err(CodecError::Corrupt("ledger first-day tag out of range")),
         };
         let days_recorded = dec.get_u16()?;
+        let baselines = Self::decode_baselines(dec)?;
+        let mut survival: HashMap<Fig8Row, Vec<f64>> = HashMap::new();
+        for row in Fig8Row::all() {
+            let len = dec.get_len()?;
+            // `record_day` pushes exactly one value per row per day, so
+            // every series is exactly `days_recorded` long. A snapshot
+            // violating that would make the delta encoder's suffix
+            // slicing panic later — reject it here instead (the codec's
+            // never-panic contract).
+            if len != usize::from(days_recorded) {
+                return Err(CodecError::Corrupt(
+                    "ledger series length disagrees with day count",
+                ));
+            }
+            let mut series = Vec::with_capacity(Decoder::<R>::reserve_hint(len));
+            for _ in 0..len {
+                series.push(dec.get_f64()?);
+            }
+            if !series.is_empty() {
+                survival.insert(row, series);
+            }
+        }
+        Ok(Ledger {
+            baselines_synced: !baselines.is_empty(),
+            baselines,
+            survival,
+            first_day,
+            days_recorded,
+            // A freshly decoded snapshot is by definition a sync point.
+            synced_days: days_recorded,
+        })
+    }
+
+    /// The write-once baselines block, shared by the full snapshot and
+    /// the delta frame that carries their establishment.
+    fn encode_baselines<W: Write>(&self, enc: &mut Encoder<W>) -> Result<(), CodecError> {
+        enc.put_len(self.baselines.len())?;
+        for (row, set) in &self.baselines {
+            encode_row(enc, *row)?;
+            codec::write_set(enc, set)?;
+        }
+        Ok(())
+    }
+
+    /// Decode a baselines block written by [`Ledger::encode_baselines`];
+    /// rows must arrive in [`Fig8Row::all`] order.
+    fn decode_baselines<R: Read>(
+        dec: &mut Decoder<R>,
+    ) -> Result<Vec<(Fig8Row, AddrSet)>, CodecError> {
         let n = dec.get_len()?;
         let rows = Fig8Row::all();
         if n > rows.len() {
@@ -228,23 +281,106 @@ impl Ledger {
             }
             baselines.push((row, codec::read_set(dec)?));
         }
-        let mut survival: HashMap<Fig8Row, Vec<f64>> = HashMap::new();
-        for row in rows {
-            let len = dec.get_len()?;
-            let mut series = Vec::with_capacity(Decoder::<R>::reserve_hint(len));
-            for _ in 0..len {
-                series.push(dec.get_f64()?);
-            }
-            if !series.is_empty() {
-                survival.insert(row, series);
+        Ok(baselines)
+    }
+
+    /// Declare the current state a journal sync point: the next
+    /// [`Ledger::encode_delta`] is relative to exactly this state.
+    pub fn mark_synced(&mut self) {
+        self.synced_days = self.days_recorded;
+        self.baselines_synced = !self.baselines.is_empty();
+    }
+
+    /// Days recorded since the last sync point (what the next delta
+    /// record will carry per row).
+    pub fn delta_days(&self) -> u16 {
+        self.days_recorded - self.synced_days
+    }
+
+    /// Serialize everything recorded since the last sync point into an
+    /// open delta frame: the day-count pair `(base, new)` for replay
+    /// validation, the first-day marker, the baselines iff they were
+    /// established inside the window (they are write-once), and each
+    /// row's survival suffix.
+    pub fn encode_delta<W: Write>(&self, enc: &mut Encoder<W>) -> Result<(), CodecError> {
+        enc.put_u16(self.synced_days)?;
+        enc.put_u16(self.days_recorded)?;
+        match self.first_day {
+            None => enc.put_u8(0)?,
+            Some(d) => {
+                enc.put_u8(1)?;
+                enc.put_u16(d)?;
             }
         }
-        Ok(Ledger {
-            baselines,
-            survival,
-            first_day,
-            days_recorded,
-        })
+        if !self.baselines_synced && !self.baselines.is_empty() {
+            enc.put_u8(1)?;
+            self.encode_baselines(enc)?;
+        } else {
+            enc.put_u8(0)?;
+        }
+        for row in Fig8Row::all() {
+            let series = self.series(row);
+            for &v in &series[usize::from(self.synced_days)..] {
+                enc.put_f64(v)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Apply a delta written by [`Ledger::encode_delta`]. The delta must
+    /// follow this exact state (the stored base day count is checked);
+    /// afterwards this state *is* the new sync point.
+    pub fn apply_delta<R: Read>(&mut self, dec: &mut Decoder<R>) -> Result<(), CodecError> {
+        let base = dec.get_u16()?;
+        if base != self.days_recorded {
+            return Err(CodecError::Corrupt("ledger delta does not follow its base"));
+        }
+        let new_days = dec.get_u16()?;
+        if new_days < base {
+            return Err(CodecError::Corrupt("ledger delta rewinds the day count"));
+        }
+        let first_day = match dec.get_u8()? {
+            0 => None,
+            1 => Some(dec.get_u16()?),
+            _ => return Err(CodecError::Corrupt("ledger first-day tag out of range")),
+        };
+        match (self.first_day, first_day) {
+            (Some(a), Some(b)) if a == b => {}
+            (Some(_), _) => {
+                return Err(CodecError::Corrupt("ledger delta changes the first day"));
+            }
+            (None, d) => self.first_day = d,
+        }
+        // The ledger sets the first day on its first recorded day and
+        // never clears it, so the two must agree after the delta.
+        if self.first_day.is_some() != (new_days > 0) {
+            return Err(CodecError::Corrupt(
+                "ledger first day and day count disagree",
+            ));
+        }
+        match dec.get_u8()? {
+            0 => {}
+            1 => {
+                if !self.baselines.is_empty() {
+                    return Err(CodecError::Corrupt("ledger delta re-establishes baselines"));
+                }
+                self.baselines = Self::decode_baselines(dec)?;
+            }
+            _ => return Err(CodecError::Corrupt("ledger baseline tag out of range")),
+        }
+        let delta_days = usize::from(new_days - base);
+        for row in Fig8Row::all() {
+            if delta_days == 0 {
+                continue;
+            }
+            let series = self.survival.entry(row).or_default();
+            for _ in 0..delta_days {
+                series.push(dec.get_f64()?);
+            }
+        }
+        self.days_recorded = new_days;
+        self.mark_synced();
+        Ok(())
     }
 
     /// Render the Fig 8 matrix.
@@ -441,6 +577,81 @@ mod tests {
         let row = Fig8Row::Source(SourceId::Ct);
         let s = back.series(row);
         assert!((s[s.len() - 1] - 2.0 / 6.0).abs() < 1e-9);
+    }
+
+    /// Full state as one envelope, for byte-level equality checks.
+    fn full_bytes(l: &Ledger) -> Vec<u8> {
+        use expanse_addr::codec::Encoder;
+        let mut buf = Vec::new();
+        let mut enc = Encoder::new(&mut buf, b"LEDGTEST", 1).unwrap();
+        l.encode(&mut enc).unwrap();
+        enc.finish().unwrap();
+        buf
+    }
+
+    /// A delta spanning the baseline establishment: the replica synced
+    /// on a pre-baseline NaN day must catch up to the exact state —
+    /// baselines, survival suffixes, day counters — byte for byte.
+    #[test]
+    fn delta_roundtrip_catches_up_days_and_baselines() {
+        use expanse_addr::codec::{Decoder, Encoder};
+        let mut h = Hitlist::new();
+        let addrs: Vec<Ipv6Addr> = (0..6).map(addr).collect();
+        h.add_from(SourceId::Ct, &addrs, 0);
+        let mut ledger = Ledger::new();
+        ledger.record_day(3, &[], &h); // pre-baseline NaN day
+        ledger.mark_synced();
+        let mut replica = ledger.clone();
+
+        ledger.record_day(4, &mk_responsive(&h, &addrs, true), &h); // baselines land
+        ledger.record_day(5, &mk_responsive(&h, &addrs[..3], false), &h);
+        assert_eq!(ledger.delta_days(), 2);
+
+        let mut delta = Vec::new();
+        let mut enc = Encoder::new(&mut delta, b"LEDDTEST", 1).unwrap();
+        ledger.encode_delta(&mut enc).unwrap();
+        enc.finish().unwrap();
+        let mut dec = Decoder::new(delta.as_slice(), b"LEDDTEST", 1).unwrap();
+        replica.apply_delta(&mut dec).unwrap();
+        dec.finish().unwrap();
+        assert_eq!(full_bytes(&replica), full_bytes(&ledger));
+        // The caught-up replica keeps recording where the writer is.
+        replica.record_day(6, &mk_responsive(&h, &addrs[..2], false), &h);
+
+        // Applying the delta again cannot follow the new state.
+        let mut dec = Decoder::new(delta.as_slice(), b"LEDDTEST", 1).unwrap();
+        assert!(matches!(
+            replica.apply_delta(&mut dec),
+            Err(CodecError::Corrupt("ledger delta does not follow its base"))
+        ));
+    }
+
+    /// A checksummed-but-inconsistent snapshot (day count disagreeing
+    /// with the series lengths) must be rejected at decode — otherwise
+    /// the delta encoder's suffix slicing would panic later, violating
+    /// the codec's never-panic contract.
+    #[test]
+    fn decode_rejects_series_shorter_than_day_count() {
+        use expanse_addr::codec::{Decoder, Encoder};
+        let mut buf = Vec::new();
+        let mut enc = Encoder::new(&mut buf, b"LEDGTEST", 1).unwrap();
+        enc.put_u8(1).unwrap();
+        enc.put_u16(0).unwrap(); // first day 0
+        enc.put_u16(5).unwrap(); // claims 5 recorded days
+        enc.put_len(0).unwrap(); // no baselines
+        for _ in Fig8Row::all() {
+            enc.put_len(2).unwrap(); // but only 2 survival values per row
+            enc.put_f64(1.0).unwrap();
+            enc.put_f64(0.5).unwrap();
+        }
+        enc.finish().unwrap();
+        let mut dec = Decoder::new(buf.as_slice(), b"LEDGTEST", 1).unwrap();
+        assert!(matches!(
+            Ledger::decode(&mut dec),
+            Err(CodecError::Corrupt(
+                "ledger series length disagrees with day count"
+            ))
+        ));
     }
 
     #[test]

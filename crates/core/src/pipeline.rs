@@ -123,6 +123,12 @@ pub struct Pipeline {
     /// the next full run re-validates it).
     hot_prefixes: BTreeSet<Prefix>,
     day: u16,
+    /// The hot-prefix set as of the last journal sync point; the next
+    /// delta frame carries the (removed, added) difference against it.
+    synced_hot: BTreeSet<Prefix>,
+    /// The day counter as of the last journal sync point; each delta
+    /// frame names it so frames replay strictly in order.
+    synced_day: u16,
 }
 
 impl Pipeline {
@@ -140,6 +146,8 @@ impl Pipeline {
             ledger: Ledger::new(),
             hot_prefixes: BTreeSet::new(),
             day: 0,
+            synced_hot: BTreeSet::new(),
+            synced_day: 0,
         }
     }
 
@@ -322,18 +330,25 @@ impl Pipeline {
         self.day
     }
 
-    /// Serialize the pipeline's persistent state — hitlist (all
-    /// provenance/responsiveness columns + tombstones), ledger
-    /// (baselines + survival series), APD window state, the hot-prefix
-    /// set, the day counter, and the scanner's virtual clock — into one
-    /// versioned, checksummed envelope.
-    ///
-    /// The [`InternetModel`] is **not** stored: it is rebuilt
-    /// deterministically from [`ModelConfig`] + `set_day` at
-    /// [`Pipeline::resume`]. Any model state that turned out to be
-    /// cross-day stateful would be a bug in that contract, guarded by
-    /// the `resume_determinism` integration test.
-    pub fn save_state<W: Write>(&self, w: &mut W) -> Result<(), CodecError> {
+    /// Declare the current state a journal sync point: the next
+    /// [`Pipeline::append_delta`] will be relative to exactly this
+    /// state. Called after every full save, delta append, and replayed
+    /// frame — and only once the written bytes are known durable, so a
+    /// failed store write never advances the sync point (the changes
+    /// stay pending for the next record).
+    pub(crate) fn mark_synced(&mut self) {
+        self.hitlist.mark_synced();
+        self.ledger.mark_synced();
+        self.apd.mark_synced();
+        self.synced_hot = self.hot_prefixes.clone();
+        self.synced_day = self.day;
+    }
+
+    /// Pure encoder behind [`Pipeline::save_full`]: writes the base
+    /// envelope without touching the sync point, so a caller that
+    /// persists through a fallible store (see [`crate::journal`]) can
+    /// mark the state synced only after the bytes actually landed.
+    pub(crate) fn write_full<W: Write>(&self, w: &mut W) -> Result<(), CodecError> {
         let mut enc = Encoder::new(w, &PIPELINE_MAGIC, codec::CODEC_VERSION)?;
         enc.put_u16(self.day)?;
         enc.put_u64(self.scanner.now().0)?;
@@ -348,18 +363,150 @@ impl Pipeline {
         Ok(())
     }
 
-    /// Rebuild a pipeline from [`Pipeline::save_state`] output plus the
-    /// same model and pipeline configuration the saved run used.
+    /// Serialize the pipeline's full persistent state — hitlist (all
+    /// provenance/responsiveness columns + tombstones), ledger
+    /// (baselines + survival series), APD window state, the hot-prefix
+    /// set, the day counter, and the scanner's virtual clock — into one
+    /// versioned, checksummed base envelope, and start a new journal
+    /// sync point (the next [`Pipeline::append_delta`] is relative to
+    /// this state).
+    ///
+    /// The [`InternetModel`] is **not** stored: it is rebuilt
+    /// deterministically from [`ModelConfig`] + `set_day` at
+    /// [`Pipeline::resume`]. Any model state that turned out to be
+    /// cross-day stateful would be a bug in that contract, guarded by
+    /// the `resume_determinism` integration test.
+    pub fn save_full<W: Write>(&mut self, w: &mut W) -> Result<(), CodecError> {
+        self.write_full(w)?;
+        self.mark_synced();
+        Ok(())
+    }
+
+    /// Pure encoder behind [`Pipeline::append_delta`]: writes one
+    /// outer-length-prefixed delta record without touching the sync
+    /// point (see [`Pipeline::write_full`] for why).
+    pub(crate) fn write_delta_record<W: Write>(&self, w: &mut W) -> Result<(), CodecError> {
+        let mut frame = Vec::new();
+        let mut enc = Encoder::new(&mut frame, &DELTA_MAGIC, codec::CODEC_VERSION)?;
+        enc.put_u16(self.synced_day)?;
+        enc.put_u16(self.day)?;
+        enc.put_u64(self.scanner.now().0)?;
+        let removed: Vec<Prefix> = self
+            .synced_hot
+            .difference(&self.hot_prefixes)
+            .copied()
+            .collect();
+        let added: Vec<Prefix> = self
+            .hot_prefixes
+            .difference(&self.synced_hot)
+            .copied()
+            .collect();
+        for list in [&removed, &added] {
+            enc.put_len(list.len())?;
+            for &p in list {
+                codec::write_prefix(&mut enc, p)?;
+            }
+        }
+        self.hitlist.encode_delta(&mut enc)?;
+        self.ledger.encode_delta(&mut enc)?;
+        self.apd.encode_delta(&mut enc)?;
+        enc.finish()?;
+        w.write_all(&(frame.len() as u64).to_le_bytes())?;
+        w.write_all(&frame)?;
+        Ok(())
+    }
+
+    /// Append one delta record to a snapshot journal: everything that
+    /// changed since the last sync point ([`Pipeline::save_full`], the
+    /// previous `append_delta`, or a replayed [`Pipeline::resume`]) —
+    /// addresses appended to the table, rewritten hitlist rows, ledger
+    /// day appends, touched APD windows, the hot-prefix diff, and the
+    /// day counter + scanner clock.
+    ///
+    /// On disk the record is `frame_len (u64) · frame`, where the frame
+    /// is its own checksummed `magic "EXP6DLTA" · version · payload ·
+    /// fnv1a64` envelope — so a write torn anywhere inside the record
+    /// is detected on replay and recovery falls back to the previous
+    /// record (see `docs/SNAPSHOT_FORMAT.md`). On error the sync point
+    /// is not advanced: the changes stay pending.
+    pub fn append_delta<W: Write>(&mut self, w: &mut W) -> Result<(), CodecError> {
+        self.write_delta_record(w)?;
+        self.mark_synced();
+        Ok(())
+    }
+
+    /// Apply one whole, checksum-verified delta frame (the envelope
+    /// bytes, without the outer length prefix). Errors here mean the
+    /// frame is internally valid but does not follow this state — a
+    /// misordered or foreign journal — and are hard failures, not torn
+    /// tails.
+    fn apply_delta_frame(&mut self, frame: &[u8]) -> Result<(), CodecError> {
+        let mut dec = Decoder::new(frame, &DELTA_MAGIC, codec::CODEC_VERSION)?;
+        let base_day = dec.get_u16()?;
+        if base_day != self.day {
+            return Err(CodecError::Corrupt("delta frame does not follow its base"));
+        }
+        let day = dec.get_u16()?;
+        if day < base_day {
+            return Err(CodecError::Corrupt("delta frame rewinds the day counter"));
+        }
+        let clock = Time(dec.get_u64()?);
+        let mut removed = Vec::new();
+        let mut added = Vec::new();
+        for list in [&mut removed, &mut added] {
+            let n = dec.get_len()?;
+            let mut prev = None;
+            for _ in 0..n {
+                let p = codec::read_prefix(&mut dec)?;
+                if prev.is_some_and(|q| q >= p) {
+                    return Err(CodecError::Corrupt("hot-prefix diff not strictly sorted"));
+                }
+                prev = Some(p);
+                list.push(p);
+            }
+        }
+        for p in &removed {
+            if !self.hot_prefixes.remove(p) {
+                return Err(CodecError::Corrupt("hot-prefix diff removes a non-member"));
+            }
+        }
+        for p in &added {
+            if !self.hot_prefixes.insert(*p) {
+                return Err(CodecError::Corrupt(
+                    "hot-prefix diff adds an existing member",
+                ));
+            }
+        }
+        self.hitlist.apply_delta(&mut dec)?;
+        self.ledger.apply_delta(&mut dec)?;
+        self.apd.apply_delta(&mut dec)?;
+        dec.finish()?;
+        self.day = day;
+        self.scanner.set_now(clock);
+        self.mark_synced();
+        Ok(())
+    }
+
+    /// Rebuild a pipeline from a snapshot journal — the base envelope
+    /// written by [`Pipeline::save_full`] followed by any number of
+    /// [`Pipeline::append_delta`] records — plus the same model and
+    /// pipeline configuration the saved run used.
     ///
     /// Running N + M days straight and running N days → save → resume →
     /// M days produce byte-identical daily outputs (same
-    /// `battery_digest`, same service files); corrupted or truncated
-    /// snapshots error, they never panic.
+    /// `battery_digest`, same service files). A corrupted or truncated
+    /// *base* errors; a journal torn anywhere inside a delta record
+    /// recovers to the last complete record, reported via
+    /// [`JournalReplay::torn_tail`]. Nothing ever panics on bad input,
+    /// and a frame is applied only after its checksum verifies, so a
+    /// torn tail can never half-apply.
     pub fn resume<R: Read>(
         model_cfg: ModelConfig,
         cfg: PipelineConfig,
         r: &mut R,
-    ) -> Result<Pipeline, CodecError> {
+    ) -> Result<(Pipeline, JournalReplay), CodecError> {
+        let mut r = CountingReader { inner: r, count: 0 };
+        let r = &mut r;
         let mut dec = Decoder::new(r, &PIPELINE_MAGIC, codec::CODEC_VERSION)?;
         let day = dec.get_u16()?;
         let clock = Time(dec.get_u64()?);
@@ -377,7 +524,7 @@ impl Pipeline {
         let hitlist = Hitlist::decode(&mut dec)?;
         let ledger = Ledger::decode(&mut dec)?;
         let apd = Apd::decode(cfg.apd.clone(), &mut dec)?;
-        dec.finish()?;
+        let r = dec.finish()?;
 
         // Rebuild the deterministic side from config, then restore the
         // one cross-day scanner scalar: the virtual clock (reply
@@ -386,21 +533,142 @@ impl Pipeline {
         let sources = expanse_model::sources::build_sources(&model);
         let mut scanner = Scanner::new(model, cfg.scan.clone());
         scanner.set_now(clock);
-        Ok(Pipeline {
+        let mut p = Pipeline {
             cfg,
             scanner,
             apd,
             hitlist,
             sources,
             ledger,
+            synced_hot: hot_prefixes.clone(),
             hot_prefixes,
             day,
-        })
+            synced_day: day,
+        };
+
+        // Replay delta records until the journal ends — cleanly (EOF at
+        // a record boundary) or torn (anything else inside a record).
+        let base_bytes = r.count;
+        let mut replay = JournalReplay {
+            deltas_applied: 0,
+            torn_tail: false,
+            base_bytes,
+            journal_bytes: base_bytes,
+        };
+        loop {
+            let mut lenb = [0u8; 8];
+            match read_or_eof(r, &mut lenb)? {
+                ReadOutcome::Eof => break,
+                ReadOutcome::Partial => {
+                    replay.torn_tail = true;
+                    break;
+                }
+                ReadOutcome::Full => {}
+            }
+            let frame_len = u64::from_le_bytes(lenb);
+            if !(MIN_FRAME_LEN..=MAX_FRAME_LEN).contains(&frame_len) {
+                replay.torn_tail = true;
+                break;
+            }
+            // `take` bounds the read, and the Vec grows only as bytes
+            // actually arrive — a corrupted length prefix can cost at
+            // most the remaining journal, never an implausible
+            // allocation.
+            let mut frame = Vec::new();
+            r.by_ref().take(frame_len).read_to_end(&mut frame)?;
+            if frame.len() as u64 != frame_len || !codec::envelope_checksum_ok(&frame) {
+                replay.torn_tail = true;
+                break;
+            }
+            p.apply_delta_frame(&frame)?;
+            replay.deltas_applied += 1;
+            replay.journal_bytes = r.count;
+        }
+        Ok((p, replay))
     }
 }
 
-/// Envelope magic for a full pipeline snapshot.
+/// How a delta-journal replay ended: how many records applied, how
+/// many bytes they spanned, and whether the journal's tail was torn
+/// (truncated or corrupted inside the final record — recovery then
+/// stops at the last complete record, losing at most one in-flight
+/// append).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct JournalReplay {
+    /// Complete delta records applied on top of the base snapshot.
+    pub deltas_applied: usize,
+    /// Did the journal end mid-record instead of at a record boundary?
+    pub torn_tail: bool,
+    /// Size of the base envelope in bytes.
+    pub base_bytes: u64,
+    /// Bytes through the end of the last applied record (base +
+    /// complete deltas; torn tail bytes excluded). The journal's byte
+    /// accounting resumes from these without rereading anything.
+    pub journal_bytes: u64,
+}
+
+/// A [`Read`] adapter counting consumed bytes, so replay can report
+/// record boundaries ([`JournalReplay::journal_bytes`]) without the
+/// underlying reader being seekable.
+struct CountingReader<R> {
+    inner: R,
+    count: u64,
+}
+
+impl<R: Read> Read for CountingReader<R> {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        let n = self.inner.read(buf)?;
+        self.count += n as u64;
+        Ok(n)
+    }
+}
+
+/// Outcome of [`read_or_eof`].
+enum ReadOutcome {
+    /// The buffer was filled.
+    Full,
+    /// Not a single byte was available: a clean end of the journal.
+    Eof,
+    /// Some bytes arrived, then EOF: a torn record.
+    Partial,
+}
+
+/// Fill `buf` from `r`, distinguishing a clean EOF before the first
+/// byte from a torn read partway through.
+fn read_or_eof<R: Read>(r: &mut R, buf: &mut [u8]) -> Result<ReadOutcome, CodecError> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        match r.read(&mut buf[filled..]) {
+            Ok(0) => {
+                return Ok(if filled == 0 {
+                    ReadOutcome::Eof
+                } else {
+                    ReadOutcome::Partial
+                })
+            }
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(CodecError::Io(e)),
+        }
+    }
+    Ok(ReadOutcome::Full)
+}
+
+/// Envelope magic for a full pipeline snapshot (the journal base).
 pub const PIPELINE_MAGIC: [u8; 8] = *b"EXP6PIPE";
+
+/// Envelope magic for one journal delta frame.
+pub const DELTA_MAGIC: [u8; 8] = *b"EXP6DLTA";
+
+/// Smallest well-formed delta frame: magic + version + empty payload +
+/// checksum (an empty payload is impossible — the day pair alone is 4
+/// bytes — but the envelope floor is the meaningful bound here).
+const MIN_FRAME_LEN: u64 = 8 + 2 + 8;
+
+/// Reject outer length prefixes beyond this (2^32 bytes) as torn: a
+/// single day's delta outgrowing 4 GiB means the writer should have
+/// compacted long ago.
+const MAX_FRAME_LEN: u64 = 1 << 32;
 
 #[cfg(test)]
 mod tests {

@@ -4,6 +4,10 @@
 //! files. This is the contract that makes the snapshot subsystem safe
 //! to deploy: a restart can never fork the published hitlist history.
 //!
+//! The same guard covers the incremental journal: run(N) → full base →
+//! M × delta → replay must equal run(N + M), and a journal torn inside
+//! the last delta record must recover to the previous record.
+//!
 //! Retention expiry is enabled so the guard also covers the
 //! accumulate→expire→publish lifecycle (expiry counts must match too).
 
@@ -62,6 +66,14 @@ fn drive(p: &mut Pipeline, days: usize) -> Vec<DayOutput> {
         .collect()
 }
 
+/// The pipeline's full state as one byte string (a sealed base
+/// envelope): two pipelines are in the same state iff these agree.
+fn state_bytes(p: &mut Pipeline) -> Vec<u8> {
+    let mut buf = Vec::new();
+    p.save_full(&mut buf).expect("save_full");
+    buf
+}
+
 #[test]
 fn resume_equals_uninterrupted_run() {
     // Reference: one uninterrupted N + M day run.
@@ -77,11 +89,14 @@ fn resume_equals_uninterrupted_run() {
         "same seed + config must agree before the save"
     );
     let mut snapshot = Vec::new();
-    before.save_state(&mut snapshot).expect("save_state");
+    before.save_full(&mut snapshot).expect("save_full");
     drop(before);
 
-    let mut resumed = Pipeline::resume(ModelConfig::tiny(SEED), config(), &mut snapshot.as_slice())
-        .expect("resume");
+    let (mut resumed, replay) =
+        Pipeline::resume(ModelConfig::tiny(SEED), config(), &mut snapshot.as_slice())
+            .expect("resume");
+    assert_eq!(replay.deltas_applied, 0);
+    assert!(!replay.torn_tail);
     assert_eq!(resumed.day(), (WARMUP as usize + N) as u16);
     let tail = drive(&mut resumed, M);
 
@@ -102,15 +117,137 @@ fn resume_equals_uninterrupted_run() {
 }
 
 #[test]
-fn save_state_is_deterministic() {
+fn journal_replay_equals_uninterrupted_run() {
+    const K: usize = 2; // days driven after the journal replay
+
+    // Reference: one uninterrupted N + M + K day run.
+    let mut straight = fresh();
+    let reference = drive(&mut straight, N + M + K);
+
+    // Candidate: N days → full base, then M days each sealed with one
+    // delta record.
+    let mut writer = fresh();
+    drive(&mut writer, N);
+    let mut journal = Vec::new();
+    writer.save_full(&mut journal).expect("save_full");
+    let base_len = journal.len();
+    let mut boundaries = Vec::new(); // journal length after each record
+    let middle = (0..M)
+        .map(|_| {
+            let out = drive(&mut writer, 1).pop().expect("one day");
+            writer.append_delta(&mut journal).expect("append_delta");
+            boundaries.push(journal.len());
+            out
+        })
+        .collect::<Vec<_>>();
+    assert_eq!(
+        middle[..],
+        reference[N..N + M],
+        "journal-writing days must match the uninterrupted run"
+    );
+    // Incrementality: each record is a fraction of the base even at
+    // tiny scale, where one day's working set (responders + re-probed
+    // APD windows) is a far larger share of the world than in a real
+    // deployment. The bench reports the actual ratio.
+    for (i, delta_len) in boundaries
+        .iter()
+        .scan(base_len, |prev, &b| {
+            let d = b - *prev;
+            *prev = b;
+            Some(d)
+        })
+        .enumerate()
+    {
+        assert!(
+            delta_len < base_len / 3,
+            "delta {i} is {delta_len} bytes — not incremental against a {base_len}-byte base"
+        );
+    }
+    assert!(
+        journal.len() < 2 * base_len,
+        "journal ({} bytes) outgrew twice its base ({base_len} bytes) in {M} days",
+        journal.len()
+    );
+
+    // Replay the whole journal: every record applies, nothing is torn,
+    // and the restored state is byte-identical to the writer's.
+    let (mut resumed, replay) =
+        Pipeline::resume(ModelConfig::tiny(SEED), config(), &mut journal.as_slice())
+            .expect("journal resume");
+    assert_eq!(replay.deltas_applied, M);
+    assert!(!replay.torn_tail);
+    assert_eq!(
+        state_bytes(&mut resumed),
+        state_bytes(&mut writer),
+        "replayed state must be byte-identical to the writer's"
+    );
+
+    // And the future it computes is the uninterrupted run's.
+    let after = drive(&mut resumed, K);
+    assert_eq!(after[..], reference[N + M..]);
+}
+
+#[test]
+fn torn_tail_recovers_to_previous_record() {
+    let mut straight = fresh();
+    let reference = drive(&mut straight, N + 2);
+
+    let mut writer = fresh();
+    drive(&mut writer, N);
+    let mut journal = Vec::new();
+    writer.save_full(&mut journal).expect("save_full");
+    drive(&mut writer, 1);
+    writer.append_delta(&mut journal).expect("append_delta");
+    let complete_len = journal.len();
+    drive(&mut writer, 1);
+    writer.append_delta(&mut journal).expect("append_delta");
+
+    // Tear the journal at every depth inside the last record — from
+    // "only the length prefix arrived" to "one byte short": replay must
+    // recover to the first record every time, and the recovered
+    // pipeline recomputes the lost day byte-identically.
+    for keep in [complete_len + 8, (complete_len + journal.len()) / 2] {
+        let (p, replay) =
+            Pipeline::resume(ModelConfig::tiny(SEED), config(), &mut &journal[..keep])
+                .expect("torn journal must still resume");
+        assert_eq!(replay.deltas_applied, 1, "torn at {keep}");
+        assert!(replay.torn_tail, "torn at {keep}");
+        let mut p = p;
+        let redone = drive(&mut p, 1);
+        assert_eq!(redone[..], reference[N + 1..N + 2], "torn at {keep}");
+    }
+    // Torn exactly at a record boundary: indistinguishable from a clean
+    // shutdown — one record, no torn tail.
+    let (_, replay) = Pipeline::resume(
+        ModelConfig::tiny(SEED),
+        config(),
+        &mut &journal[..complete_len],
+    )
+    .expect("boundary cut resumes");
+    assert_eq!(replay.deltas_applied, 1);
+    assert!(!replay.torn_tail);
+    // A flipped bit inside the last frame is the same as truncation:
+    // the record's checksum fails, recovery stops one record earlier.
+    let mut evil = journal.clone();
+    let at = complete_len + 12;
+    evil[at] ^= 0x40;
+    let (_, replay) = Pipeline::resume(ModelConfig::tiny(SEED), config(), &mut evil.as_slice())
+        .expect("corrupt tail record must not kill the journal");
+    assert_eq!(replay.deltas_applied, 1);
+    assert!(replay.torn_tail);
+}
+
+#[test]
+fn save_full_is_deterministic() {
     // Two saves of the same state are byte-identical (no hash-map
-    // iteration order may leak into the snapshot).
+    // iteration order may leak into the snapshot), and an append_delta
+    // in between must not change what a full save writes.
     let mut p = fresh();
     drive(&mut p, 2);
-    let mut a = Vec::new();
-    let mut b = Vec::new();
-    p.save_state(&mut a).unwrap();
-    p.save_state(&mut b).unwrap();
+    let a = state_bytes(&mut p);
+    let mut sink = Vec::new();
+    p.append_delta(&mut sink).unwrap(); // empty delta: no day ran
+    let b = state_bytes(&mut p);
     assert_eq!(a, b);
 }
 
@@ -119,11 +256,12 @@ fn corrupted_snapshot_errors_cleanly() {
     let mut p = fresh();
     drive(&mut p, 1);
     let mut snapshot = Vec::new();
-    p.save_state(&mut snapshot).unwrap();
+    p.save_full(&mut snapshot).unwrap();
 
     // Sanity: the pristine snapshot resumes.
     assert!(Pipeline::resume(ModelConfig::tiny(SEED), config(), &mut snapshot.as_slice()).is_ok());
-    // Truncated at any of a few depths: error, never panic.
+    // Truncated at any of a few depths inside the *base*: error, never
+    // panic (the base has no earlier record to fall back to).
     for keep in [0, 4, snapshot.len() / 2, snapshot.len() - 1] {
         assert!(
             Pipeline::resume(ModelConfig::tiny(SEED), config(), &mut &snapshot[..keep]).is_err(),

@@ -3,7 +3,7 @@
 //! (§7).
 //!
 //! Pipeline:
-//! 1. [`segment`] — split the 32 nybbles into homogeneous-entropy segments
+//! 1. [`segment()`] — split the 32 nybbles into homogeneous-entropy segments
 //! 2. [`model::train`] — mine per-segment value distributions and chain
 //!    them into a Bayesian network
 //! 3. [`model::EipModel::generate`] — best-first (probability-ordered)

@@ -1,7 +1,7 @@
 //! `expanse-entropy`: entropy clustering of IPv6 networks (§4 of the
 //! paper).
 //!
-//! The pipeline: per-network nybble [`fingerprint`]s → [`kmeans`] with
+//! The pipeline: per-network nybble [`fingerprint`]s → [`kmeans()`] with
 //! k-means++ seeding and the elbow method → [`cluster`] summaries with
 //! popularity and per-nybble median entropy, matching Figures 2 and 3.
 //!

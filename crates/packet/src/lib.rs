@@ -1,6 +1,6 @@
 //! IPv6/ICMPv6/TCP/UDP wire formats for the `expanse` toolkit.
 //!
-//! The probers ([`expanse-zmap6`], [`expanse-scamper6`]) build **byte-exact
+//! The probers (`expanse-zmap6`, `expanse-scamper6`) build **byte-exact
 //! packets** and the network simulator parses them — the same contract a
 //! raw socket would impose. This keeps checksum, TCP-option, and
 //! fingerprinting code honest instead of mocked.

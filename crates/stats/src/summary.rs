@@ -15,7 +15,7 @@ pub fn median(xs: &[f64]) -> Option<f64> {
     quantile(xs, 0.5)
 }
 
-/// Quantile `q` in [0,1] with linear interpolation between order
+/// Quantile `q` in \[0,1\] with linear interpolation between order
 /// statistics; `None` on empty input.
 ///
 /// # Panics

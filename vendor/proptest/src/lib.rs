@@ -197,7 +197,7 @@ pub mod collection {
     use super::{Strategy, TestRng};
     use rand::Rng;
 
-    /// Length specifications accepted by [`vec`]: an exact size, an
+    /// Length specifications accepted by [`vec()`]: an exact size, an
     /// exclusive range, or an inclusive range.
     pub trait IntoSizeRange {
         /// Normalize to inclusive `(min, max)` bounds.
