@@ -1,18 +1,35 @@
 //! Formatting helpers for measurement output files.
 
 use crate::Prefix;
+use std::fmt::Write as _;
 use std::net::Ipv6Addr;
+
+/// Byte length of one fully-expanded address: 8 × 4 hex digits + 7
+/// colons. Callers pre-sizing line-oriented buffers add one for the
+/// newline.
+pub const EXPANDED_LEN: usize = 39;
 
 /// Fully expanded lowercase representation, `2001:0db8:0000:...:0001`.
 ///
 /// Hitlist files in the paper's data release use the expanded form so that
 /// line-oriented tools can slice nybbles by column.
 pub fn expanded(a: Ipv6Addr) -> String {
+    let mut out = String::with_capacity(EXPANDED_LEN);
+    write_expanded(&mut out, a);
+    out
+}
+
+/// Append the fully-expanded form of `a` to `out` without a temporary
+/// allocation — the unit of the daily publish path, which renders
+/// millions of these lines per file.
+pub fn write_expanded(out: &mut String, a: Ipv6Addr) {
     let s = a.segments();
-    format!(
+    // Writing into a String cannot fail.
+    let _ = write!(
+        out,
         "{:04x}:{:04x}:{:04x}:{:04x}:{:04x}:{:04x}:{:04x}:{:04x}",
         s[0], s[1], s[2], s[3], s[4], s[5], s[6], s[7]
-    )
+    );
 }
 
 /// Parse one address per line, skipping blank lines and `#` comments.

@@ -45,6 +45,7 @@ pub mod mac;
 pub mod nybbles;
 pub mod prefix;
 pub mod set;
+pub mod sorted;
 pub mod table;
 
 pub use codec::{CodecError, Decoder, Encoder};
@@ -53,6 +54,7 @@ pub use iter::AddrIter;
 pub use mac::MacAddr;
 pub use prefix::{Prefix, PrefixParseError};
 pub use set::AddrSet;
+pub use sorted::SortedView;
 pub use table::{AddrId, AddrMap, AddrTable};
 
 use std::net::Ipv6Addr;

@@ -2,7 +2,7 @@
 
 use expanse_addr::{
     addr_to_u128, fanout16, keyed_random_addr, nybbles, prefix::mask, u128_to_addr, AddrId,
-    AddrSet, AddrTable, Prefix,
+    AddrSet, AddrTable, Prefix, SortedView,
 };
 use proptest::prelude::*;
 use std::collections::BTreeSet;
@@ -147,5 +147,48 @@ proptest! {
         prop_assert_eq!(ids(&sa.difference(&sb)), sorted(&oa.difference(&ob).copied().collect()));
         prop_assert_eq!(sa.contains(AddrId::from_index(probe)), oa.contains(&probe));
         prop_assert_eq!(sa.len(), oa.len());
+    }
+
+    /// The sorted-view prefix range (two binary searches over the
+    /// address-sorted permutation) agrees with a naive full scan of the
+    /// table filtered by `Prefix::contains`, on both membership and
+    /// order.
+    #[test]
+    fn sorted_view_range_matches_full_scan_oracle(
+        vals in proptest::collection::vec(any::<u128>(), 0..200),
+        near in proptest::collection::vec(0u128..1024, 0..50),
+        bits in any::<u128>(),
+        len in 0u8..=128,
+    ) {
+        let mut table = AddrTable::new();
+        for &v in &vals {
+            table.intern_u128(v);
+        }
+        let p = Prefix::from_bits(bits, len);
+        // Seed values clustered around the probed prefix so ranges are
+        // regularly non-empty, not just the all-random miss case.
+        for &off in &near {
+            table.intern_u128(p.bits() | (off & !mask(p.len())));
+        }
+        let view = SortedView::build(&table);
+
+        // Oracle: scan every interned address.
+        let mut expect: Vec<u128> = table
+            .raw()
+            .iter()
+            .copied()
+            .filter(|&v| p.contains(u128_to_addr(v)))
+            .collect();
+        expect.sort_unstable();
+
+        let got: Vec<u128> = view.range(&table, p).iter().map(|&id| table.bits(id)).collect();
+        prop_assert_eq!(&got, &expect, "range members/order diverge from full scan");
+
+        // The AddrSet form holds the same members, id-sorted.
+        let set = view.range_set(&table, p);
+        prop_assert_eq!(set.len(), expect.len());
+        for id in set.iter() {
+            prop_assert!(p.contains(table.addr(id)));
+        }
     }
 }

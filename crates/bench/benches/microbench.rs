@@ -311,6 +311,62 @@ fn bench_addr_store(c: &mut Criterion) {
     g.finish();
 }
 
+fn bench_serve_query(c: &mut Criterion) {
+    // The PR 5 hot path: the serving layer's query engine over one
+    // immutable snapshot view — point lookups, prefix pages through
+    // the sorted permutation, deterministic sampling, and prefix
+    // stats.
+    use expanse_core::Hitlist;
+    use expanse_model::SourceId;
+    use expanse_serve::{Query, SnapshotView};
+
+    const N: u64 = 50_000;
+    let mut h = Hitlist::new();
+    let addrs: Vec<Ipv6Addr> = (0..N)
+        .map(|i| {
+            // 16 /48s under one /32, dense low bits: realistic clustering.
+            u128_to_addr((0x2001_0db8u128 << 96) | (u128::from(i % 16) << 80) | u128::from(i))
+        })
+        .collect();
+    h.add_from(SourceId::Ct, &addrs, 0);
+    for (i, &a) in addrs.iter().enumerate() {
+        if i % 3 != 0 {
+            h.mark_responsive(a, 5, expanse_packet::ProtoSet((i % 31 + 1) as u8 & 0b11111));
+        }
+    }
+    let aliased: Vec<Prefix> = (0..4u128)
+        .map(|i| Prefix::from_bits((0x2001_0db8u128 << 96) | (i << 80), 48))
+        .collect();
+
+    let mut g = c.benchmark_group("serve_query");
+    g.bench_function("view_build_50k", |b| {
+        b.iter(|| SnapshotView::from_hitlist(6, &h, aliased.clone()))
+    });
+    let view = SnapshotView::from_hitlist(6, &h, aliased);
+    let probes: Vec<Ipv6Addr> = (0..1024u64)
+        .map(|i| addrs[(i as usize * 97) % addrs.len()])
+        .collect();
+    g.throughput(Throughput::Elements(probes.len() as u64));
+    g.bench_function("lookup_1k", |b| {
+        b.iter(|| probes.iter().filter(|&&a| view.lookup(a).is_some()).count())
+    });
+    g.throughput(Throughput::Elements(1));
+    let q48 = Query::all()
+        .under(Prefix::from_bits(
+            (0x2001_0db8u128 << 96) | (5u128 << 80),
+            48,
+        ))
+        .responsive();
+    g.bench_function("prefix_page_256", |b| b.iter(|| view.page(&q48, None, 256)));
+    g.bench_function("sample_100_of_all", |b| {
+        b.iter(|| view.sample(&Query::all(), 100, 42))
+    });
+    g.bench_function("stats_under_32", |b| {
+        b.iter(|| view.stats(Some(Prefix::from_bits(0x2001_0db8u128 << 96, 32))))
+    });
+    g.finish();
+}
+
 criterion_group!(
     benches,
     bench_trie,
@@ -322,6 +378,7 @@ criterion_group!(
     bench_permutation,
     bench_scanner,
     bench_battery_fanout,
-    bench_addr_store
+    bench_addr_store,
+    bench_serve_query
 );
 criterion_main!(benches);

@@ -73,9 +73,16 @@ fn main() {
         }
         scale = Some(Scale::Small);
         ids.extend(
-            ["table2", "fig2a", "table3", "fig7", "bench-pipeline"]
-                .iter()
-                .map(|s| s.to_string()),
+            [
+                "table2",
+                "fig2a",
+                "table3",
+                "fig7",
+                "bench-pipeline",
+                "bench-serve",
+            ]
+            .iter()
+            .map(|s| s.to_string()),
         );
     }
     if ids.is_empty() {

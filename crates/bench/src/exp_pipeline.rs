@@ -165,8 +165,9 @@ pub fn bench_pipeline(ctx: &mut Ctx) -> String {
     const DELTA_DAYS: usize = 2;
     let mut delta_bytes_per_day = [0u64; DELTA_DAYS];
     let mut delta_append_s = [0f64; DELTA_DAYS];
+    let mut last_snapshot = None;
     for (d, bytes) in delta_bytes_per_day.iter_mut().enumerate() {
-        p.run_day();
+        last_snapshot = Some(p.run_day());
         let before = journal.len();
         let t0 = Instant::now();
         p.append_delta(&mut journal).expect("append_delta");
@@ -185,6 +186,21 @@ pub fn bench_pipeline(ctx: &mut Ctx) -> String {
     });
     let delta_mean = delta_bytes_per_day.iter().sum::<u64>() as f64 / DELTA_DAYS as f64;
     let delta_ratio = delta_mean / snapshot_bytes as f64;
+
+    // ---- service render: the daily publish path -----------------------
+    // One hitlist file + one per-protocol view per day; rendering is
+    // `write!` into a pre-sized buffer (no per-line `format!`
+    // temporary), and this keeps the number under watch.
+    let day_snap = last_snapshot.expect("journal block ran at least one day");
+    let render_bytes = expanse_core::service::hitlist_file(&day_snap).len()
+        + expanse_core::service::protocol_file(&day_snap, expanse_packet::Protocol::Tcp443).len();
+    let render_s = time(rounds, || {
+        (
+            expanse_core::service::hitlist_file(&day_snap),
+            expanse_core::service::protocol_file(&day_snap, expanse_packet::Protocol::Tcp443),
+        )
+    });
+    let render_mb_per_s = render_bytes as f64 / render_s.max(1e-9) / 1e6;
 
     let per_s = |s: f64| merged as f64 / s.max(1e-9);
     out.push_str(&format!(
@@ -223,16 +239,20 @@ pub fn bench_pipeline(ctx: &mut Ctx) -> String {
         delta_ratio * 100.0,
         replay_s,
     ));
+    out.push_str(&format!(
+        "service render    {render_mb_per_s:>12.1} MB/s  ({render_bytes} bytes: hitlist + one protocol view)\n",
+    ));
 
     let json = format!(
-        "{{\n  \"schema\": 3,\n  \"scale\": \"{scale}\",\n  \"hitlist\": {hitlist_len},\n  \
+        "{{\n  \"schema\": 4,\n  \"scale\": \"{scale}\",\n  \"hitlist\": {hitlist_len},\n  \
          \"kept_targets\": {},\n  \"responders\": {},\n  \"battery\": {{ \"addr_probes_per_s\": {:.1} }},\n  \
          \"merge\": {{ \"hashmap_addrs_per_s\": {:.1}, \"columnar_addrs_per_s\": {:.1} }},\n  \
          \"responsiveness\": {{ \"hashmap_addrs_per_s\": {:.1}, \"columnar_addrs_per_s\": {:.1} }},\n  \
          \"apd_plan\": {{ \"addrs_per_s\": {:.1} }},\n  \
          \"snapshot\": {{ \"bytes\": {snapshot_bytes}, \"save_mb_per_s\": {:.1}, \"resume_s\": {:.4} }},\n  \
          \"journal\": {{ \"delta_days\": {DELTA_DAYS}, \"delta_bytes_per_day\": {:.1}, \
-         \"delta_to_base_ratio\": {:.4}, \"append_s_per_day\": {:.5}, \"replay_s\": {:.4} }}\n}}\n",
+         \"delta_to_base_ratio\": {:.4}, \"append_s_per_day\": {:.5}, \"replay_s\": {:.4} }},\n  \
+         \"service\": {{ \"render_bytes\": {render_bytes}, \"render_mb_per_s\": {render_mb_per_s:.1} }}\n}}\n",
         kept.len(),
         merged,
         battery_per_s,

@@ -1,0 +1,173 @@
+//! Serving-layer bench: snapshot-view build and journal→view load
+//! times, plus wire-protocol query throughput at 1 thread vs N
+//! threads through the epoch registry.
+//!
+//! Not a paper artifact — this is the perf trajectory of the query
+//! engine the ROADMAP's "serves heavy traffic" north star asks for.
+//! Besides the rendered report it writes `BENCH_serve.json`
+//! (machine-readable, uploaded by CI).
+
+use crate::ctx::{header, Ctx};
+use expanse_addr::fanout::splitmix64;
+use expanse_addr::Prefix;
+use expanse_core::Pipeline;
+use expanse_packet::{ProtoSet, Protocol};
+use expanse_serve::protocol::encode_request;
+use expanse_serve::{Query, Request, SnapshotRegistry, SnapshotView};
+use std::hint::black_box;
+use std::net::Ipv6Addr;
+use std::time::Instant;
+
+/// Mean seconds per round of `f` over `rounds` runs.
+fn time<T>(rounds: usize, mut f: impl FnMut() -> T) -> f64 {
+    let t0 = Instant::now();
+    for _ in 0..rounds {
+        black_box(f());
+    }
+    t0.elapsed().as_secs_f64() / rounds as f64
+}
+
+/// A mixed request workload over the view's real contents: point
+/// lookups (hits and misses), prefix pages with filters, samples, and
+/// stats, in a deterministic shuffle.
+fn workload(view: &SnapshotView, count: usize) -> Vec<Request> {
+    let live: Vec<Ipv6Addr> = view
+        .live_set()
+        .iter()
+        .map(|id| view.table().addr(id))
+        .collect();
+    assert!(!live.is_empty(), "bench needs a populated view");
+    let mut reqs = Vec::with_capacity(count);
+    for i in 0..count {
+        let r = splitmix64(0x5e7e_0bad ^ i as u64);
+        let addr = live[(r >> 8) as usize % live.len()];
+        reqs.push(match r % 10 {
+            // Half the workload is point lookups, the common case.
+            0..=3 => Request::Lookup { addr },
+            4 => Request::Lookup {
+                // A guaranteed miss.
+                addr: expanse_addr::u128_to_addr(u128::MAX ^ r as u128),
+            },
+            5 | 6 => Request::Select {
+                query: Query::all().under(Prefix::new(addr, 32 + (r % 3) as u8 * 16)),
+                cursor: None,
+                limit: 128,
+            },
+            7 => Request::Select {
+                query: Query::all()
+                    .responsive()
+                    .on_protocols(ProtoSet::only(Protocol::ALL[(r % 5) as usize]))
+                    .non_aliased(),
+                cursor: None,
+                limit: 128,
+            },
+            8 => Request::Sample {
+                query: Query::all().responsive(),
+                k: 64,
+                seed: r,
+            },
+            _ => Request::Stats {
+                prefix: Some(Prefix::new(addr, 32)),
+            },
+        });
+    }
+    reqs
+}
+
+/// Run the bench; writes `BENCH_serve.json` next to the reports.
+pub fn bench_serve(ctx: &mut Ctx) -> String {
+    let mut out = header(
+        "BENCH: serve — view build / journal load / query throughput",
+        "system perf trajectory, not a paper figure",
+    );
+    let (rounds, queries) = match ctx.scale {
+        crate::ctx::Scale::Small => (5, 3000),
+        _ => (3, 8000),
+    };
+    let scale = format!("{:?}", ctx.scale).to_lowercase();
+    let p: &mut Pipeline = ctx.pipeline();
+    if p.day() == 0 {
+        p.warmup_apd(1);
+        p.run_day();
+    }
+
+    // ---- journal: base + two probing-day deltas ----------------------
+    let mut journal: Vec<u8> = Vec::new();
+    p.save_full(&mut journal).expect("save_full");
+    for _ in 0..2 {
+        p.run_day();
+        p.append_delta(&mut journal).expect("append_delta");
+    }
+
+    // ---- view build from the live pipeline ---------------------------
+    let build_s = time(rounds, || SnapshotView::publish(p));
+    let view = SnapshotView::publish(p);
+    let rows = view.len();
+    let live = view.live_set().len();
+
+    // ---- journal → view load, vs a full pipeline resume --------------
+    // The read-only path decodes the same bytes but skips the model
+    // rebuild and pipeline wiring — the delta is what a query replica
+    // saves on every restart.
+    let apd_cfg = p.cfg.apd.clone();
+    let load_s = time(rounds, || {
+        SnapshotView::load_journal(apd_cfg.clone(), &mut journal.as_slice()).expect("load_journal")
+    });
+    let model_cfg = ctx.scale.model_config(ctx.seed);
+    let pipeline_cfg = ctx.pipeline().cfg.clone();
+    let resume_s = time(2, || {
+        Pipeline::resume(
+            model_cfg.clone(),
+            pipeline_cfg.clone(),
+            &mut journal.as_slice(),
+        )
+        .expect("resume")
+    });
+
+    // ---- query throughput through the wire protocol ------------------
+    let reqs = workload(&view, queries);
+    let stream: Vec<u8> = reqs.iter().flat_map(encode_request).collect();
+    let registry = SnapshotRegistry::new(view);
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(8);
+    let serve_rounds = rounds.min(3);
+    let t1 = time(serve_rounds, || {
+        expanse_serve::serve_stream(&registry, &stream, 1).expect("serve 1-thread")
+    });
+    let tn = time(serve_rounds, || {
+        expanse_serve::serve_stream(&registry, &stream, threads).expect("serve n-thread")
+    });
+    let qps_1 = queries as f64 / t1.max(1e-9);
+    let qps_n = queries as f64 / tn.max(1e-9);
+
+    out.push_str(&format!(
+        "model scale {scale}: view {rows} rows ({live} live), journal {} bytes\n\n",
+        journal.len()
+    ));
+    out.push_str(&format!(
+        "view build        {:>12.4} s  (pipeline → immutable view)\n\
+         journal → view    {:>12.4} s  (read-only load, no model rebuild)\n\
+         journal → pipeline{:>12.4} s  (full resume, for comparison)\n",
+        build_s, load_s, resume_s,
+    ));
+    out.push_str(&format!(
+        "queries 1 thread  {qps_1:>12.0} q/s  ({queries} mixed requests)\n\
+         queries {threads} threads {qps_n:>12.0} q/s  ({:.2}x)\n",
+        qps_n / qps_1.max(1e-9),
+    ));
+
+    let json = format!(
+        "{{\n  \"schema\": 1,\n  \"scale\": \"{scale}\",\n  \
+         \"view\": {{ \"rows\": {rows}, \"live\": {live}, \"build_s\": {build_s:.5}, \
+         \"journal_bytes\": {}, \"journal_load_s\": {load_s:.5}, \"pipeline_resume_s\": {resume_s:.5} }},\n  \
+         \"queries\": {{ \"count\": {queries}, \"threads\": {threads}, \
+         \"qps_1_thread\": {qps_1:.1}, \"qps_n_thread\": {qps_n:.1}, \"scaling\": {:.3} }}\n}}\n",
+        journal.len(),
+        qps_n / qps_1.max(1e-9),
+    );
+    ctx.write("BENCH_serve.json", &json);
+    out.push_str("\nwrote BENCH_serve.json\n");
+    out
+}

@@ -20,6 +20,7 @@ pub mod exp_generation;
 pub mod exp_pipeline;
 pub mod exp_probing;
 pub mod exp_rdns_crowd;
+pub mod exp_serve;
 pub mod exp_sources;
 
 pub use ctx::Ctx;
@@ -57,6 +58,7 @@ pub const ALL_EXPERIMENTS: &[&str] = &[
     "abl-cluster-as",
     "abl-bgp-apd",
     "bench-pipeline",
+    "bench-serve",
 ];
 
 /// Run one experiment by id; returns the rendered report.
@@ -93,6 +95,7 @@ pub fn run(id: &str, ctx: &mut Ctx) -> Option<String> {
         "abl-cluster-as" => exp_ablations::cluster_as(ctx),
         "abl-bgp-apd" => exp_ablations::bgp_apd(ctx),
         "bench-pipeline" => exp_pipeline::bench_pipeline(ctx),
+        "bench-serve" => exp_serve::bench_serve(ctx),
         _ => return None,
     };
     Some(out)

@@ -19,6 +19,7 @@
 use expanse_addr::codec::{self, CodecError, Decoder, Encoder};
 use expanse_addr::{AddrId, AddrSet, AddrTable};
 use expanse_model::SourceId;
+use expanse_packet::ProtoSet;
 use std::io::{Read, Write};
 use std::net::Ipv6Addr;
 
@@ -56,6 +57,26 @@ impl SourceMask {
 /// Column sentinel: the address never answered a probe.
 const NEVER: u16 = u16::MAX;
 
+/// A borrowed struct-of-arrays view of every hitlist column, as handed
+/// out by [`Hitlist::columns`]. Row `i` is `AddrId` `i`.
+#[derive(Debug, Clone, Copy)]
+pub struct HitlistColumns<'a> {
+    /// The interner (id ↔ address).
+    pub table: &'a AddrTable,
+    /// Source bitmask per row.
+    pub sources: &'a [SourceMask],
+    /// First contributing source per row.
+    pub first_source: &'a [SourceId],
+    /// Last responsive day per row ([`Hitlist::NEVER_RESPONSIVE`] if none).
+    pub last_responsive: &'a [u16],
+    /// Protocols answered on the last responsive day per row.
+    pub protos: &'a [ProtoSet],
+    /// Insertion (or last revival) day per row.
+    pub added_day: &'a [u16],
+    /// Tombstone flag per row (`false` = expired).
+    pub alive: &'a [bool],
+}
+
 /// Snapshot wire form of a [`SourceId`]: its [`SourceId::ALL`] index as
 /// one byte. Shared by every snapshot section in this crate (hitlist
 /// first-source column, ledger rows) so the mapping and its validation
@@ -78,6 +99,14 @@ pub(crate) fn get_source<R: Read>(dec: &mut Decoder<R>) -> Result<SourceId, Code
         .ok_or(CodecError::Corrupt("unknown source id"))
 }
 
+/// Decode a [`ProtoSet`] stored as its bitmask byte; bits beyond the
+/// protocol universe are corruption. Validation is
+/// [`ProtoSet::from_bits`], the one gate every decoder of a protocol
+/// byte shares.
+fn get_protos<R: Read>(dec: &mut Decoder<R>) -> Result<ProtoSet, CodecError> {
+    ProtoSet::from_bits(dec.get_u8()?).ok_or(CodecError::Corrupt("protocol set has unknown bits"))
+}
+
 /// The accumulated hitlist.
 #[derive(Debug, Clone, Default)]
 pub struct Hitlist {
@@ -89,6 +118,11 @@ pub struct Hitlist {
     first_source: Vec<SourceId>,
     /// Id → last probing day the address answered ([`NEVER`] if none).
     last_responsive: Vec<u16>,
+    /// Id → protocols the address answered on its last responsive day
+    /// (empty if it never answered). Persisted alongside
+    /// `last_responsive`, so per-protocol views can be served straight
+    /// from a snapshot journal without replaying any probing.
+    protos: Vec<ProtoSet>,
     /// Id → day the address was inserted (or last revived). Retention
     /// grants every member a full unresponsiveness window from this
     /// day, so a never-responsive address is not expired the moment an
@@ -137,6 +171,9 @@ fn needs_tombstone(d: u8) -> bool {
 }
 
 impl Hitlist {
+    /// The `last_responsive` column value meaning "never answered".
+    pub const NEVER_RESPONSIVE: u16 = NEVER;
+
     /// Create a new instance.
     pub fn new() -> Self {
         Hitlist::default()
@@ -154,6 +191,7 @@ impl Hitlist {
                 self.sources.push(SourceMask::default().with(source));
                 self.first_source.push(source);
                 self.last_responsive.push(NEVER);
+                self.protos.push(ProtoSet::EMPTY);
                 self.added_day.push(day);
                 self.alive.push(true);
                 self.dirty.push(0);
@@ -164,6 +202,7 @@ impl Hitlist {
                 self.sources[id.index()] = SourceMask::default().with(source);
                 self.first_source[id.index()] = source;
                 self.last_responsive[id.index()] = NEVER;
+                self.protos[id.index()] = ProtoSet::EMPTY;
                 self.added_day[id.index()] = day;
                 self.alive[id.index()] = true;
                 self.touch(id.index(), DIRTY_ROW);
@@ -255,21 +294,31 @@ impl Hitlist {
             .collect()
     }
 
-    /// Record that `addr` answered a probe on `day`.
-    pub fn mark_responsive(&mut self, addr: Ipv6Addr, day: u16) {
+    /// Record that `addr` answered a probe on `day` on `protos`.
+    pub fn mark_responsive(&mut self, addr: Ipv6Addr, day: u16, protos: ProtoSet) {
         if let Some(id) = self.id_of(addr) {
-            self.mark_responsive_id(id, day);
+            self.mark_responsive_id(id, day, protos);
         }
     }
 
-    /// [`Hitlist::mark_responsive`] by id: a single column write, the
-    /// unit of the pipeline's dense daily responsiveness pass.
-    pub fn mark_responsive_id(&mut self, id: AddrId, day: u16) {
+    /// [`Hitlist::mark_responsive`] by id: two column writes, the unit
+    /// of the pipeline's dense daily responsiveness pass. A later day
+    /// replaces the protocol set; a repeated mark on the same day
+    /// unions into it.
+    pub fn mark_responsive_id(&mut self, id: AddrId, day: u16, protos: ProtoSet) {
         debug_assert!(day < NEVER, "day saturates the sentinel");
         let e = &mut self.last_responsive[id.index()];
         if *e == NEVER || *e < day {
             *e = day;
+            self.protos[id.index()] = protos;
             self.touch(id.index(), DIRTY_LAST);
+        } else if *e == day {
+            let p = &mut self.protos[id.index()];
+            let widened = p.union(protos);
+            if widened != *p {
+                *p = widened;
+                self.touch(id.index(), DIRTY_LAST);
+            }
         }
     }
 
@@ -278,6 +327,35 @@ impl Hitlist {
         self.id_of(addr)
             .map(|id| self.last_responsive[id.index()])
             .filter(|&d| d != NEVER)
+    }
+
+    /// Protocols `addr` answered on its last responsive day (empty if
+    /// it never answered or is not a live member).
+    pub fn protos_of(&self, addr: Ipv6Addr) -> ProtoSet {
+        self.id_of(addr)
+            .map(|id| self.protos[id.index()])
+            .unwrap_or(ProtoSet::EMPTY)
+    }
+
+    /// [`Hitlist::protos_of`] by id (tombstoned rows included).
+    pub fn protos_of_id(&self, id: AddrId) -> ProtoSet {
+        self.protos[id.index()]
+    }
+
+    /// Borrow every column at once, for building immutable serving
+    /// views without cloning through per-row accessors. Row `i`
+    /// corresponds to `AddrId` `i`; `last_responsive` uses `0xffff` as
+    /// the never-answered sentinel.
+    pub fn columns(&self) -> HitlistColumns<'_> {
+        HitlistColumns {
+            table: &self.table,
+            sources: &self.sources,
+            first_source: &self.first_source,
+            last_responsive: &self.last_responsive,
+            protos: &self.protos,
+            added_day: &self.added_day,
+            alive: &self.alive,
+        }
     }
 
     /// Expire addresses that have not answered any probe in the last
@@ -367,15 +445,17 @@ impl Hitlist {
         enc.put_u16(self.sources[i].0)?;
         put_source(enc, self.first_source[i])?;
         enc.put_u16(self.last_responsive[i])?;
+        enc.put_u8(self.protos[i].0)?;
         enc.put_u16(self.added_day[i])?;
         enc.put_bool(self.alive[i])
     }
 
     /// Decode one row's mutable columns written by
     /// [`Hitlist::encode_row`].
+    #[allow(clippy::type_complexity)]
     fn decode_row<R: Read>(
         dec: &mut Decoder<R>,
-    ) -> Result<(SourceMask, SourceId, u16, u16, bool), CodecError> {
+    ) -> Result<(SourceMask, SourceId, u16, ProtoSet, u16, bool), CodecError> {
         let m = dec.get_u16()?;
         if m >> SourceId::ALL.len() != 0 {
             return Err(CodecError::Corrupt("source mask has unknown bits"));
@@ -384,6 +464,7 @@ impl Hitlist {
             SourceMask(m),
             get_source(dec)?,
             dec.get_u16()?,
+            get_protos(dec)?,
             dec.get_u16()?,
             dec.get_bool()?,
         ))
@@ -396,8 +477,9 @@ impl Hitlist {
     ///    row;
     /// 2. a sorted id run of *rewritten* rows (revival, new source bit)
     ///    with their full new column values;
-    /// 3. a sorted id run of rows whose `last_responsive` alone changed
-    ///    — the daily responders — with one `u16` column write each;
+    /// 3. a sorted id run of rows whose responsiveness alone changed —
+    ///    the daily responders — with one `u16` day + one protocol-set
+    ///    byte column write each;
     /// 4. a sorted id run of bare tombstone flips (retention expiry),
     ///    no payload at all.
     ///
@@ -417,6 +499,7 @@ impl Hitlist {
         codec::write_set(enc, &last_writes)?;
         for id in last_writes.iter() {
             enc.put_u16(self.last_responsive[id.index()])?;
+            enc.put_u8(self.protos[id.index()].0)?;
         }
         codec::write_set(enc, &self.dirty_run(needs_tombstone))?;
         Ok(())
@@ -428,10 +511,11 @@ impl Hitlist {
     pub fn apply_delta<R: Read>(&mut self, dec: &mut Decoder<R>) -> Result<(), CodecError> {
         let appended = codec::read_table_suffix(dec, &mut self.table)?;
         for _ in 0..appended {
-            let (m, s, last, added, alive) = Self::decode_row(dec)?;
+            let (m, s, last, protos, added, alive) = Self::decode_row(dec)?;
             self.sources.push(m);
             self.first_source.push(s);
             self.last_responsive.push(last);
+            self.protos.push(protos);
             self.added_day.push(added);
             self.alive.push(alive);
             self.live += usize::from(alive);
@@ -447,12 +531,13 @@ impl Hitlist {
         let rewritten = codec::read_set(dec)?;
         for id in rewritten.iter() {
             let i = in_base(id, "delta rewrites an appended row")?;
-            let (m, s, last, added, alive) = Self::decode_row(dec)?;
+            let (m, s, last, protos, added, alive) = Self::decode_row(dec)?;
             self.live -= usize::from(self.alive[i]);
             self.live += usize::from(alive);
             self.sources[i] = m;
             self.first_source[i] = s;
             self.last_responsive[i] = last;
+            self.protos[i] = protos;
             self.added_day[i] = added;
             self.alive[i] = alive;
         }
@@ -460,6 +545,7 @@ impl Hitlist {
         for id in last_writes.iter() {
             let i = in_base(id, "delta writes last-responsive past the base")?;
             self.last_responsive[i] = dec.get_u16()?;
+            self.protos[i] = get_protos(dec)?;
         }
         let tombstones = codec::read_set(dec)?;
         for id in tombstones.iter() {
@@ -487,6 +573,9 @@ impl Hitlist {
         }
         for &d in &self.last_responsive {
             enc.put_u16(d)?;
+        }
+        for &p in &self.protos {
+            enc.put_u8(p.0)?;
         }
         for &d in &self.added_day {
             enc.put_u16(d)?;
@@ -520,6 +609,10 @@ impl Hitlist {
         for _ in 0..n {
             last_responsive.push(dec.get_u16()?);
         }
+        let mut protos = Vec::with_capacity(hint);
+        for _ in 0..n {
+            protos.push(get_protos(dec)?);
+        }
         let mut added_day = Vec::with_capacity(hint);
         for _ in 0..n {
             added_day.push(dec.get_u16()?);
@@ -534,6 +627,7 @@ impl Hitlist {
             sources,
             first_source,
             last_responsive,
+            protos,
             added_day,
             alive,
             live,
@@ -547,9 +641,41 @@ impl Hitlist {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use expanse_packet::Protocol;
 
     fn a(s: &str) -> Ipv6Addr {
         s.parse().unwrap()
+    }
+
+    fn icmp() -> ProtoSet {
+        ProtoSet::only(Protocol::Icmp)
+    }
+
+    #[test]
+    fn protocol_column_tracks_last_responsive_day() {
+        let mut h = Hitlist::new();
+        h.add_from(SourceId::Ct, &[a("::1")], 0);
+        assert_eq!(h.protos_of(a("::1")), ProtoSet::EMPTY);
+        // Same-day marks union…
+        h.mark_responsive(a("::1"), 3, icmp());
+        h.mark_responsive(a("::1"), 3, ProtoSet::only(Protocol::Tcp443));
+        assert_eq!(
+            h.protos_of(a("::1")),
+            icmp().union(ProtoSet::only(Protocol::Tcp443))
+        );
+        // …a later day replaces…
+        h.mark_responsive(a("::1"), 5, ProtoSet::only(Protocol::Udp53));
+        assert_eq!(h.protos_of(a("::1")), ProtoSet::only(Protocol::Udp53));
+        // …and a stale (earlier-day) mark is ignored.
+        h.mark_responsive(a("::1"), 4, icmp());
+        assert_eq!(h.protos_of(a("::1")), ProtoSet::only(Protocol::Udp53));
+        assert_eq!(h.last_responsive(a("::1")), Some(5));
+        // Revival clears the column with the rest of the row.
+        h.add_from(SourceId::Ct, &[a("::2")], 0);
+        h.expire_unresponsive(10, 3);
+        assert!(!h.contains(a("::2")));
+        h.add_from(SourceId::Fdns, &[a("::2")], 10);
+        assert_eq!(h.protos_of(a("::2")), ProtoSet::EMPTY);
     }
 
     #[test]
@@ -598,9 +724,9 @@ mod tests {
         h.add_from(SourceId::DomainLists, &addrs, 0);
         // Days 0..10: only addr 1 and 2 keep answering; 2 stops at day 4.
         for day in 0..10u16 {
-            h.mark_responsive(addrs[0], day);
+            h.mark_responsive(addrs[0], day, icmp());
             if day <= 4 {
-                h.mark_responsive(addrs[1], day);
+                h.mark_responsive(addrs[1], day, icmp());
             }
         }
         assert_eq!(h.last_responsive(addrs[0]), Some(9));
@@ -623,7 +749,7 @@ mod tests {
     fn expired_address_revives_in_place() {
         let mut h = Hitlist::new();
         h.add_from(SourceId::Ct, &[a("::1"), a("::2")], 0);
-        h.mark_responsive(a("::1"), 8);
+        h.mark_responsive(a("::1"), 8, icmp());
         assert_eq!(h.expire_unresponsive(10, 3), 1);
         assert!(!h.contains(a("::2")));
         // Re-added by a different source: counts as new, fresh
@@ -640,7 +766,7 @@ mod tests {
     #[test]
     fn mark_unknown_address_is_noop() {
         let mut h = Hitlist::new();
-        h.mark_responsive("::9".parse().unwrap(), 3);
+        h.mark_responsive("::9".parse().unwrap(), 3, icmp());
         assert_eq!(h.last_responsive("::9".parse().unwrap()), None);
     }
 
@@ -659,8 +785,8 @@ mod tests {
         let mut h = Hitlist::new();
         h.add_from(SourceId::Ct, &[a("::1"), a("::2"), a("::3")], 0);
         let id2 = h.id_of(a("::2")).unwrap();
-        h.mark_responsive(a("::1"), 9);
-        h.mark_responsive(a("::3"), 9);
+        h.mark_responsive(a("::1"), 9, icmp());
+        h.mark_responsive(a("::3"), 9, icmp());
         h.expire_unresponsive(10, 1);
         assert_eq!(h.id_of(a("::2")), None, "expired ids are not live");
         h.add_from(SourceId::Ct, &[a("::2")], 10);
@@ -694,7 +820,7 @@ mod tests {
     fn revive_expire_revive_cycle_respects_grace() {
         let mut h = Hitlist::new();
         h.add_from(SourceId::Ct, &[a("::1")], 0);
-        h.mark_responsive(a("::1"), 1);
+        h.mark_responsive(a("::1"), 1, icmp());
         // Goes quiet; expired on day 10 (window 3, cutoff 7).
         assert_eq!(h.expire_unresponsive(10, 3), 1);
         // A source re-contributes it the same day: revival resets
@@ -710,7 +836,7 @@ mod tests {
         );
         assert!(h.contains(a("::1")));
         // Responding extends its life past the insertion-based grace.
-        h.mark_responsive(a("::1"), 12);
+        h.mark_responsive(a("::1"), 12, icmp());
         assert_eq!(h.expire_unresponsive(14, 3), 0);
         // Quiet again: expires a full window after its last answer.
         assert_eq!(h.expire_unresponsive(16, 3), 1);
@@ -740,11 +866,11 @@ mod tests {
         h.mark_synced();
         let mut replica = h.clone();
 
-        h.mark_responsive(a("::1"), 4); // last-responsive column write
+        h.mark_responsive(a("::1"), 4, icmp()); // last-responsive column write
         h.add_from(SourceId::Fdns, &[a("::2"), a("::4")], 2); // widen ::2 + append ::4
-        h.mark_responsive(a("::4"), 5); // mutation of an appended row
-                                        // Cutoff 4: ::2 (rewrite + tombstone), ::3 and ::5 (bare
-                                        // tombstones); ::1 (last 4) and ::4 (appended, last 5) survive.
+        h.mark_responsive(a("::4"), 5, icmp()); // mutation of an appended row
+                                                // Cutoff 4: ::2 (rewrite + tombstone), ::3 and ::5 (bare
+                                                // tombstones); ::1 (last 4) and ::4 (appended, last 5) survive.
         assert_eq!(h.expire_unresponsive(7, 3), 3);
         // Revival flips ::3 back with fresh provenance: a full rewrite.
         assert_eq!(h.add_from(SourceId::Axfr, &[a("::3")], 8), 1);
@@ -778,7 +904,7 @@ mod tests {
         h.mark_synced();
         // Idempotent re-adds and same-day re-marks leave nothing dirty.
         h.add_from(SourceId::Ct, &[a("::1")], 3);
-        h.mark_responsive(a("::9"), 3); // unknown address: no-op
+        h.mark_responsive(a("::9"), 3, icmp()); // unknown address: no-op
         assert_eq!(h.delta_size(), (0, 0, 0, 0));
         let before = full_bytes(&h);
         let mut delta = Vec::new();
@@ -811,12 +937,12 @@ mod tests {
         let mut h = Hitlist::new();
         h.add_from(SourceId::Ct, &[a("::1"), a("::2"), a("::3")], 0);
         h.add_from(SourceId::Fdns, &[a("::2"), a("::4")], 2);
-        h.mark_responsive(a("::1"), 5);
-        h.mark_responsive(a("::3"), 2);
+        h.mark_responsive(a("::1"), 5, icmp());
+        h.mark_responsive(a("::3"), 2, icmp());
         // Cutoff 4: ::2 (added 0), ::3 (last 2), ::4 (added 2) expire.
         assert_eq!(h.expire_unresponsive(7, 3), 3);
         h.add_from(SourceId::Axfr, &[a("::4")], 9); // one revival
-        h.mark_responsive(a("::1"), 10);
+        h.mark_responsive(a("::1"), 10, icmp());
 
         let mut buf = Vec::new();
         let mut enc = Encoder::new(&mut buf, b"HITLTEST", 1).unwrap();
@@ -835,6 +961,7 @@ mod tests {
             assert_eq!(back.id_of(addr), h.id_of(addr), "{addr}");
             assert_eq!(back.sources_of(addr), h.sources_of(addr), "{addr}");
             assert_eq!(back.last_responsive(addr), h.last_responsive(addr));
+            assert_eq!(back.protos_of(addr), h.protos_of(addr), "{addr}");
         }
         // Tombstones preserved: ::2 and ::3 are expired in both.
         assert!(!back.contains(a("::2")));

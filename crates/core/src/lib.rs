@@ -32,8 +32,10 @@ pub mod pipeline;
 pub mod report;
 pub mod service;
 
-pub use hitlist::{Hitlist, SourceMask};
+pub use hitlist::{Hitlist, HitlistColumns, SourceMask};
 pub use journal::{Journal, JournalPolicy, JournalRecord, JournalStore, PathStore};
 pub use longitudinal::{Fig8Row, Ledger};
-pub use pipeline::{DailySnapshot, JournalReplay, Pipeline, PipelineConfig, RetentionConfig};
+pub use pipeline::{
+    DailySnapshot, JournalReplay, PersistedState, Pipeline, PipelineConfig, RetentionConfig,
+};
 pub use report::{render_source_table, source_table, total_row, SourceRow};

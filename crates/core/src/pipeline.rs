@@ -293,8 +293,8 @@ impl Pipeline {
             .collect();
         day_pass.sort_unstable_by_key(|(id, _)| *id);
         self.ledger.record_day(day, &day_pass, &self.hitlist);
-        for &(id, _) in &day_pass {
-            self.hitlist.mark_responsive_id(id, day);
+        for &(id, protos) in &day_pass {
+            self.hitlist.mark_responsive_id(id, day, protos);
         }
 
         // ---- retention: expire long-unresponsive members -------------
@@ -435,6 +435,113 @@ impl Pipeline {
         Ok(())
     }
 
+    /// Rebuild a pipeline from a snapshot journal — the base envelope
+    /// written by [`Pipeline::save_full`] followed by any number of
+    /// [`Pipeline::append_delta`] records — plus the same model and
+    /// pipeline configuration the saved run used.
+    ///
+    /// Running N + M days straight and running N days → save → resume →
+    /// M days produce byte-identical daily outputs (same
+    /// `battery_digest`, same service files). A corrupted or truncated
+    /// *base* errors; a journal torn anywhere inside a delta record
+    /// recovers to the last complete record, reported via
+    /// [`JournalReplay::torn_tail`]. Nothing ever panics on bad input,
+    /// and a frame is applied only after its checksum verifies, so a
+    /// torn tail can never half-apply.
+    ///
+    /// Readers that only need the journaled *state* (not a runnable
+    /// pipeline) should use [`PersistedState::load`] instead: it skips
+    /// the model rebuild entirely.
+    pub fn resume<R: Read>(
+        model_cfg: ModelConfig,
+        cfg: PipelineConfig,
+        r: &mut R,
+    ) -> Result<(Pipeline, JournalReplay), CodecError> {
+        let (st, replay) = PersistedState::load(cfg.apd.clone(), r)?;
+
+        // Rebuild the deterministic side from config, then restore the
+        // one cross-day scanner scalar: the virtual clock (reply
+        // timestamps — and so the battery digest — build on it).
+        let model = InternetModel::build(model_cfg);
+        let sources = expanse_model::sources::build_sources(&model);
+        let mut scanner = Scanner::new(model, cfg.scan.clone());
+        scanner.set_now(st.clock);
+        let p = Pipeline {
+            cfg,
+            scanner,
+            apd: st.apd,
+            hitlist: st.hitlist,
+            sources,
+            ledger: st.ledger,
+            synced_hot: st.hot_prefixes.clone(),
+            hot_prefixes: st.hot_prefixes,
+            day: st.day,
+            synced_day: st.day,
+        };
+        Ok((p, replay))
+    }
+}
+
+/// The pipeline's journaled persistent state, decoupled from the
+/// probing machinery: everything the base envelope holds and every
+/// delta frame mutates, and nothing else — no [`InternetModel`], no
+/// scanner, no source samplers.
+///
+/// This is the **read-only journal load path**: consumers that only
+/// query published state (the serving layer building a snapshot view,
+/// offline inspection tools) replay a journal into a `PersistedState`
+/// in one decode pass, paying neither the model rebuild nor the
+/// pipeline wiring that [`Pipeline::resume`] needs to keep probing.
+/// Byte-for-byte, the state loaded here is exactly the state a resumed
+/// pipeline would hold — both paths share one decoder.
+pub struct PersistedState {
+    /// The day counter: completed probing days (the next `run_day`
+    /// would be this day).
+    pub day: u16,
+    /// The scanner's virtual clock at save time.
+    pub clock: Time,
+    /// The hot-prefix set (daily APD re-probe candidates).
+    pub hot_prefixes: BTreeSet<Prefix>,
+    /// The accumulated hitlist with all provenance/responsiveness
+    /// columns and expiry tombstones.
+    pub hitlist: Hitlist,
+    /// The longitudinal responsiveness ledger.
+    pub ledger: Ledger,
+    /// The aliased-prefix detector's window state.
+    pub apd: Apd,
+}
+
+impl PersistedState {
+    /// Decode one base envelope (`EXP6PIPE`).
+    fn decode_base<R: Read>(apd_cfg: ApdConfig, r: &mut R) -> Result<PersistedState, CodecError> {
+        let mut dec = Decoder::new(r, &PIPELINE_MAGIC, codec::CODEC_VERSION)?;
+        let day = dec.get_u16()?;
+        let clock = Time(dec.get_u64()?);
+        let n_hot = dec.get_len()?;
+        let mut hot_prefixes = BTreeSet::new();
+        let mut prev = None;
+        for _ in 0..n_hot {
+            let p = codec::read_prefix(&mut dec)?;
+            if prev.is_some_and(|q| q >= p) {
+                return Err(CodecError::Corrupt("hot prefixes not strictly sorted"));
+            }
+            prev = Some(p);
+            hot_prefixes.insert(p);
+        }
+        let hitlist = Hitlist::decode(&mut dec)?;
+        let ledger = Ledger::decode(&mut dec)?;
+        let apd = Apd::decode(apd_cfg, &mut dec)?;
+        dec.finish()?;
+        Ok(PersistedState {
+            day,
+            clock,
+            hot_prefixes,
+            hitlist,
+            ledger,
+            apd,
+        })
+    }
+
     /// Apply one whole, checksum-verified delta frame (the envelope
     /// bytes, without the outer length prefix). Errors here mean the
     /// frame is internally valid but does not follow this state — a
@@ -482,69 +589,22 @@ impl Pipeline {
         self.apd.apply_delta(&mut dec)?;
         dec.finish()?;
         self.day = day;
-        self.scanner.set_now(clock);
-        self.mark_synced();
+        self.clock = clock;
         Ok(())
     }
 
-    /// Rebuild a pipeline from a snapshot journal — the base envelope
-    /// written by [`Pipeline::save_full`] followed by any number of
-    /// [`Pipeline::append_delta`] records — plus the same model and
-    /// pipeline configuration the saved run used.
-    ///
-    /// Running N + M days straight and running N days → save → resume →
-    /// M days produce byte-identical daily outputs (same
-    /// `battery_digest`, same service files). A corrupted or truncated
-    /// *base* errors; a journal torn anywhere inside a delta record
-    /// recovers to the last complete record, reported via
-    /// [`JournalReplay::torn_tail`]. Nothing ever panics on bad input,
-    /// and a frame is applied only after its checksum verifies, so a
-    /// torn tail can never half-apply.
-    pub fn resume<R: Read>(
-        model_cfg: ModelConfig,
-        cfg: PipelineConfig,
+    /// Replay a whole journal (base + deltas) into a state, with the
+    /// same torn-tail recovery contract as [`Pipeline::resume`] — both
+    /// paths *are* this decoder. The `apd_cfg` must match the saved
+    /// run's detector configuration (the stored window length is
+    /// validated against it).
+    pub fn load<R: Read>(
+        apd_cfg: ApdConfig,
         r: &mut R,
-    ) -> Result<(Pipeline, JournalReplay), CodecError> {
+    ) -> Result<(PersistedState, JournalReplay), CodecError> {
         let mut r = CountingReader { inner: r, count: 0 };
         let r = &mut r;
-        let mut dec = Decoder::new(r, &PIPELINE_MAGIC, codec::CODEC_VERSION)?;
-        let day = dec.get_u16()?;
-        let clock = Time(dec.get_u64()?);
-        let n_hot = dec.get_len()?;
-        let mut hot_prefixes = BTreeSet::new();
-        let mut prev = None;
-        for _ in 0..n_hot {
-            let p = codec::read_prefix(&mut dec)?;
-            if prev.is_some_and(|q| q >= p) {
-                return Err(CodecError::Corrupt("hot prefixes not strictly sorted"));
-            }
-            prev = Some(p);
-            hot_prefixes.insert(p);
-        }
-        let hitlist = Hitlist::decode(&mut dec)?;
-        let ledger = Ledger::decode(&mut dec)?;
-        let apd = Apd::decode(cfg.apd.clone(), &mut dec)?;
-        let r = dec.finish()?;
-
-        // Rebuild the deterministic side from config, then restore the
-        // one cross-day scanner scalar: the virtual clock (reply
-        // timestamps — and so the battery digest — build on it).
-        let model = InternetModel::build(model_cfg);
-        let sources = expanse_model::sources::build_sources(&model);
-        let mut scanner = Scanner::new(model, cfg.scan.clone());
-        scanner.set_now(clock);
-        let mut p = Pipeline {
-            cfg,
-            scanner,
-            apd,
-            hitlist,
-            sources,
-            ledger,
-            synced_hot: hot_prefixes.clone(),
-            hot_prefixes,
-            day,
-            synced_day: day,
-        };
+        let mut st = Self::decode_base(apd_cfg, r)?;
 
         // Replay delta records until the journal ends — cleanly (EOF at
         // a record boundary) or torn (anything else inside a record).
@@ -580,11 +640,11 @@ impl Pipeline {
                 replay.torn_tail = true;
                 break;
             }
-            p.apply_delta_frame(&frame)?;
+            st.apply_delta_frame(&frame)?;
             replay.deltas_applied += 1;
             replay.journal_bytes = r.count;
         }
-        Ok((p, replay))
+        Ok((st, replay))
     }
 }
 

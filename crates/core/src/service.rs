@@ -3,26 +3,40 @@
 //! ipv6hitlist.github.io.
 
 use crate::pipeline::DailySnapshot;
-use expanse_addr::format::{expanded, prefix_lines};
+use expanse_addr::format::{prefix_lines, write_expanded, EXPANDED_LEN};
 use expanse_packet::Protocol;
+use std::fmt::Write as _;
+
+/// One fully-expanded address line: 39 hex/colon characters plus the
+/// newline. Body sizes are exact, so rendering a million-line daily
+/// file is one allocation, not a realloc-and-copy ladder.
+const ADDR_LINE: usize = EXPANDED_LEN + 1;
+
+/// Headroom for a file's `#`-comment header lines.
+const HEADER_ROOM: usize = 160;
 
 /// Render the daily responsive hitlist file: one expanded address per
 /// line, preceded by a provenance header.
+///
+/// The body is written with `write!` into a pre-sized buffer — the
+/// publish path renders this for every protocol view every day, and a
+/// per-line `format!` temporary is an allocation per address.
 pub fn hitlist_file(snap: &DailySnapshot) -> String {
-    let mut out = String::new();
-    out.push_str(&format!(
-        "# expanse IPv6 hitlist — day {} — {} responsive of {} non-aliased targets\n",
+    let mut out = String::with_capacity(HEADER_ROOM + snap.responsive.len() * ADDR_LINE);
+    let _ = writeln!(
+        out,
+        "# expanse IPv6 hitlist — day {} — {} responsive of {} non-aliased targets",
         snap.day,
         snap.responsive.len(),
         snap.hitlist_after_apd,
-    ));
-    out.push_str(&format!(
-        "# scan digest {:016x} — identical for serial and parallel probing\n",
+    );
+    let _ = writeln!(
+        out,
+        "# scan digest {:016x} — identical for serial and parallel probing",
         snap.battery_digest,
-    ));
+    );
     for a in snap.responsive.sorted_addrs() {
-        out.push_str(&expanded(a));
-        out.push('\n');
+        push_expanded_line(&mut out, a);
     }
     out
 }
@@ -32,14 +46,16 @@ pub fn hitlist_file(snap: &DailySnapshot) -> String {
 /// describes the phenomenon, not the probing schedule.
 pub fn aliased_prefixes_file(snap: &DailySnapshot) -> String {
     let aggregated = expanse_trie::aggregate(&snap.aliased_prefixes);
-    let mut out = String::new();
-    out.push_str(&format!(
-        "# expanse aliased prefixes — day {} — {} prefixes ({} before aggregation)\n",
+    let body = prefix_lines(&aggregated);
+    let mut out = String::with_capacity(HEADER_ROOM + body.len());
+    let _ = writeln!(
+        out,
+        "# expanse aliased prefixes — day {} — {} prefixes ({} before aggregation)",
         snap.day,
         aggregated.len(),
         snap.aliased_prefixes.len()
-    ));
-    out.push_str(&prefix_lines(&aggregated));
+    );
+    out.push_str(&body);
     out
 }
 
@@ -53,18 +69,25 @@ pub fn protocol_file(snap: &DailySnapshot, proto: Protocol) -> String {
         .map(|(a, _)| a)
         .collect();
     addrs.sort();
-    let mut out = String::new();
-    out.push_str(&format!(
-        "# expanse {} responders — day {} — {} addresses\n",
+    let mut out = String::with_capacity(HEADER_ROOM + addrs.len() * ADDR_LINE);
+    let _ = writeln!(
+        out,
+        "# expanse {} responders — day {} — {} addresses",
         proto,
         snap.day,
         addrs.len()
-    ));
+    );
     for a in addrs {
-        out.push_str(&expanded(a));
-        out.push('\n');
+        push_expanded_line(&mut out, a);
     }
     out
+}
+
+/// Append one expanded-address line without a `format!` temporary.
+#[inline]
+fn push_expanded_line(out: &mut String, a: std::net::Ipv6Addr) {
+    write_expanded(out, a);
+    out.push('\n');
 }
 
 #[cfg(test)]

@@ -84,6 +84,16 @@ impl ProtoSet {
         ProtoSet(1 << p.index())
     }
 
+    /// The checked constructor from a raw bitmask: `None` if any bit
+    /// beyond the protocol universe is set. Every decoder of a
+    /// persisted or wire-transported protocol byte (the snapshot
+    /// codec, the serve protocol) must validate through this one gate,
+    /// so widening [`ProtoSet::ALL`] can never silently desynchronize
+    /// what different layers accept.
+    pub fn from_bits(b: u8) -> Option<ProtoSet> {
+        (b & !ProtoSet::ALL.0 == 0).then_some(ProtoSet(b))
+    }
+
     /// Add a protocol.
     #[must_use]
     pub fn with(self, p: Protocol) -> ProtoSet {

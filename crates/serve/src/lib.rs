@@ -1,0 +1,66 @@
+//! `expanse-serve`: the hitlist **serving layer** — a concurrent query
+//! engine over immutable, epoch-swapped snapshot views.
+//!
+//! The paper's end product is a *service*: daily hitlist and
+//! aliased-prefix files published for downstream scanners (§11,
+//! ipv6hitlist.github.io). Flat files force every consumer question —
+//! "responsive TCP/443 addresses under `2001:db8::/32`", "sample 10k
+//! non-aliased targets" — through a full re-parse of millions of lines.
+//! This crate answers those questions directly:
+//!
+//! - [`SnapshotView`]: one immutable, `Arc`-shareable view of a
+//!   published day — the interned address column, a sorted-by-address
+//!   permutation for prefix ranges, every responsiveness/provenance
+//!   column, and the aliased-prefix set in an LPM trie. Built from a
+//!   live [`expanse_core::Pipeline`] at day end, or loaded straight
+//!   from a snapshot journal without reconstructing the pipeline or
+//!   the `InternetModel` (the read-only
+//!   [`expanse_core::PersistedState`] path). Both constructions yield
+//!   query-identical views.
+//! - [`Query`]: point lookups, prefix-range queries, per-protocol and
+//!   freshness filters, aliased/non-aliased scoping, set algebra over
+//!   [`expanse_addr::AddrSet`], deterministic seeded sampling, and
+//!   cursor-based pagination whose cursors survive epoch swaps.
+//! - [`SnapshotRegistry`]: the concurrency model — an epoch/RCU-style
+//!   registry that atomically publishes day *N + 1* while in-flight
+//!   readers drain on day *N*. Publishing never blocks queries; a
+//!   pinned view never changes under a reader.
+//! - [`protocol`]: a small sans-IO, length-prefixed request/response
+//!   wire format (the same checksummed-envelope idiom as
+//!   [`expanse_addr::codec`]), specified in `docs/SERVE_PROTOCOL.md`.
+//! - [`pool`]: a multi-threaded worker-pool driver that serves a byte
+//!   stream of request frames against a registry.
+//!
+//! ```
+//! use expanse_core::{Pipeline, PipelineConfig};
+//! use expanse_model::ModelConfig;
+//! use expanse_serve::{Query, SnapshotRegistry, SnapshotView};
+//!
+//! let mut pipeline = Pipeline::new(ModelConfig::tiny(7), PipelineConfig::default());
+//! pipeline.collect_sources(5);
+//! pipeline.run_day();
+//!
+//! // Publish the day into an epoch registry…
+//! let registry = SnapshotRegistry::new(SnapshotView::publish(&pipeline));
+//! let pinned = registry.pin();
+//! // …and query the pinned view: readers never see a later publish.
+//! let responsive = pinned.view.count(&Query::all().responsive());
+//! assert!(responsive > 0);
+//! ```
+
+// The serving layer defines a persistent wire protocol
+// (docs/SERVE_PROTOCOL.md); like expanse-addr, every public item must
+// say what it is.
+#![deny(missing_docs)]
+
+pub mod pool;
+pub mod protocol;
+pub mod query;
+pub mod registry;
+pub mod view;
+
+pub use pool::{execute, handle_envelope, serve_stream};
+pub use protocol::{Request, Response, ResponseBody, WireRecord};
+pub use query::{AliasScope, Page, Query};
+pub use registry::{Pinned, SnapshotRegistry};
+pub use view::{AddrRecord, SnapshotView, ViewStats};

@@ -1,0 +1,236 @@
+//! The query engine: filters, pagination, and deterministic sampling
+//! over a [`SnapshotView`].
+//!
+//! Every query resolves to an **address-ordered** candidate walk — the
+//! sorted permutation bounds prefix queries to one contiguous slice —
+//! and the canonical result order is ascending address. That order is
+//! what makes pagination cursors robust: a cursor is the last returned
+//! address (not an index into any view-internal structure), so it
+//! remains meaningful across epoch swaps and across views rebuilt from
+//! a journal.
+
+use crate::view::SnapshotView;
+use expanse_addr::fanout::splitmix64;
+use expanse_addr::{addr_to_u128, AddrId, AddrSet, Prefix};
+use expanse_core::Hitlist;
+use expanse_packet::ProtoSet;
+use std::net::Ipv6Addr;
+
+/// How a query treats members covered by an aliased prefix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AliasScope {
+    /// Only members *not* under any aliased prefix — the default, and
+    /// what the published hitlist files contain.
+    NonAliased,
+    /// Only members under an aliased prefix (the complement view Rye &
+    /// Levin showed consumers need to see to understand their bias).
+    Aliased,
+    /// No aliasing constraint.
+    Any,
+}
+
+/// A declarative filter over a view's live members.
+///
+/// All constraints compose conjunctively. The empty query
+/// ([`Query::all`]) selects every live member.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Query {
+    /// Restrict to members under this prefix.
+    pub prefix: Option<Prefix>,
+    /// Require the member's last responsive day to have answered at
+    /// least one of these protocols; [`ProtoSet::EMPTY`] means no
+    /// protocol constraint.
+    pub protocols: ProtoSet,
+    /// Require `last_responsive ≥` this day (a freshness floor).
+    /// `Some(0)` means "ever responsive".
+    pub min_last_responsive: Option<u16>,
+    /// Aliased-prefix scoping.
+    pub alias: AliasScope,
+}
+
+impl Default for Query {
+    fn default() -> Self {
+        Query::all()
+    }
+}
+
+impl Query {
+    /// Every live member: no prefix, protocol, freshness, or aliasing
+    /// constraint.
+    pub fn all() -> Query {
+        Query {
+            prefix: None,
+            protocols: ProtoSet::EMPTY,
+            min_last_responsive: None,
+            alias: AliasScope::Any,
+        }
+    }
+
+    /// Restrict to members under `prefix`.
+    pub fn under(mut self, prefix: Prefix) -> Query {
+        self.prefix = Some(prefix);
+        self
+    }
+
+    /// Require at least one of `protocols` on the last responsive day.
+    pub fn on_protocols(mut self, protocols: ProtoSet) -> Query {
+        self.protocols = protocols;
+        self
+    }
+
+    /// Require the member to have answered a probe at all.
+    pub fn responsive(mut self) -> Query {
+        self.min_last_responsive = Some(0);
+        self
+    }
+
+    /// Require the member's last answer to be on day `day` or later.
+    pub fn responsive_since(mut self, day: u16) -> Query {
+        self.min_last_responsive = Some(day);
+        self
+    }
+
+    /// Set the aliased-prefix scope.
+    pub fn alias_scope(mut self, scope: AliasScope) -> Query {
+        self.alias = scope;
+        self
+    }
+
+    /// Exclude members under aliased prefixes (the published-hitlist
+    /// default).
+    pub fn non_aliased(self) -> Query {
+        self.alias_scope(AliasScope::NonAliased)
+    }
+}
+
+/// One page of an address-ordered result walk.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Page {
+    /// The page's addresses, ascending.
+    pub addrs: Vec<Ipv6Addr>,
+    /// Cursor for the next page — the last returned address's bits —
+    /// or `None` when the walk is exhausted. Pass it back via
+    /// [`SnapshotView::page`]; it stays valid across epoch swaps.
+    pub next: Option<u128>,
+}
+
+impl SnapshotView {
+    /// Does live member `id` satisfy `q`'s row-level constraints
+    /// (everything except the prefix, which the candidate walk already
+    /// bounded)?
+    fn matches(&self, q: &Query, id: AddrId) -> bool {
+        if !self.is_alive(id) {
+            return false;
+        }
+        let last = self.last_of(id);
+        if let Some(min) = q.min_last_responsive {
+            if last == Hitlist::NEVER_RESPONSIVE || last < min {
+                return false;
+            }
+        }
+        if !q.protocols.is_empty() && q.protocols.intersect(self.protos_of(id)).is_empty() {
+            return false;
+        }
+        match q.alias {
+            AliasScope::Any => true,
+            AliasScope::NonAliased => self.alias_covering(self.table().addr(id)).is_none(),
+            AliasScope::Aliased => self.alias_covering(self.table().addr(id)).is_some(),
+        }
+    }
+
+    /// The candidate slice of the sorted permutation `q`'s prefix
+    /// bounds (the whole permutation without one).
+    fn candidates(&self, q: &Query) -> &[AddrId] {
+        match q.prefix {
+            Some(p) => self.sorted().range(self.table(), p),
+            None => self.sorted().as_slice(),
+        }
+    }
+
+    /// All matching ids in ascending **address** order (the canonical
+    /// result order; pagination pages through exactly this sequence).
+    pub fn select(&self, q: &Query) -> Vec<AddrId> {
+        self.candidates(q)
+            .iter()
+            .copied()
+            .filter(|&id| self.matches(q, id))
+            .collect()
+    }
+
+    /// All matching ids as an id-sorted [`AddrSet`], for set algebra
+    /// (union/intersect/difference against other queries' results,
+    /// ledger baselines, or the live set).
+    pub fn select_set(&self, q: &Query) -> AddrSet {
+        AddrSet::from_unsorted(self.select(q))
+    }
+
+    /// How many members match.
+    pub fn count(&self, q: &Query) -> usize {
+        self.candidates(q)
+            .iter()
+            .filter(|&&id| self.matches(q, id))
+            .count()
+    }
+
+    /// One page of matches strictly after `cursor` (exclusive), at most
+    /// `limit` long. The first page passes `cursor: None`; subsequent
+    /// pages pass the previous page's [`Page::next`]. Concatenating
+    /// pages reproduces [`SnapshotView::select`] exactly, and
+    /// `next: None` always means the walk is exhausted.
+    ///
+    /// `limit` is clamped to at least 1: a zero-limit page could never
+    /// make progress, so its `next` could only either lie about
+    /// exhaustion or send the caller into a loop. (The wire layer
+    /// rejects `limit: 0` outright — see `docs/SERVE_PROTOCOL.md`.)
+    pub fn page(&self, q: &Query, cursor: Option<u128>, limit: usize) -> Page {
+        let limit = limit.max(1);
+        let cand = self.candidates(q);
+        // Skip everything at or before the cursor with one binary
+        // search — the permutation slice is address-sorted.
+        let start = match cursor {
+            Some(c) => cand.partition_point(|&id| self.table().bits(id) <= c),
+            None => 0,
+        };
+        let mut addrs = Vec::with_capacity(limit.min(1024));
+        let mut next = None;
+        for &id in &cand[start..] {
+            if !self.matches(q, id) {
+                continue;
+            }
+            if addrs.len() == limit {
+                // One more match exists past the page: hand out a
+                // cursor. (A full page with nothing behind it returns
+                // `None`, so callers need no empty tail fetch.)
+                next = addrs.last().map(|&a| addr_to_u128(a));
+                break;
+            }
+            addrs.push(self.table().addr(id));
+        }
+        Page { addrs, next }
+    }
+
+    /// A deterministic pseudo-random sample of at most `k` matches:
+    /// the same `(view contents, k, seed)` always selects the same
+    /// members, on any thread, on any replica that loaded the same
+    /// journal. Returned in ascending address order.
+    pub fn sample(&self, q: &Query, k: usize, seed: u64) -> Vec<Ipv6Addr> {
+        let all = self.select(q);
+        if all.len() <= k {
+            return all.iter().map(|&id| self.table().addr(id)).collect();
+        }
+        // Partial Fisher–Yates over the match list, driven by a
+        // splitmix64 stream keyed only by the seed and position.
+        let mut idx: Vec<u32> = (0..all.len() as u32).collect();
+        for i in 0..k {
+            let r = splitmix64(seed ^ (i as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15));
+            let j = i + (r as usize % (idx.len() - i));
+            idx.swap(i, j);
+        }
+        let mut picked: Vec<Ipv6Addr> = idx[..k]
+            .iter()
+            .map(|&i| self.table().addr(all[i as usize]))
+            .collect();
+        picked.sort_unstable();
+        picked
+    }
+}

@@ -1,0 +1,111 @@
+//! [`SnapshotRegistry`]: epoch-swapped publication of snapshot views.
+//!
+//! The serving concurrency model is read-copy-update shaped: queries
+//! run against an immutable [`SnapshotView`] behind an `Arc`, and
+//! publishing day *N + 1* atomically swaps which view new readers pin
+//! — while readers still holding day *N* drain at their own pace on
+//! the old `Arc`. The registry's lock is held only for the pointer
+//! swap or clone, never across a query, so:
+//!
+//! - **publish never blocks queries**: a reader that already pinned a
+//!   view runs entirely lock-free; the publisher swaps the `Arc` and
+//!   returns without waiting for anyone to drain;
+//! - **queries never block publish**: pinning is one `Arc` clone under
+//!   a read lock;
+//! - **epoch pinning**: everything a reader computes from one
+//!   [`Pinned`] — every page of a paginated walk included — reflects
+//!   exactly that epoch's view, no matter how many publishes happen
+//!   in between.
+//!
+//! These invariants are stated for consumers in `ARCHITECTURE.md` and
+//! enforced by `tests/swap_consistency.rs`.
+
+use crate::view::SnapshotView;
+use std::sync::{Arc, RwLock};
+
+/// A pinned epoch: the view to query plus the epoch number it was
+/// published under (responses echo it, so clients can detect swaps).
+#[derive(Debug, Clone)]
+pub struct Pinned {
+    /// The epoch counter at pin time (starts at 0, +1 per publish).
+    pub epoch: u64,
+    /// The pinned view. Holding this `Arc` keeps the epoch's state
+    /// alive; dropping it lets the old epoch free once the last reader
+    /// drains.
+    pub view: Arc<SnapshotView>,
+}
+
+/// The epoch-swap registry. See the [module](self) docs.
+#[derive(Debug)]
+pub struct SnapshotRegistry {
+    current: RwLock<Pinned>,
+}
+
+impl SnapshotRegistry {
+    /// Start a registry at epoch 0 with an initial view.
+    pub fn new(view: SnapshotView) -> SnapshotRegistry {
+        SnapshotRegistry {
+            current: RwLock::new(Pinned {
+                epoch: 0,
+                view: Arc::new(view),
+            }),
+        }
+    }
+
+    /// Pin the current epoch: one `Arc` clone under the read lock.
+    /// Queries (and whole paginated walks) should run against the
+    /// returned [`Pinned`], not re-pin per step, to get epoch-stable
+    /// results.
+    pub fn pin(&self) -> Pinned {
+        self.current
+            .read()
+            .unwrap_or_else(|e| e.into_inner())
+            .clone()
+    }
+
+    /// Publish a new view, returning its epoch. The write lock is held
+    /// only for the pointer swap — in-flight readers keep their pinned
+    /// `Arc` and are neither waited for nor disturbed.
+    pub fn publish(&self, view: SnapshotView) -> u64 {
+        let mut cur = self.current.write().unwrap_or_else(|e| e.into_inner());
+        cur.epoch += 1;
+        cur.view = Arc::new(view);
+        cur.epoch
+    }
+
+    /// The current epoch number.
+    pub fn epoch(&self) -> u64 {
+        self.current.read().unwrap_or_else(|e| e.into_inner()).epoch
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::query::Query;
+    use expanse_core::Hitlist;
+    use expanse_model::SourceId;
+
+    fn view_of(n: u128, day: u16) -> SnapshotView {
+        let mut h = Hitlist::new();
+        let addrs: Vec<std::net::Ipv6Addr> = (1..=n).map(expanse_addr::u128_to_addr).collect();
+        h.add_from(SourceId::Ct, &addrs, 0);
+        SnapshotView::from_hitlist(day, &h, Vec::new())
+    }
+
+    #[test]
+    fn publish_bumps_epoch_and_readers_keep_their_pin() {
+        let reg = SnapshotRegistry::new(view_of(3, 1));
+        let old = reg.pin();
+        assert_eq!(old.epoch, 0);
+        assert_eq!(reg.publish(view_of(5, 2)), 1);
+        // The old pin still answers from day 1's state…
+        assert_eq!(old.view.count(&Query::all()), 3);
+        assert_eq!(old.view.days_complete(), 1);
+        // …while new pins see day 2.
+        let new = reg.pin();
+        assert_eq!(new.epoch, 1);
+        assert_eq!(new.view.count(&Query::all()), 5);
+        assert_eq!(reg.epoch(), 1);
+    }
+}

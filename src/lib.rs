@@ -18,6 +18,8 @@
 //! - [`apd`]: multi-level aliased prefix detection (§5)
 //! - [`zesplot`]: squarified-treemap prefix plots
 //! - [`core`]: the hitlist pipeline and daily service
+//! - [`serve`]: the concurrent query engine over epoch-swapped
+//!   snapshot views
 //!
 //! See `DESIGN.md` for the system inventory and `EXPERIMENTS.md` for the
 //! paper-vs-measured record of every table and figure.
@@ -31,6 +33,7 @@ pub use expanse_model as model;
 pub use expanse_netsim as netsim;
 pub use expanse_packet as packet;
 pub use expanse_scamper6 as scamper6;
+pub use expanse_serve as serve;
 pub use expanse_sixgen as sixgen;
 pub use expanse_stats as stats;
 pub use expanse_trie as trie;
