@@ -29,8 +29,10 @@ fn time<T>(rounds: usize, mut f: impl FnMut() -> T) -> f64 {
 
 /// A mixed request workload over the view's real contents: point
 /// lookups (hits and misses), prefix pages with filters, samples, and
-/// stats, in a deterministic shuffle.
-fn workload(view: &SnapshotView, count: usize) -> Vec<Request> {
+/// stats, in a deterministic shuffle. Shared with the open-loop load
+/// generator (`bench-serve-load`), so the two benches measure the same
+/// request mix.
+pub(crate) fn workload(view: &SnapshotView, count: usize) -> Vec<Request> {
     let live: Vec<Ipv6Addr> = view
         .live_set()
         .iter()

@@ -21,6 +21,7 @@ pub mod exp_pipeline;
 pub mod exp_probing;
 pub mod exp_rdns_crowd;
 pub mod exp_serve;
+pub mod exp_serve_load;
 pub mod exp_sources;
 
 pub use ctx::Ctx;
@@ -59,6 +60,7 @@ pub const ALL_EXPERIMENTS: &[&str] = &[
     "abl-bgp-apd",
     "bench-pipeline",
     "bench-serve",
+    "bench-serve-load",
 ];
 
 /// Run one experiment by id; returns the rendered report.
@@ -96,6 +98,7 @@ pub fn run(id: &str, ctx: &mut Ctx) -> Option<String> {
         "abl-bgp-apd" => exp_ablations::bgp_apd(ctx),
         "bench-pipeline" => exp_pipeline::bench_pipeline(ctx),
         "bench-serve" => exp_serve::bench_serve(ctx),
+        "bench-serve-load" => exp_serve_load::bench_serve_load(ctx),
         _ => return None,
     };
     Some(out)

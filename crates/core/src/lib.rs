@@ -36,6 +36,7 @@ pub use hitlist::{Hitlist, HitlistColumns, SourceMask};
 pub use journal::{Journal, JournalPolicy, JournalRecord, JournalStore, PathStore};
 pub use longitudinal::{Fig8Row, Ledger};
 pub use pipeline::{
-    DailySnapshot, JournalReplay, PersistedState, Pipeline, PipelineConfig, RetentionConfig,
+    DailySnapshot, DayEndHook, JournalReplay, PersistedState, Pipeline, PipelineConfig,
+    RetentionConfig,
 };
 pub use report::{render_source_table, source_table, total_row, SourceRow};

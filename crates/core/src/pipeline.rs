@@ -129,7 +129,17 @@ pub struct Pipeline {
     /// The day counter as of the last journal sync point; each delta
     /// frame names it so frames replay strictly in order.
     synced_day: u16,
+    /// Day-end observer (see [`Pipeline::on_day_end`]); not persisted —
+    /// a resumed pipeline starts with no hook.
+    day_end_hook: Option<DayEndHook>,
 }
+
+/// A day-end observer: called with the pipeline (post-day state, day
+/// counter already advanced) and the day's snapshot at the end of every
+/// [`Pipeline::run_day_full`]. The serving daemon uses one to publish
+/// each completed day as a fresh registry epoch without the driver loop
+/// having to know about registries.
+pub type DayEndHook = Box<dyn FnMut(&Pipeline, &DailySnapshot) + Send>;
 
 impl Pipeline {
     /// Build a pipeline over a fresh model.
@@ -148,7 +158,18 @@ impl Pipeline {
             day: 0,
             synced_hot: BTreeSet::new(),
             synced_day: 0,
+            day_end_hook: None,
         }
+    }
+
+    /// Install the day-end observer (replacing any previous one). The
+    /// hook runs at the very end of every [`Pipeline::run_day_full`],
+    /// after the day counter advances, with shared access to the
+    /// pipeline — so it can build a
+    /// snapshot view of the completed day. It is not persisted: a
+    /// resumed pipeline starts bare.
+    pub fn on_day_end(&mut self, hook: DayEndHook) {
+        self.day_end_hook = Some(hook);
     }
 
     /// The underlying model.
@@ -322,6 +343,12 @@ impl Pipeline {
             battery_digest,
         };
         self.day += 1;
+        // Take/call/put-back so the hook can read `&self` (it observes
+        // the post-day pipeline) while being stored inside it.
+        if let Some(mut hook) = self.day_end_hook.take() {
+            hook(self, &snapshot);
+            self.day_end_hook = Some(hook);
+        }
         (snapshot, multi)
     }
 
@@ -477,6 +504,7 @@ impl Pipeline {
             hot_prefixes: st.hot_prefixes,
             day: st.day,
             synced_day: st.day,
+            day_end_hook: None,
         };
         Ok((p, replay))
     }
@@ -759,6 +787,21 @@ mod tests {
         assert!(!snap.responsive.is_empty(), "someone must answer");
         assert!(snap.probes_sent > 1000);
         assert_eq!(p.day(), 1);
+    }
+
+    #[test]
+    fn day_end_hook_fires_with_advanced_day_and_survives() {
+        let mut p = tiny_pipeline();
+        p.collect_sources(30);
+        let seen = std::sync::Arc::new(std::sync::Mutex::new(Vec::new()));
+        let sink = seen.clone();
+        p.on_day_end(Box::new(move |p, snap| {
+            // The counter has already advanced past the completed day.
+            sink.lock().unwrap().push((p.day(), snap.day));
+        }));
+        p.run_day();
+        p.run_day();
+        assert_eq!(*seen.lock().unwrap(), vec![(1, 0), (2, 1)]);
     }
 
     #[test]

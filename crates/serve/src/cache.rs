@@ -1,0 +1,275 @@
+//! [`ResponseCache`]: encoded-response caching keyed by
+//! `(epoch, canonical request bytes)`.
+//!
+//! The cache leans on the serving layer's central invariant: a
+//! [`SnapshotView`](crate::SnapshotView) is immutable for the lifetime
+//! of its epoch, so a response computed once for `(epoch, request)` is
+//! correct for that key *forever*. Entries are therefore never
+//! invalidated — they only **age out when their epoch is retired** (a
+//! publish swaps the registry forward and a
+//! [`PublishObserver`](crate::registry::PublishObserver) calls
+//! [`ResponseCache::on_publish`]) or are evicted oldest-epoch-first
+//! when the byte budget fills.
+//!
+//! Keys are the framed bytes of the request's **canonical form**
+//! ([`Request::cache_key`](crate::Request::cache_key)), so two wire
+//! encodings the server would answer identically — e.g. differing only
+//! in an over-cap page limit — share one entry instead of diverging.
+//! Values are the complete framed response bytes (epoch and day are
+//! part of the response, and both are fixed per epoch), so a hit is
+//! one map probe plus one socket write.
+
+use std::collections::{BTreeMap, HashMap};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Sizing and retention policy for a [`ResponseCache`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CacheConfig {
+    /// Byte budget for keys + values across all epochs. When an insert
+    /// would exceed it, entries are evicted oldest-epoch-first until
+    /// the new entry fits. An entry larger than the whole budget is
+    /// simply not cached.
+    pub max_bytes: usize,
+    /// How many most-recent epochs to retain on publish: with
+    /// `keep_epochs = 2`, publishing epoch *N* drops every entry of
+    /// epochs `≤ N - 2`. At least 1 (the current epoch is always
+    /// cacheable). Keeping one retired epoch lets requests pinned just
+    /// before a swap keep hitting while their readers drain.
+    pub keep_epochs: u64,
+}
+
+impl Default for CacheConfig {
+    fn default() -> Self {
+        CacheConfig {
+            max_bytes: 64 << 20,
+            keep_epochs: 2,
+        }
+    }
+}
+
+/// Counters describing a cache's lifetime behavior (monotonic).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that missed.
+    pub misses: u64,
+    /// Entries inserted.
+    pub inserts: u64,
+    /// Entries evicted by the byte budget.
+    pub evicted: u64,
+    /// Entries dropped by epoch retirement.
+    pub retired: u64,
+}
+
+impl CacheStats {
+    /// Hits over lookups, 0.0 when nothing was looked up.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// Per-epoch entry maps inside one ordered map: retirement and
+/// oldest-first eviction are both range operations on the epoch key.
+struct Inner {
+    epochs: BTreeMap<u64, HashMap<Vec<u8>, Arc<[u8]>>>,
+    bytes: usize,
+}
+
+/// The response cache. See the [module](self) docs. All methods take
+/// `&self`; the cache is shared (`Arc`) between connection handlers
+/// and the publish observer.
+pub struct ResponseCache {
+    cfg: CacheConfig,
+    inner: Mutex<Inner>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    inserts: AtomicU64,
+    evicted: AtomicU64,
+    retired: AtomicU64,
+}
+
+impl std::fmt::Debug for ResponseCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        f.debug_struct("ResponseCache")
+            .field("cfg", &self.cfg)
+            .field("epochs", &inner.epochs.len())
+            .field("bytes", &inner.bytes)
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+impl ResponseCache {
+    /// An empty cache with the given policy (`keep_epochs` is clamped
+    /// to at least 1).
+    pub fn new(cfg: CacheConfig) -> ResponseCache {
+        ResponseCache {
+            cfg: CacheConfig {
+                keep_epochs: cfg.keep_epochs.max(1),
+                ..cfg
+            },
+            inner: Mutex::new(Inner {
+                epochs: BTreeMap::new(),
+                bytes: 0,
+            }),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            inserts: AtomicU64::new(0),
+            evicted: AtomicU64::new(0),
+            retired: AtomicU64::new(0),
+        }
+    }
+
+    /// The cached framed response for `(epoch, key)`, if present.
+    pub fn get(&self, epoch: u64, key: &[u8]) -> Option<Arc<[u8]>> {
+        let inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        let hit = inner.epochs.get(&epoch).and_then(|m| m.get(key)).cloned();
+        drop(inner);
+        match hit {
+            Some(v) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(v)
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Insert the framed response for `(epoch, key)`, evicting
+    /// oldest-epoch entries if the byte budget requires it. A racing
+    /// duplicate insert is harmless (both values are byte-identical by
+    /// the canonicalization invariant); the entry is counted once.
+    pub fn put(&self, epoch: u64, key: Vec<u8>, response: &[u8]) {
+        let entry_bytes = key.len() + response.len();
+        if entry_bytes > self.cfg.max_bytes {
+            return;
+        }
+        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        // Evict from the oldest epoch until the new entry fits. Never
+        // evict from the entry's own epoch ahead of inserting into it —
+        // if only this epoch remains and the budget still doesn't fit,
+        // skip the insert instead of thrashing.
+        while inner.bytes + entry_bytes > self.cfg.max_bytes {
+            let Some((&oldest, _)) = inner.epochs.iter().next() else {
+                break;
+            };
+            if oldest >= epoch {
+                return;
+            }
+            let map = inner.epochs.remove(&oldest).expect("just observed");
+            let freed: usize = map.iter().map(|(k, v)| k.len() + v.len()).sum();
+            inner.bytes -= freed;
+            self.evicted.fetch_add(map.len() as u64, Ordering::Relaxed);
+        }
+        let slot = inner.epochs.entry(epoch).or_default();
+        if slot.insert(key, Arc::from(response)).is_none() {
+            inner.bytes += entry_bytes;
+            self.inserts.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Epoch-retirement hook: called (via a registry
+    /// [`PublishObserver`](crate::registry::PublishObserver)) when
+    /// `new_epoch` is published. Drops every entry of epochs older
+    /// than the `keep_epochs` most recent.
+    pub fn on_publish(&self, new_epoch: u64) {
+        let min_keep = new_epoch.saturating_sub(self.cfg.keep_epochs - 1);
+        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        while let Some((&oldest, _)) = inner.epochs.iter().next() {
+            if oldest >= min_keep {
+                break;
+            }
+            let map = inner.epochs.remove(&oldest).expect("just observed");
+            let freed: usize = map.iter().map(|(k, v)| k.len() + v.len()).sum();
+            inner.bytes -= freed;
+            self.retired.fetch_add(map.len() as u64, Ordering::Relaxed);
+        }
+    }
+
+    /// Bytes currently held (keys + values).
+    pub fn bytes(&self) -> usize {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner()).bytes
+    }
+
+    /// Lifetime counters.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            inserts: self.inserts.load(Ordering::Relaxed),
+            evicted: self.evicted.load(Ordering::Relaxed),
+            retired: self.retired.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cache(max_bytes: usize, keep: u64) -> ResponseCache {
+        ResponseCache::new(CacheConfig {
+            max_bytes,
+            keep_epochs: keep,
+        })
+    }
+
+    #[test]
+    fn hit_after_put_miss_before() {
+        let c = cache(1 << 20, 2);
+        assert!(c.get(1, b"key").is_none());
+        c.put(1, b"key".to_vec(), b"value");
+        assert_eq!(c.get(1, b"key").as_deref(), Some(&b"value"[..]));
+        // Same key, other epoch: distinct entry space.
+        assert!(c.get(2, b"key").is_none());
+        let s = c.stats();
+        assert_eq!((s.hits, s.misses, s.inserts), (1, 2, 1));
+    }
+
+    #[test]
+    fn retirement_drops_old_epochs_only() {
+        let c = cache(1 << 20, 2);
+        for epoch in 1..=4 {
+            c.put(epoch, b"k".to_vec(), b"v");
+        }
+        // Publishing epoch 5 keeps epochs {4, 5}: 1..=3 retire.
+        c.on_publish(5);
+        assert!(c.get(3, b"k").is_none());
+        assert!(c.get(4, b"k").is_some());
+        assert_eq!(c.stats().retired, 3);
+    }
+
+    #[test]
+    fn budget_evicts_oldest_epoch_first() {
+        let c = cache(64, 10);
+        c.put(1, vec![1; 8], &[0; 24]); // 32 bytes
+        c.put(2, vec![2; 8], &[0; 24]); // 32 bytes — full
+        c.put(3, vec![3; 8], &[0; 24]); // evicts epoch 1
+        assert!(c.get(1, &[1; 8]).is_none());
+        assert!(c.get(2, &[2; 8]).is_some());
+        assert!(c.get(3, &[3; 8]).is_some());
+        assert_eq!(c.stats().evicted, 1);
+        assert!(c.bytes() <= 64);
+    }
+
+    #[test]
+    fn oversized_entry_is_not_cached_and_never_thrashes() {
+        let c = cache(16, 2);
+        c.put(1, vec![0; 8], &[0; 64]);
+        assert!(c.get(1, &[0; 8]).is_none());
+        // A same-epoch entry that can't fit doesn't evict its peers.
+        c.put(2, vec![1; 4], &[0; 4]);
+        c.put(2, vec![2; 4], &[0; 64]);
+        assert!(c.get(2, &[1; 4]).is_some());
+    }
+}

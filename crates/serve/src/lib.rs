@@ -30,6 +30,15 @@
 //!   [`expanse_addr::codec`]), specified in `docs/SERVE_PROTOCOL.md`.
 //! - [`pool`]: a multi-threaded worker-pool driver that serves a byte
 //!   stream of request frames against a registry.
+//! - [`transport`]: the real daemon front — TCP and unix-domain
+//!   listeners with connection lifecycle, bounded in-flight
+//!   backpressure, and graceful drain across epoch swaps (the
+//!   `expanse-served` binary is a thin shell around [`Server`]).
+//! - [`cache`]: an encoded-response cache keyed by `(epoch, canonical
+//!   request bytes)` — entries never invalidate, they age out when
+//!   their epoch retires.
+//! - [`limiter`]: per-client token-bucket admission control, reusing
+//!   the simulator's bucket on a wall clock.
 //!
 //! ```
 //! use expanse_core::{Pipeline, PipelineConfig};
@@ -53,14 +62,23 @@
 // say what it is.
 #![deny(missing_docs)]
 
+pub mod cache;
+pub mod limiter;
 pub mod pool;
 pub mod protocol;
 pub mod query;
 pub mod registry;
+pub mod transport;
 pub mod view;
 
+pub use cache::{CacheConfig, CacheStats, ResponseCache};
+pub use limiter::{AdmissionControl, ClientKey, RateLimitConfig};
 pub use pool::{execute, handle_envelope, serve_stream};
 pub use protocol::{Request, Response, ResponseBody, WireRecord};
 pub use query::{AliasScope, Page, Query};
-pub use registry::{Pinned, SnapshotRegistry};
+pub use registry::{Pinned, PublishObserver, SnapshotRegistry};
+pub use transport::{
+    BindAddr, ClientError, DrainReport, FrameAssembler, ServeClient, Server, ServerConfig,
+    ServerStats,
+};
 pub use view::{AddrRecord, SnapshotView, ViewStats};

@@ -16,29 +16,29 @@ use crate::protocol::{
 use crate::registry::{Pinned, SnapshotRegistry};
 use expanse_addr::CodecError;
 
-/// Per-response cap on `Select` limits and `Sample` sizes: 2¹⁶
-/// addresses is ~1 MiB of payload, comfortably inside the protocol's
-/// 16 MiB frame ceiling. A client asking for more pages through with
-/// cursors; the response frame can never outgrow what a peer will
-/// accept.
-pub const MAX_RESULT_ADDRS: usize = 1 << 16;
+pub use crate::protocol::MAX_RESULT_ADDRS;
 
 /// Execute one decoded request against a pinned epoch.
+///
+/// The request is [canonicalized](Request::canonical) first, so a
+/// request and its canonical form are answered byte-identically — the
+/// invariant the response cache's `(epoch, canonical bytes)` keying
+/// rests on (`tests/cache_consistency.rs` pins it).
 pub fn execute(pin: &Pinned, req: &Request) -> Response {
     let view = &pin.view;
-    let body = match req {
+    let body = match req.canonical() {
         Request::Ping => ResponseBody::Pong {
             live: view.live_set().len() as u64,
         },
         Request::Lookup { addr } => ResponseBody::Record {
-            found: view.lookup(*addr).map(Into::into),
+            found: view.lookup(addr).map(Into::into),
         },
         Request::Select {
             query,
             cursor,
             limit,
         } => {
-            if *limit == 0 {
+            if limit == 0 {
                 // A zero-limit page can never make progress; answering
                 // one would either falsely signal exhaustion or loop
                 // the client forever. Out-of-range field → in-band
@@ -47,7 +47,9 @@ pub fn execute(pin: &Pinned, req: &Request) -> Response {
                     code: ERR_MALFORMED,
                 }
             } else {
-                let page = view.page(query, *cursor, (*limit as usize).min(MAX_RESULT_ADDRS));
+                // Canonicalization already clamped `limit` to the
+                // per-response cap.
+                let page = view.page(&query, cursor, limit as usize);
                 ResponseBody::Page {
                     addrs: page.addrs,
                     next: page.next,
@@ -55,10 +57,10 @@ pub fn execute(pin: &Pinned, req: &Request) -> Response {
             }
         }
         Request::Sample { query, k, seed } => ResponseBody::Sample {
-            addrs: view.sample(query, (*k as usize).min(MAX_RESULT_ADDRS), *seed),
+            addrs: view.sample(&query, k as usize, seed),
         },
         Request::Stats { prefix } => ResponseBody::Stats {
-            stats: view.stats(*prefix),
+            stats: view.stats(prefix),
         },
     };
     Response {

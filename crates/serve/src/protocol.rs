@@ -38,6 +38,39 @@ pub const MAX_FRAME_LEN: u32 = 16 << 20;
 /// carried out-of-range fields.
 pub const ERR_MALFORMED: u8 = 1;
 
+/// Error code: the server is at its accept limit; the connection is
+/// closed after this frame (transport-level, sent before any request
+/// was read — see the transport section of `docs/SERVE_PROTOCOL.md`).
+pub const ERR_OVERLOADED: u8 = 2;
+
+/// Error code: admission control rejected the request — the client
+/// exhausted its token bucket. The connection stays alive; the client
+/// should back off and retry.
+pub const ERR_RATE_LIMITED: u8 = 3;
+
+/// Error code: the client sent an outer frame length beyond the
+/// server's ceiling. The stream cannot be resynchronized past an
+/// untrusted length, so the connection is closed after this frame.
+pub const ERR_FRAME_TOO_LARGE: u8 = 4;
+
+/// Error code: the server is draining (graceful shutdown) and accepts
+/// no new connections; sent once on a rejected connection, then close.
+pub const ERR_SHUTTING_DOWN: u8 = 5;
+
+/// Error code: the client was too slow — a frame stayed incomplete
+/// past the read deadline, or a response could not be written within
+/// the write deadline. The connection is closed after this frame.
+pub const ERR_TIMEOUT: u8 = 6;
+
+/// Per-response cap on `Select` limits and `Sample` sizes: 2¹⁶
+/// addresses is ~1 MiB of payload, comfortably inside the protocol's
+/// 16 MiB frame ceiling. A client asking for more pages through with
+/// cursors; the response frame can never outgrow what a peer will
+/// accept. [`Request::canonical`] clamps to this, so two wire
+/// encodings that differ only in an over-cap limit are the *same*
+/// request — same execution, same cache entry.
+pub const MAX_RESULT_ADDRS: usize = 1 << 16;
+
 /// One query request.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Request {
@@ -71,6 +104,53 @@ pub enum Request {
         /// The scope (`None` = whole view).
         prefix: Option<Prefix>,
     },
+}
+
+impl Request {
+    /// The canonical form of the request: the representative every
+    /// wire-equivalent encoding maps to before execution or cache
+    /// keying. The server clamps `Select` limits and `Sample` sizes to
+    /// [`MAX_RESULT_ADDRS`], so a `limit` of 10⁶ and a limit of 2¹⁶
+    /// are answered identically — canonicalization makes that explicit
+    /// *before* the response cache keys on the encoded bytes, so the
+    /// two encodings share one cache entry instead of diverging.
+    ///
+    /// A `Select` with `limit == 0` is left alone: it is answered with
+    /// an in-band error, and canonicalization must never turn an
+    /// invalid request into a valid one.
+    pub fn canonical(&self) -> Request {
+        match *self {
+            Request::Select {
+                query,
+                cursor,
+                limit,
+            } if limit as usize > MAX_RESULT_ADDRS => Request::Select {
+                query,
+                cursor,
+                limit: MAX_RESULT_ADDRS as u32,
+            },
+            Request::Sample { query, k, seed } if k as usize > MAX_RESULT_ADDRS => {
+                Request::Sample {
+                    query,
+                    k: MAX_RESULT_ADDRS as u32,
+                    seed,
+                }
+            }
+            other => other,
+        }
+    }
+
+    /// The response-cache key for this request: the framed encoding of
+    /// its [canonical form](Request::canonical), or `None` for
+    /// requests that must not be cached (a zero-limit `Select` is
+    /// answered with an error, and error responses are not worth a
+    /// cache slot).
+    pub fn cache_key(&self) -> Option<Vec<u8>> {
+        if let Request::Select { limit: 0, .. } = self {
+            return None;
+        }
+        Some(encode_request(&self.canonical()))
+    }
 }
 
 /// One member record as it travels on the wire (the view-internal id

@@ -21,7 +21,15 @@
 //! enforced by `tests/swap_consistency.rs`.
 
 use crate::view::SnapshotView;
-use std::sync::{Arc, RwLock};
+use std::fmt;
+use std::sync::{Arc, Mutex, RwLock};
+
+/// A publish observer: called with `(retired_epoch, new_epoch)` after
+/// every [`SnapshotRegistry::publish`] pointer swap. Observers run
+/// *outside* the registry's lock, on the publisher's thread — pinning
+/// and publishing from an observer is allowed (the response cache uses
+/// one to age out entries whose epoch was retired).
+pub type PublishObserver = Box<dyn Fn(u64, u64) + Send + Sync>;
 
 /// A pinned epoch: the view to query plus the epoch number it was
 /// published under (responses echo it, so clients can detect swaps).
@@ -36,9 +44,25 @@ pub struct Pinned {
 }
 
 /// The epoch-swap registry. See the [module](self) docs.
-#[derive(Debug)]
 pub struct SnapshotRegistry {
     current: RwLock<Pinned>,
+    observers: Mutex<Vec<PublishObserver>>,
+}
+
+impl fmt::Debug for SnapshotRegistry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SnapshotRegistry")
+            .field("epoch", &self.epoch())
+            .field(
+                "observers",
+                &self
+                    .observers
+                    .lock()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .len(),
+            )
+            .finish()
+    }
 }
 
 impl SnapshotRegistry {
@@ -49,7 +73,18 @@ impl SnapshotRegistry {
                 epoch: 0,
                 view: Arc::new(view),
             }),
+            observers: Mutex::new(Vec::new()),
         }
+    }
+
+    /// Register a [`PublishObserver`]. Observers never see a publish
+    /// they were registered after the swap of; each is retained for
+    /// the registry's lifetime.
+    pub fn on_publish(&self, observer: PublishObserver) {
+        self.observers
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .push(observer);
     }
 
     /// Pin the current epoch: one `Arc` clone under the read lock.
@@ -65,12 +100,21 @@ impl SnapshotRegistry {
 
     /// Publish a new view, returning its epoch. The write lock is held
     /// only for the pointer swap — in-flight readers keep their pinned
-    /// `Arc` and are neither waited for nor disturbed.
+    /// `Arc` and are neither waited for nor disturbed. Registered
+    /// [`PublishObserver`]s run after the swap, outside the lock, with
+    /// `(retired_epoch, new_epoch)`.
     pub fn publish(&self, view: SnapshotView) -> u64 {
-        let mut cur = self.current.write().unwrap_or_else(|e| e.into_inner());
-        cur.epoch += 1;
-        cur.view = Arc::new(view);
-        cur.epoch
+        let new_epoch = {
+            let mut cur = self.current.write().unwrap_or_else(|e| e.into_inner());
+            cur.epoch += 1;
+            cur.view = Arc::new(view);
+            cur.epoch
+        };
+        let observers = self.observers.lock().unwrap_or_else(|e| e.into_inner());
+        for obs in observers.iter() {
+            obs(new_epoch - 1, new_epoch);
+        }
+        new_epoch
     }
 
     /// The current epoch number.

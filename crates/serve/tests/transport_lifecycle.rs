@@ -1,0 +1,367 @@
+//! Transport-lifecycle integration tests over **live sockets**: the
+//! named CI "Transport correctness gate" runs exactly this file.
+//!
+//! Covered here, each against a real listener:
+//! graceful drain under an epoch swap, torn / oversized / garbage
+//! frame handling, slow-reader and slow-writer clients (byte-at-a-time
+//! frames, mid-frame disconnects, never-reads-response), per-client
+//! rate-limit rejection frames, the accept limit, and UDS round trips.
+
+use expanse_core::Hitlist;
+use expanse_model::SourceId;
+use expanse_serve::protocol::{
+    decode_response, encode_request, ERR_FRAME_TOO_LARGE, ERR_MALFORMED, ERR_OVERLOADED,
+    ERR_RATE_LIMITED, ERR_SHUTTING_DOWN, ERR_TIMEOUT, MAX_FRAME_LEN,
+};
+use expanse_serve::{
+    BindAddr, CacheConfig, ClientError, FrameAssembler, Query, RateLimitConfig, Request, Response,
+    ResponseBody, ServeClient, Server, ServerConfig, SnapshotRegistry, SnapshotView,
+};
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+fn view_of(n: u128, day: u16) -> SnapshotView {
+    let mut h = Hitlist::new();
+    let addrs: Vec<std::net::Ipv6Addr> = (1..=n).map(expanse_addr::u128_to_addr).collect();
+    h.add_from(SourceId::Ct, &addrs, 0);
+    SnapshotView::from_hitlist(day, &h, Vec::new())
+}
+
+/// Short-deadline config so failure paths resolve in test time.
+fn test_config() -> ServerConfig {
+    ServerConfig {
+        read_timeout: Duration::from_millis(400),
+        write_timeout: Duration::from_millis(400),
+        idle_timeout: Duration::from_secs(5),
+        drain_grace: Duration::from_secs(5),
+        cache: Some(CacheConfig::default()),
+        ..ServerConfig::default()
+    }
+}
+
+fn start_tcp(n: u128, cfg: ServerConfig) -> (Arc<SnapshotRegistry>, Server, BindAddr) {
+    let registry = Arc::new(SnapshotRegistry::new(view_of(n, 1)));
+    let server = Server::start(
+        Arc::clone(&registry),
+        &[BindAddr::Tcp("127.0.0.1:0".parse().unwrap())],
+        cfg,
+    )
+    .expect("bind loopback");
+    let addr = server.local_addrs()[0].clone();
+    (registry, server, addr)
+}
+
+fn expect_error(resp: &Response, code: u8) {
+    match resp.body {
+        ResponseBody::Error { code: got } => assert_eq!(got, code, "wrong error code"),
+        ref other => panic!("expected error {code}, got {other:?}"),
+    }
+}
+
+// ---- round trips -----------------------------------------------------
+
+#[test]
+fn tcp_and_uds_round_trip_identically() {
+    let registry = Arc::new(SnapshotRegistry::new(view_of(10, 1)));
+    let sock = std::env::temp_dir().join(format!("exp-serve-rt-{}.sock", std::process::id()));
+    let server = Server::start(
+        Arc::clone(&registry),
+        &[
+            BindAddr::Tcp("127.0.0.1:0".parse().unwrap()),
+            BindAddr::Unix(sock.clone()),
+        ],
+        test_config(),
+    )
+    .expect("bind both");
+    let req = Request::Select {
+        query: Query::all(),
+        cursor: None,
+        limit: 5,
+    };
+    let mut bodies = Vec::new();
+    for addr in server.local_addrs().to_vec() {
+        let mut client = ServeClient::connect(&addr).expect("connect");
+        let pong = client.call(&Request::Ping).expect("ping");
+        assert!(matches!(pong.body, ResponseBody::Pong { live: 10 }));
+        bodies.push(client.call(&req).expect("select").body);
+    }
+    assert_eq!(bodies[0], bodies[1], "TCP and UDS must serve identically");
+    let report = server.drain();
+    assert_eq!(report.stats.requests, 4);
+    assert_eq!(report.forced_closes, 0);
+    assert!(!sock.exists(), "drain removes the UDS socket path");
+}
+
+// ---- graceful drain under an epoch swap ------------------------------
+
+#[test]
+fn drain_finishes_in_flight_requests_across_epoch_swap() {
+    let (registry, server, addr) = start_tcp(50, test_config());
+    let mut client = ServeClient::connect(&addr).expect("connect");
+
+    // Pipeline a burst of requests, all written before the drain flag
+    // flips; positional matching means the N-th response answers the
+    // N-th request.
+    let burst = 32;
+    let mut framed = Vec::new();
+    for _ in 0..burst {
+        framed.extend_from_slice(&encode_request(&Request::Select {
+            query: Query::all(),
+            cursor: None,
+            limit: 8,
+        }));
+    }
+    client.send_raw(&framed).expect("pipelined send");
+    std::thread::sleep(Duration::from_millis(100));
+    server.begin_drain();
+    // An epoch swap lands mid-drain: in-flight requests may answer
+    // from either epoch, but every one must answer.
+    registry.publish(view_of(60, 2));
+
+    let mut epochs = Vec::new();
+    for i in 0..burst {
+        let resp = client
+            .recv()
+            .unwrap_or_else(|e| panic!("response {i} lost in drain: {e}"));
+        assert!(
+            matches!(resp.body, ResponseBody::Page { .. }),
+            "response {i} must be a page"
+        );
+        epochs.push(resp.epoch);
+    }
+    // Serial execution per connection: epochs never regress.
+    assert!(
+        epochs.windows(2).all(|w| w[0] <= w[1]),
+        "epochs: {epochs:?}"
+    );
+    // Once everything owed is answered, the server closes the quiet
+    // connection: no response ever arrives after the drain.
+    assert!(matches!(client.recv(), Err(ClientError::Closed)));
+
+    // A connection arriving during the drain gets one shutdown frame.
+    let mut late = ServeClient::connect(&addr).expect("accept still open during drain");
+    let resp = late.recv().expect("shutdown status frame");
+    expect_error(&resp, ERR_SHUTTING_DOWN);
+    assert!(matches!(late.recv(), Err(ClientError::Closed)));
+
+    let report = server.drain();
+    assert_eq!(report.forced_closes, 0, "drain must be clean");
+    assert_eq!(report.stats.rejected_shutdown, 1);
+    // Nothing listens after the drain completes.
+    let BindAddr::Tcp(sa) = addr else { panic!() };
+    assert!(TcpStream::connect_timeout(&sa, Duration::from_millis(300)).is_err());
+}
+
+// ---- malformed / oversized / torn frames -----------------------------
+
+#[test]
+fn garbage_frame_gets_in_band_error_and_connection_lives() {
+    let (_r, server, addr) = start_tcp(5, test_config());
+    let mut client = ServeClient::connect(&addr).expect("connect");
+
+    // A frame whose envelope is garbage (checksum cannot verify).
+    let mut garbage = vec![0u8; 24];
+    garbage[0..4].copy_from_slice(&20u32.to_le_bytes());
+    client.send_raw(&garbage).expect("send garbage");
+    expect_error(&client.recv().expect("in-band error"), ERR_MALFORMED);
+
+    // A frame that decodes but is corrupt mid-envelope: flip one
+    // payload bit in a valid request.
+    let mut torn = encode_request(&Request::Ping);
+    let n = torn.len();
+    torn[n - 9] ^= 1;
+    client.send_raw(&torn).expect("send corrupt");
+    expect_error(&client.recv().expect("in-band error"), ERR_MALFORMED);
+
+    // The connection survived both: a well-formed request still works.
+    let pong = client.call(&Request::Ping).expect("connection alive");
+    assert!(matches!(pong.body, ResponseBody::Pong { .. }));
+    let report = server.drain();
+    assert_eq!(report.stats.malformed, 2);
+}
+
+#[test]
+fn oversized_frame_length_closes_only_its_connection() {
+    let (_r, server, addr) = start_tcp(5, test_config());
+    let mut client = ServeClient::connect(&addr).expect("connect");
+    // A length prefix beyond the ceiling: the stream cannot be
+    // resynchronized, so the server answers once and closes.
+    client
+        .send_raw(&(MAX_FRAME_LEN + 1).to_le_bytes())
+        .expect("send oversized length");
+    expect_error(&client.recv().expect("error frame"), ERR_FRAME_TOO_LARGE);
+    assert!(matches!(client.recv(), Err(ClientError::Closed)));
+
+    // The listener survived: a fresh connection serves fine.
+    let mut fresh = ServeClient::connect(&addr).expect("listener alive");
+    assert!(fresh.call(&Request::Ping).is_ok());
+    let report = server.drain();
+    assert_eq!(report.stats.oversized_frames, 1);
+}
+
+// ---- slow clients ----------------------------------------------------
+
+#[test]
+fn byte_at_a_time_sender_is_served() {
+    let (_r, server, addr) = start_tcp(5, test_config());
+    let BindAddr::Tcp(sa) = addr else { panic!() };
+    let mut stream = TcpStream::connect(sa).expect("connect");
+    stream.set_nodelay(true).unwrap();
+    // Dribble a valid request one byte at a time, fast enough to stay
+    // inside the 400 ms mid-frame deadline.
+    for &b in &encode_request(&Request::Ping) {
+        stream.write_all(&[b]).expect("write byte");
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    stream
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .unwrap();
+    let mut asm = FrameAssembler::new(MAX_FRAME_LEN);
+    let mut chunk = [0u8; 1024];
+    let frame = loop {
+        if let Some(f) = asm.next_frame().expect("well-formed") {
+            break f;
+        }
+        let n = stream.read(&mut chunk).expect("read");
+        assert!(n > 0, "server closed on a patient slow sender");
+        asm.push(&chunk[..n]);
+    };
+    let resp = decode_response(&frame).expect("decodes");
+    assert!(matches!(resp.body, ResponseBody::Pong { .. }));
+    drop(stream);
+    let report = server.drain();
+    assert_eq!(report.stats.read_timeouts, 0);
+}
+
+#[test]
+fn stalled_mid_frame_sender_times_out_with_error_frame() {
+    let (_r, server, addr) = start_tcp(5, test_config());
+    let mut client = ServeClient::connect(&addr).expect("connect");
+    // First half of a frame, then silence: the read deadline (400 ms)
+    // must fire, answer ERR_TIMEOUT, and close.
+    let framed = encode_request(&Request::Ping);
+    client.send_raw(&framed[..framed.len() / 2]).expect("half");
+    let t0 = Instant::now();
+    expect_error(&client.recv().expect("timeout frame"), ERR_TIMEOUT);
+    assert!(matches!(client.recv(), Err(ClientError::Closed)));
+    assert!(
+        t0.elapsed() >= Duration::from_millis(300),
+        "timed out implausibly fast"
+    );
+    let report = server.drain();
+    assert_eq!(report.stats.read_timeouts, 1);
+}
+
+#[test]
+fn mid_frame_disconnect_leaves_listener_healthy() {
+    let (_r, server, addr) = start_tcp(5, test_config());
+    let mut client = ServeClient::connect(&addr).expect("connect");
+    let framed = encode_request(&Request::Ping);
+    client.send_raw(&framed[..3]).expect("partial");
+    drop(client); // vanish mid-frame
+    std::thread::sleep(Duration::from_millis(100));
+    let mut fresh = ServeClient::connect(&addr).expect("listener alive");
+    assert!(fresh.call(&Request::Ping).is_ok());
+    drop(fresh);
+    let report = server.drain();
+    assert_eq!(report.stats.requests, 1);
+}
+
+#[test]
+fn never_reading_client_is_disconnected_not_served_forever() {
+    // Small write deadline; large pages so responses outgrow the
+    // socket buffers and writing must block on the stalled reader.
+    let cfg = ServerConfig {
+        write_timeout: Duration::from_millis(300),
+        ..test_config()
+    };
+    let (_r, server, addr) = start_tcp(20_000, cfg);
+    let BindAddr::Tcp(sa) = addr else { panic!() };
+    let mut stream = TcpStream::connect(sa).expect("connect");
+    // Pipeline many large-page requests and never read a byte back.
+    let req = encode_request(&Request::Select {
+        query: Query::all(),
+        cursor: None,
+        limit: 20_000,
+    });
+    for _ in 0..64 {
+        if stream.write_all(&req).is_err() {
+            break; // server already gave up on us — exactly the point
+        }
+    }
+    // The server must cut the connection within the write deadline
+    // (plus slack), not hold a handler hostage forever.
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        let stats = server.stats();
+        if stats.write_timeouts >= 1 {
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "server never disconnected a never-reading client: {stats:?}"
+        );
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    // And it still serves a well-behaved client afterwards.
+    let mut fresh = ServeClient::connect(&addr).expect("listener alive");
+    assert!(fresh.call(&Request::Ping).is_ok());
+    drop(fresh);
+    drop(stream);
+    server.drain();
+}
+
+// ---- admission control and accept limits -----------------------------
+
+#[test]
+fn rate_limited_client_gets_reject_frames_but_keeps_connection() {
+    let cfg = ServerConfig {
+        rate: Some(RateLimitConfig {
+            qps: 0.001, // effectively no refill during the test
+            burst: 2.0,
+        }),
+        ..test_config()
+    };
+    let (_r, server, addr) = start_tcp(5, cfg);
+    let mut client = ServeClient::connect(&addr).expect("connect");
+    for _ in 0..2 {
+        let resp = client.call(&Request::Ping).expect("within burst");
+        assert!(matches!(resp.body, ResponseBody::Pong { .. }));
+    }
+    // Burst exhausted: rejection frames, but the connection lives.
+    for _ in 0..3 {
+        let resp = client.call(&Request::Ping).expect("still connected");
+        expect_error(&resp, ERR_RATE_LIMITED);
+    }
+    let report = server.drain();
+    assert_eq!(report.stats.rate_limited, 3);
+    assert_eq!(report.stats.requests, 5);
+}
+
+#[test]
+fn accept_limit_rejects_with_overloaded_frame() {
+    let cfg = ServerConfig {
+        max_connections: 1,
+        ..test_config()
+    };
+    let (_r, server, addr) = start_tcp(5, cfg);
+    let mut first = ServeClient::connect(&addr).expect("connect");
+    assert!(first.call(&Request::Ping).is_ok());
+    // Second concurrent connection: one ERR_OVERLOADED frame, close.
+    let mut second = ServeClient::connect(&addr).expect("tcp accepts");
+    let resp = second.recv().expect("overload status frame");
+    expect_error(&resp, ERR_OVERLOADED);
+    assert!(matches!(second.recv(), Err(ClientError::Closed)));
+    // The first connection is unaffected.
+    assert!(first.call(&Request::Ping).is_ok());
+    drop(first);
+    std::thread::sleep(Duration::from_millis(100));
+    // Slot freed: a new connection is admitted again.
+    let mut third = ServeClient::connect(&addr).expect("connect");
+    assert!(third.call(&Request::Ping).is_ok());
+    drop(third);
+    let report = server.drain();
+    assert_eq!(report.stats.rejected_overloaded, 1);
+}

@@ -1,0 +1,122 @@
+//! `expansectl`: query and inspect a running `expanse-served` daemon
+//! over its TCP or (typically) unix-domain socket.
+
+use expanse_serve::{BindAddr, Query, Request, ResponseBody, ServeClient};
+use expanse_served::{render, Flags};
+use std::time::Duration;
+
+const USAGE: &str = "\
+expansectl: query a running expanse-served daemon
+
+usage: expansectl --to tcp:IP:PORT|uds:PATH [--timeout-ms N] COMMAND [args]
+
+commands:
+  status                     epoch, day, live count, and view aggregates
+  ping                       liveness + live count
+  lookup ADDR                one member record
+  select LIMIT [--under P] [--cursor HEX]
+                             one page of the address-ordered walk
+  sample K [--seed N] [--under P]
+                             deterministic seeded sample
+  stats [PREFIX]             aggregates, optionally scoped to a prefix
+";
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(text) => print!("{text}"),
+        Err(e) => {
+            eprintln!("expansectl: {e}");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn query_from(f: &Flags) -> Result<Query, String> {
+    let mut q = Query::all();
+    if let Some(p) = f.get("under") {
+        q = q.under(p.parse().map_err(|e| format!("--under {p:?}: {e:?}"))?);
+    }
+    Ok(q)
+}
+
+fn run(args: &[String]) -> Result<String, String> {
+    let f = Flags::parse(args, &["help"])?;
+    if f.has("help") || f.positional().is_empty() {
+        return Ok(USAGE.to_string());
+    }
+    let to = f.get("to").ok_or("--to tcp:IP:PORT or uds:PATH required")?;
+    let addr = BindAddr::parse(to)?;
+    let pos = f.positional();
+    let arg = |i: usize, what: &str| -> Result<&str, String> {
+        pos.get(i)
+            .map(String::as_str)
+            .ok_or_else(|| format!("{} needs {what}", pos[0]))
+    };
+
+    let req = match pos[0].as_str() {
+        "ping" => Request::Ping,
+        "lookup" => Request::Lookup {
+            addr: arg(1, "an IPv6 address")?
+                .parse()
+                .map_err(|e| format!("bad address: {e}"))?,
+        },
+        "select" => Request::Select {
+            query: query_from(&f)?,
+            cursor: match f.get("cursor") {
+                None => None,
+                Some(c) => Some(
+                    u128::from_str_radix(c.trim_start_matches("0x"), 16)
+                        .map_err(|e| format!("--cursor {c:?}: {e}"))?,
+                ),
+            },
+            limit: arg(1, "a page limit")?
+                .parse()
+                .map_err(|e| format!("bad limit: {e}"))?,
+        },
+        "sample" => Request::Sample {
+            query: query_from(&f)?,
+            k: arg(1, "a sample size")?
+                .parse()
+                .map_err(|e| format!("bad sample size: {e}"))?,
+            seed: f.parsed("seed", 0u64)?,
+        },
+        "stats" => Request::Stats {
+            prefix: match pos.get(1) {
+                None => None,
+                Some(p) => Some(p.parse().map_err(|e| format!("bad prefix {p:?}: {e:?}"))?),
+            },
+        },
+        // `status` is handled below: it composes two requests.
+        "status" => Request::Ping,
+        other => return Err(format!("unknown command {other:?} (try --help)")),
+    };
+
+    let mut client = ServeClient::connect(&addr).map_err(|e| format!("connect {addr}: {e}"))?;
+    client.set_timeout(Duration::from_millis(f.parsed("timeout-ms", 10_000u64)?));
+    let resp = client.call(&req).map_err(|e| e.to_string())?;
+
+    if pos[0] == "status" {
+        // Status = Ping (epoch, day, live) + whole-view Stats, one
+        // connection, two positionally matched responses.
+        let stats = client
+            .call(&Request::Stats { prefix: None })
+            .map_err(|e| e.to_string())?;
+        let live = match resp.body {
+            ResponseBody::Pong { live } => live,
+            other => return Err(format!("unexpected ping answer: {other:?}")),
+        };
+        let mut out = format!("epoch={} day={} live={}\n", resp.epoch, resp.day, live);
+        match stats.body {
+            ResponseBody::Stats { stats } => {
+                out.push_str(&format!(
+                    "members={} responsive={} aliased={} per_protocol={:?}\n",
+                    stats.members, stats.responsive, stats.aliased, stats.per_protocol
+                ));
+            }
+            other => return Err(format!("unexpected stats answer: {other:?}")),
+        }
+        return Ok(out);
+    }
+    Ok(render::render(&resp))
+}

@@ -1,0 +1,13 @@
+//! Shared plumbing for the `expanse-served` daemon and the
+//! `expansectl` control CLI: a dependency-free flag parser and the
+//! human rendering of wire responses. The daemon itself is a thin
+//! shell around [`expanse_serve::Server`]; everything protocol- or
+//! transport-shaped lives in `expanse-serve` where it is testable
+//! without processes.
+
+#![deny(missing_docs)]
+
+pub mod flags;
+pub mod render;
+
+pub use flags::Flags;
