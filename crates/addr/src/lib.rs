@@ -43,18 +43,24 @@ pub mod format;
 pub mod iter;
 pub mod mac;
 pub mod nybbles;
+pub mod par;
 pub mod prefix;
 pub mod set;
+pub mod sharded;
 pub mod sorted;
+pub mod store;
 pub mod table;
 
 pub use codec::{CodecError, Decoder, Encoder};
 pub use fanout::{fanout16, keyed_random_addr, FanoutTarget};
 pub use iter::AddrIter;
 pub use mac::MacAddr;
+pub use par::worker_threads;
 pub use prefix::{Prefix, PrefixParseError};
 pub use set::AddrSet;
+pub use sharded::ShardedAddrTable;
 pub use sorted::SortedView;
+pub use store::{AddrIntern, AddrStore};
 pub use table::{AddrId, AddrMap, AddrTable};
 
 use std::net::Ipv6Addr;

@@ -1,0 +1,586 @@
+//! The sharded interning backend: [`ShardedAddrTable`].
+//!
+//! The hitlist's daily stages are walks over the interned store; at
+//! paper scale (tens of millions of addresses, an order of magnitude
+//! more in follow-up work) a single open-addressing probe index makes
+//! every one of them a serial scan. This backend partitions the **probe
+//! index** by address high bits into independent shards so interning
+//! and lookup fan out across cores with no locks on the read path,
+//! while keeping the **id assignment and the raw column exactly
+//! identical to [`AddrTable`](crate::AddrTable)** — byte for byte, for
+//! every insert interleaving (the proptest oracle pins this).
+//!
+//! # Why sharded index, global id column
+//!
+//! Strict contiguous per-shard id *ranges* (shard 0 owns ids 0..k,
+//! shard 1 owns k..2k, …) were considered and rejected: id order is the
+//! seam's load-bearing invariant (`ARCHITECTURE.md` — ascending id =
+//! insertion order), and range-partitioned ids would permute iteration
+//! order, every persisted column, every journal byte, and every
+//! digest-pinned determinism test. Instead the shards own disjoint
+//! **address partitions** (and therefore disjoint id *sets*): each
+//! address belongs to exactly one shard's probe index, chosen by a
+//! keyed hash of its high 64 bits, while ids keep being issued densely
+//! from one global insertion-ordered column. Reads never cross shards;
+//! writes touch one shard's index plus the shared column tail; the
+//! snapshot codec keeps storing the raw column unchanged
+//! (`docs/SNAPSHOT_FORMAT.md` §3.1 — the wire format cannot tell the
+//! backends apart).
+//!
+//! Shard selection hashes the high 64 bits (the /64 network prefix)
+//! rather than using them raw: real hitlists concentrate in a handful
+//! of `2001:…`/`2a00:…` prefixes, so raw high bits would land nearly
+//! everything in one shard.
+
+use crate::fanout::splitmix64;
+use crate::store::{AddrIntern, AddrStore, StoreIter};
+use crate::table::AddrId;
+use crate::{addr_to_u128, u128_to_addr};
+use std::collections::HashMap;
+use std::net::Ipv6Addr;
+
+/// Empty-slot marker in a shard's probe index (ids are global, so the
+/// sentinel also caps the whole table at `u32::MAX - 1` entries).
+const EMPTY: u32 = u32::MAX;
+
+/// Default shard count: plenty of index-level parallelism for the core
+/// counts this workspace targets, small enough that per-shard slot
+/// arrays stay dense at smoke scale. Purely a memory-layout knob — the
+/// persisted bytes are identical for any shard count.
+pub const DEFAULT_SHARDS: usize = 16;
+
+/// Hardware parallelism is the useful ceiling; beyond ~256 shards the
+/// per-shard arrays are too sparse to earn their fixed cost.
+const MAX_SHARDS: usize = 256;
+
+/// One well-mixed 64-bit hash of the 128 address bits (identical to
+/// [`AddrTable`](crate::AddrTable)'s probe hash).
+#[inline]
+fn hash128(v: u128) -> u64 {
+    splitmix64((v as u64).wrapping_add(splitmix64((v >> 64) as u64)))
+}
+
+/// One shard: an open-addressing probe index over the global column,
+/// holding only the addresses whose high bits hash here.
+#[derive(Debug, Clone, Default)]
+struct Shard {
+    /// Slot → global id. Power-of-two length (empty until first use).
+    slots: Vec<u32>,
+    /// Entries resident in this shard (the load-factor denominator —
+    /// the global column length says nothing about one shard's fill).
+    len: usize,
+}
+
+impl Shard {
+    /// Find `v` in this shard's index: `Ok(id)` when present,
+    /// `Err(slot)` with the insertion slot when absent.
+    #[inline]
+    fn probe(&self, addrs: &[u128], v: u128) -> Result<u32, usize> {
+        debug_assert!(!self.slots.is_empty());
+        let mask = self.slots.len() - 1;
+        let mut at = hash128(v) as usize & mask;
+        loop {
+            let slot = self.slots[at];
+            if slot == EMPTY {
+                return Err(at);
+            }
+            if addrs[slot as usize] == v {
+                return Ok(slot);
+            }
+            at = (at + 1) & mask;
+        }
+    }
+
+    /// Re-key the slot array for at least `want` resident entries.
+    fn rebuild(&mut self, addrs: &[u128], members: impl Iterator<Item = u32>, want: usize) {
+        let cap = (want * 4 / 3 + 1).next_power_of_two().max(16);
+        self.slots.clear();
+        self.slots.resize(cap, EMPTY);
+        let mask = cap - 1;
+        for id in members {
+            let mut at = hash128(addrs[id as usize]) as usize & mask;
+            while self.slots[at] != EMPTY {
+                at = (at + 1) & mask;
+            }
+            self.slots[at] = id;
+        }
+    }
+}
+
+/// Sharded interning table: the multi-core backend behind the
+/// [`AddrStore`] seam.
+///
+/// Issues the same dense, insertion-ordered [`AddrId`]s as
+/// [`AddrTable`](crate::AddrTable) — same ids, same iteration order,
+/// same raw column, same codec bytes — while partitioning the probe
+/// index so lookups from many threads never contend and
+/// [`intern_batch`](ShardedAddrTable::intern_batch) fans the hash work
+/// out across shards.
+///
+/// # Example
+///
+/// ```
+/// use expanse_addr::{AddrStore, ShardedAddrTable};
+/// use std::net::Ipv6Addr;
+///
+/// let mut table = ShardedAddrTable::new();
+/// let a: Ipv6Addr = "2001:db8::1".parse().unwrap();
+/// let id = table.intern(a);
+/// assert_eq!(table.intern(a), id); // idempotent
+/// assert_eq!(id.index(), 0); // dense, insertion-ordered
+/// assert_eq!(table.addr(id), a);
+/// assert_eq!(table.lookup(a), Some(id));
+/// ```
+#[derive(Debug, Clone)]
+pub struct ShardedAddrTable {
+    /// Id → address bits: the global insertion-ordered primary column,
+    /// shared by all shards. This is the entire persistent state.
+    addrs: Vec<u128>,
+    /// Per-shard probe indexes; length is a power of two.
+    shards: Vec<Shard>,
+}
+
+impl Default for ShardedAddrTable {
+    fn default() -> Self {
+        ShardedAddrTable::new()
+    }
+}
+
+impl ShardedAddrTable {
+    /// Create an empty table with [`DEFAULT_SHARDS`] shards.
+    pub fn new() -> Self {
+        ShardedAddrTable::with_shards(DEFAULT_SHARDS)
+    }
+
+    /// Create an empty table with about `n` shards (rounded up to a
+    /// power of two, clamped to `1..=256`). The shard count is a
+    /// memory-layout and parallelism knob only: ids, iteration order,
+    /// and persisted bytes are identical for every value.
+    pub fn with_shards(n: usize) -> Self {
+        let n = n.clamp(1, MAX_SHARDS).next_power_of_two();
+        ShardedAddrTable {
+            addrs: Vec::new(),
+            shards: vec![Shard::default(); n],
+        }
+    }
+
+    /// Create a table sized for about `n` addresses up front, with the
+    /// default shard count.
+    pub fn with_capacity(n: usize) -> Self {
+        let mut t = ShardedAddrTable::new();
+        t.addrs.reserve(n);
+        let per_shard = n / t.shards.len();
+        if per_shard > 0 {
+            for s in &mut t.shards {
+                s.rebuild(&t.addrs, std::iter::empty(), per_shard);
+            }
+        }
+        t
+    }
+
+    /// Number of shards (always a power of two).
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Entries resident in shard `i` (for balance diagnostics).
+    pub fn shard_len(&self, i: usize) -> usize {
+        self.shards[i].len
+    }
+
+    /// Which shard owns `v`: a keyed hash of the high 64 bits, so
+    /// addresses sharing a /64 stay together and real-world prefix
+    /// concentration still spreads across shards.
+    #[inline]
+    fn shard_of(&self, v: u128) -> usize {
+        splitmix64((v >> 64) as u64) as usize & (self.shards.len() - 1)
+    }
+
+    /// Unique addresses interned.
+    pub fn len(&self) -> usize {
+        self.addrs.len()
+    }
+
+    /// Is the table empty?
+    pub fn is_empty(&self) -> bool {
+        self.addrs.is_empty()
+    }
+
+    /// Intern an address, returning its stable id.
+    #[inline]
+    pub fn intern(&mut self, a: Ipv6Addr) -> AddrId {
+        self.intern_u128(addr_to_u128(a)).0
+    }
+
+    /// Intern raw address bits; returns `(id, newly_inserted)`. Id
+    /// assignment is global insertion order — identical to
+    /// [`AddrTable`](crate::AddrTable) for any insert interleaving.
+    #[inline]
+    pub fn intern_u128(&mut self, v: u128) -> (AddrId, bool) {
+        let si = self.shard_of(v);
+        let shard = &mut self.shards[si];
+        // Keep the shard's load factor below 3/4.
+        if (shard.len + 1) * 4 > shard.slots.len() * 3 {
+            let members: Vec<u32> = shard
+                .slots
+                .iter()
+                .copied()
+                .filter(|&s| s != EMPTY)
+                .collect();
+            shard.rebuild(&self.addrs, members.into_iter(), shard.len + 1);
+        }
+        match shard.probe(&self.addrs, v) {
+            Ok(id) => (AddrId::from_index(id as usize), false),
+            Err(at) => {
+                assert!(self.addrs.len() < EMPTY as usize, "ShardedAddrTable full");
+                let id = self.addrs.len() as u32;
+                shard.slots[at] = id;
+                shard.len += 1;
+                self.addrs.push(v);
+                (AddrId::from_index(id as usize), true)
+            }
+        }
+    }
+
+    /// The id of an already-interned address, if any.
+    #[inline]
+    pub fn lookup(&self, a: Ipv6Addr) -> Option<AddrId> {
+        self.lookup_u128(addr_to_u128(a))
+    }
+
+    /// [`ShardedAddrTable::lookup`] on raw bits. Touches exactly one
+    /// shard's index; `&self` lookups from many threads never contend.
+    #[inline]
+    pub fn lookup_u128(&self, v: u128) -> Option<AddrId> {
+        let shard = &self.shards[self.shard_of(v)];
+        if shard.slots.is_empty() {
+            return None;
+        }
+        match shard.probe(&self.addrs, v) {
+            Ok(id) => Some(AddrId::from_index(id as usize)),
+            Err(_) => None,
+        }
+    }
+
+    /// The address behind an id.
+    ///
+    /// # Panics
+    /// Panics if `id` was not issued by this table.
+    #[inline]
+    pub fn addr(&self, id: AddrId) -> Ipv6Addr {
+        u128_to_addr(self.addrs[id.index()])
+    }
+
+    /// The raw 128 bits behind an id.
+    #[inline]
+    pub fn bits(&self, id: AddrId) -> u128 {
+        self.addrs[id.index()]
+    }
+
+    /// The raw address column, indexed by id — the table's entire
+    /// persistent state, identical to the single-index backend's.
+    #[inline]
+    pub fn raw(&self) -> &[u128] {
+        &self.addrs
+    }
+
+    /// All `(id, address)` pairs in id (= insertion) order.
+    pub fn iter(&self) -> StoreIter<'_> {
+        self.iter_pairs()
+    }
+
+    /// Intern a batch of values on up to `threads` workers, returning
+    /// each value's id in input order — **exactly** the ids a serial
+    /// [`intern_u128`](ShardedAddrTable::intern_u128) loop over `vals`
+    /// would issue.
+    ///
+    /// Three phases keep that deterministic: (1) workers each own a
+    /// contiguous run of shards and, per shard, resolve existing
+    /// members and collect first occurrences of new values in input
+    /// order — shards are disjoint, so no locks; (2) the per-shard new
+    /// lists (each sorted by input position) merge by input position
+    /// and ids are assigned in that order, which *is* the serial
+    /// first-occurrence order, growing the global column once; (3) the
+    /// same workers install the new slot entries and fill the output.
+    pub fn intern_batch(&mut self, vals: &[u128], threads: usize) -> Vec<AddrId> {
+        let threads = threads.clamp(1, self.shards.len());
+        if threads == 1 || vals.len() < 4096 {
+            return vals.iter().map(|&v| self.intern_u128(v).0).collect();
+        }
+        /// Per-shard phase-1 result.
+        #[derive(Default)]
+        struct ShardPlan {
+            /// First occurrences of values new to the table, in input
+            /// order: `(input index, value)`.
+            news: Vec<(usize, u128)>,
+            /// Resolved hits and within-batch duplicates:
+            /// `(input index, Ok(existing id) | Err(news position))`.
+            fills: Vec<(usize, Result<u32, usize>)>,
+        }
+        // Phase 1: resolve per shard in parallel; every val is examined
+        // by exactly one worker (its shard's owner), preserving
+        // per-shard input order.
+        let shard_ids: Vec<u8> = crate::par::par_map(vals, threads, |&v| self.shard_of(v) as u8);
+        let run = self.shards.len().div_ceil(threads);
+        let mut plans: Vec<ShardPlan> = Vec::with_capacity(self.shards.len());
+        std::thread::scope(|s| {
+            let handles: Vec<_> = (0..self.shards.len())
+                .step_by(run)
+                .map(|first| {
+                    let shards = &self.shards[first..(first + run).min(self.shards.len())];
+                    let addrs = &self.addrs;
+                    let shard_ids = &shard_ids;
+                    s.spawn(move || {
+                        let mut out: Vec<ShardPlan> =
+                            (0..shards.len()).map(|_| ShardPlan::default()).collect();
+                        // Within-batch dedup: value → position in the
+                        // owning shard's `news`.
+                        let mut pending: HashMap<u128, usize> = HashMap::new();
+                        for (i, &v) in vals.iter().enumerate() {
+                            let si = shard_ids[i] as usize;
+                            if si < first || si >= first + shards.len() {
+                                continue;
+                            }
+                            let (shard, plan) = (&shards[si - first], &mut out[si - first]);
+                            let hit = if shard.slots.is_empty() {
+                                None
+                            } else {
+                                shard.probe(addrs, v).ok()
+                            };
+                            if let Some(id) = hit {
+                                plan.fills.push((i, Ok(id)));
+                            } else if let Some(&pos) = pending.get(&v) {
+                                plan.fills.push((i, Err(pos)));
+                            } else {
+                                pending.insert(v, plan.news.len());
+                                plan.news.push((i, v));
+                            }
+                        }
+                        out
+                    })
+                })
+                .collect();
+            for h in handles {
+                plans.extend(h.join().expect("intern_batch worker panicked"));
+            }
+        });
+        // Phase 2 (serial): assign global ids to new values in input
+        // order — a k-way merge of the per-shard news lists, each
+        // already sorted by input position.
+        let total_new: usize = plans.iter().map(|p| p.news.len()).sum();
+        assert!(
+            self.addrs.len() + total_new < EMPTY as usize,
+            "ShardedAddrTable full"
+        );
+        self.addrs.reserve(total_new);
+        let mut news_ids: Vec<Vec<u32>> = plans
+            .iter()
+            .map(|p| Vec::with_capacity(p.news.len()))
+            .collect();
+        let mut cursors: Vec<usize> = vec![0; plans.len()];
+        for _ in 0..total_new {
+            let mut best: Option<usize> = None;
+            for (si, p) in plans.iter().enumerate() {
+                let c = cursors[si];
+                if c < p.news.len()
+                    && best.is_none_or(|b| p.news[c].0 < plans[b].news[cursors[b]].0)
+                {
+                    best = Some(si);
+                }
+            }
+            let si = best.expect("merge cursors exhausted early");
+            let (_, v) = plans[si].news[cursors[si]];
+            let id = self.addrs.len() as u32;
+            self.addrs.push(v);
+            news_ids[si].push(id);
+            cursors[si] += 1;
+        }
+        // Phase 3: install slot entries and fill the output. Each
+        // worker owns the same contiguous shard run as phase 1 (now
+        // mutably — the runs are disjoint), and the output fill is a
+        // scatter into disjoint positions (each input index appears in
+        // exactly one plan), done through atomic cells to stay safe.
+        use std::sync::atomic::{AtomicU32, Ordering};
+        let out_cells: Vec<AtomicU32> = (0..vals.len()).map(|_| AtomicU32::new(EMPTY)).collect();
+        {
+            let addrs = &self.addrs;
+            std::thread::scope(|s| {
+                for ((shards, plans), ids_run) in self
+                    .shards
+                    .chunks_mut(run)
+                    .zip(plans.chunks(run))
+                    .zip(news_ids.chunks(run))
+                {
+                    let out_cells = &out_cells;
+                    s.spawn(move || {
+                        for ((shard, plan), ids) in shards.iter_mut().zip(plans).zip(ids_run) {
+                            if !plan.news.is_empty() {
+                                let want = shard.len + plan.news.len();
+                                if want * 4 > shard.slots.len() * 3 {
+                                    let members: Vec<u32> = shard
+                                        .slots
+                                        .iter()
+                                        .copied()
+                                        .filter(|&v| v != EMPTY)
+                                        .collect();
+                                    shard.rebuild(addrs, members.into_iter(), want);
+                                }
+                                for (&(i, v), &id) in plan.news.iter().zip(ids) {
+                                    match shard.probe(addrs, v) {
+                                        Ok(_) => unreachable!("new value already resident"),
+                                        Err(at) => shard.slots[at] = id,
+                                    }
+                                    shard.len += 1;
+                                    out_cells[i].store(id, Ordering::Relaxed);
+                                }
+                            }
+                            for &(i, r) in &plan.fills {
+                                let id = match r {
+                                    Ok(id) => id,
+                                    Err(pos) => ids[pos],
+                                };
+                                out_cells[i].store(id, Ordering::Relaxed);
+                            }
+                        }
+                    });
+                }
+            });
+        }
+        out_cells
+            .into_iter()
+            .map(|cell| {
+                let id = cell.into_inner();
+                debug_assert_ne!(id, EMPTY, "intern_batch left an output unfilled");
+                AddrId::from_index(id as usize)
+            })
+            .collect()
+    }
+}
+
+impl AddrStore for ShardedAddrTable {
+    fn raw(&self) -> &[u128] {
+        &self.addrs
+    }
+
+    fn lookup_u128(&self, v: u128) -> Option<AddrId> {
+        ShardedAddrTable::lookup_u128(self, v)
+    }
+}
+
+impl AddrIntern for ShardedAddrTable {
+    fn with_store_capacity(n: usize) -> Self {
+        ShardedAddrTable::with_capacity(n)
+    }
+
+    fn intern_u128(&mut self, v: u128) -> (AddrId, bool) {
+        ShardedAddrTable::intern_u128(self, v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::table::AddrTable;
+
+    fn a(s: &str) -> Ipv6Addr {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn ids_are_dense_and_stable() {
+        let mut t = ShardedAddrTable::new();
+        let i1 = t.intern(a("2001:db8::1"));
+        let i2 = t.intern(a("2001:db8::2"));
+        assert_eq!(t.intern(a("2001:db8::1")), i1);
+        assert_eq!(i1.index(), 0);
+        assert_eq!(i2.index(), 1);
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.addr(i2), a("2001:db8::2"));
+        assert_eq!(t.lookup(a("2001:db8::2")), Some(i2));
+        assert_eq!(t.lookup(a("2001:db8::3")), None);
+    }
+
+    #[test]
+    fn matches_addr_table_ids_across_resizes() {
+        let mut sharded = ShardedAddrTable::with_shards(8);
+        let mut flat = AddrTable::new();
+        for i in 0..20_000u128 {
+            // Mix of high-bit diversity and duplicates.
+            let v = (i % 7_000) << 64 | (i * 13 + 5);
+            assert_eq!(sharded.intern_u128(v), flat.intern_u128(v), "at {i}");
+        }
+        assert_eq!(sharded.raw(), flat.raw());
+        assert_eq!(sharded.len(), flat.len());
+        for (id, addr) in flat.iter() {
+            assert_eq!(sharded.lookup(addr), Some(id));
+        }
+    }
+
+    #[test]
+    fn single_shard_config_degenerates_to_flat_behavior() {
+        let mut t = ShardedAddrTable::with_shards(1);
+        assert_eq!(t.shard_count(), 1);
+        let mut flat = AddrTable::new();
+        for i in 0..5_000u128 {
+            let v = i.wrapping_mul(0x9e37_79b9) | (i << 64);
+            assert_eq!(t.intern_u128(v), flat.intern_u128(v));
+        }
+        assert_eq!(t.raw(), flat.raw());
+        assert_eq!(t.shard_len(0), t.len());
+    }
+
+    #[test]
+    fn all_values_in_one_shard_still_correct() {
+        // Same high 64 bits → every value hashes to the same shard.
+        let mut t = ShardedAddrTable::with_shards(16);
+        let hi = 0x2001_0db8u128 << 96;
+        let ids: Vec<AddrId> = (0..10_000u128).map(|i| t.intern_u128(hi | i).0).collect();
+        let occupied: Vec<usize> = (0..t.shard_count())
+            .filter(|&i| t.shard_len(i) > 0)
+            .collect();
+        assert_eq!(occupied.len(), 1, "one shard should hold everything");
+        for (i, id) in ids.iter().enumerate() {
+            assert_eq!(id.index(), i);
+            assert_eq!(t.lookup_u128(hi | i as u128), Some(*id));
+        }
+    }
+
+    #[test]
+    fn empty_shards_are_harmless() {
+        let t = ShardedAddrTable::with_shards(32);
+        assert!(t.is_empty());
+        assert_eq!(t.lookup(a("::1")), None);
+        for i in 0..t.shard_count() {
+            assert_eq!(t.shard_len(i), 0);
+        }
+    }
+
+    #[test]
+    fn intern_batch_matches_serial_loop() {
+        let vals: Vec<u128> = (0..30_000u128)
+            .map(|i| ((i % 997) << 64) | ((i % 9_000) * 31))
+            .collect();
+        let mut serial = ShardedAddrTable::with_shards(8);
+        let serial_ids: Vec<AddrId> = vals.iter().map(|&v| serial.intern_u128(v).0).collect();
+        for threads in [1, 2, 4, 8] {
+            let mut batched = ShardedAddrTable::with_shards(8);
+            // Pre-seed a prefix serially so the batch also exercises
+            // "already resident" hits.
+            for &v in &vals[..1_000] {
+                batched.intern_u128(v);
+            }
+            let ids = batched.intern_batch(&vals, threads);
+            assert_eq!(ids, serial_ids, "threads={threads}");
+            assert_eq!(batched.raw(), serial.raw(), "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn with_capacity_preallocates() {
+        let mut t = ShardedAddrTable::with_capacity(10_000);
+        for i in 0..10_000u128 {
+            t.intern_u128((i << 64) | i);
+        }
+        assert_eq!(t.len(), 10_000);
+    }
+}

@@ -1,0 +1,111 @@
+//! The read/intern seam behind the interned address store.
+//!
+//! `ARCHITECTURE.md` pins the `AddrId` seam invariants: ids are dense,
+//! issued in insertion order, never reused or renumbered, and entry *i*
+//! of the raw column is the address behind id *i*. [`AddrStore`] is that
+//! contract as a trait — everything that only *reads* interned
+//! addresses (the APD planner, the alias filter, entropy fingerprints,
+//! sorted views, the snapshot writers) is generic over it, so the
+//! single-probe-index [`AddrTable`](crate::AddrTable) and the
+//! multi-core [`ShardedAddrTable`](crate::ShardedAddrTable) are
+//! interchangeable behind the same handle type.
+//!
+//! [`AddrIntern`] adds the write side (interning) plus construction,
+//! which is all the snapshot *readers* need to rebuild any backend from
+//! the persisted raw column.
+
+use crate::table::AddrId;
+use crate::{addr_to_u128, u128_to_addr};
+use std::net::Ipv6Addr;
+
+/// Read access to an interned address store.
+///
+/// Implementations must uphold the seam invariants: [`raw`](Self::raw)
+/// is the complete insertion-ordered column (entry *i* ↔ id *i*), and
+/// [`lookup_u128`](Self::lookup_u128) finds exactly the ids issued for
+/// previously interned values. Everything else is derived, so the
+/// provided methods are final in spirit: overriding them must not
+/// change observable behavior.
+pub trait AddrStore {
+    /// The raw address column, indexed by id: the store's entire
+    /// persistent state (probe indexes are derived and rebuilt on
+    /// load).
+    fn raw(&self) -> &[u128];
+
+    /// The id of an already-interned value, if any.
+    fn lookup_u128(&self, v: u128) -> Option<AddrId>;
+
+    /// Unique addresses interned.
+    fn len(&self) -> usize {
+        self.raw().len()
+    }
+
+    /// Is the store empty?
+    fn is_empty(&self) -> bool {
+        self.raw().is_empty()
+    }
+
+    /// The raw 128 bits behind an id.
+    ///
+    /// # Panics
+    /// Panics if `id` was not issued by this store.
+    fn bits(&self, id: AddrId) -> u128 {
+        self.raw()[id.index()]
+    }
+
+    /// The address behind an id.
+    ///
+    /// # Panics
+    /// Panics if `id` was not issued by this store.
+    fn addr(&self, id: AddrId) -> Ipv6Addr {
+        u128_to_addr(self.bits(id))
+    }
+
+    /// The id of an already-interned address, if any.
+    fn lookup(&self, a: Ipv6Addr) -> Option<AddrId> {
+        self.lookup_u128(addr_to_u128(a))
+    }
+
+    /// All `(id, address)` pairs in id (= insertion) order.
+    fn iter_pairs(&self) -> StoreIter<'_> {
+        StoreIter {
+            inner: self.raw().iter().enumerate(),
+        }
+    }
+}
+
+/// Iterator over a store's `(id, address)` pairs in id order
+/// (returned by [`AddrStore::iter_pairs`]).
+#[derive(Debug, Clone)]
+pub struct StoreIter<'a> {
+    inner: std::iter::Enumerate<std::slice::Iter<'a, u128>>,
+}
+
+impl Iterator for StoreIter<'_> {
+    type Item = (AddrId, Ipv6Addr);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        self.inner
+            .next()
+            .map(|(i, &v)| (AddrId::from_index(i), u128_to_addr(v)))
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        self.inner.size_hint()
+    }
+}
+
+impl ExactSizeIterator for StoreIter<'_> {}
+
+/// Write access: an [`AddrStore`] that can intern new values and be
+/// built from scratch — what the snapshot decoders need to rebuild any
+/// backend from a persisted raw column.
+pub trait AddrIntern: AddrStore + Sized {
+    /// Create a store sized for about `n` addresses up front.
+    fn with_store_capacity(n: usize) -> Self;
+
+    /// Intern raw address bits; returns `(id, newly_inserted)`. Ids are
+    /// issued densely in insertion order, identically across every
+    /// backend (the proptest oracle in `tests/proptests.rs` pins this).
+    fn intern_u128(&mut self, v: u128) -> (AddrId, bool);
+}

@@ -23,6 +23,7 @@
 //! in behind the same handle type.
 
 use crate::fanout::splitmix64;
+use crate::store::{AddrIntern, AddrStore};
 use crate::{addr_to_u128, u128_to_addr};
 use std::net::Ipv6Addr;
 
@@ -218,6 +219,26 @@ impl AddrTable {
     }
 }
 
+impl AddrStore for AddrTable {
+    fn raw(&self) -> &[u128] {
+        &self.addrs
+    }
+
+    fn lookup_u128(&self, v: u128) -> Option<AddrId> {
+        AddrTable::lookup_u128(self, v)
+    }
+}
+
+impl AddrIntern for AddrTable {
+    fn with_store_capacity(n: usize) -> Self {
+        AddrTable::with_capacity(n)
+    }
+
+    fn intern_u128(&mut self, v: u128) -> (AddrId, bool) {
+        AddrTable::intern_u128(self, v)
+    }
+}
+
 /// A columnar map from addresses to values, backed by its own interner:
 /// the replacement for per-day `HashMap<Ipv6Addr, V>` builds. Values
 /// live in one dense column parallel to the intern table, so iteration
@@ -257,11 +278,21 @@ impl<V> AddrMap<V> {
     /// The value for `a`, inserting `default` first if absent.
     #[inline]
     pub fn entry_or(&mut self, a: Ipv6Addr, default: V) -> &mut V {
+        self.entry_or_full(a, default).2
+    }
+
+    /// Like [`AddrMap::entry_or`], but also reports the entry's
+    /// map-local id and whether the address was newly inserted — what a
+    /// caller tracking a side column parallel to insertion order needs
+    /// (the scan battery's merge keeps the hitlist-id column of its
+    /// responsive map in sync this way).
+    #[inline]
+    pub fn entry_or_full(&mut self, a: Ipv6Addr, default: V) -> (AddrId, bool, &mut V) {
         let (id, new) = self.table.intern_u128(addr_to_u128(a));
         if new {
             self.vals.push(default);
         }
-        &mut self.vals[id.index()]
+        (id, new, &mut self.vals[id.index()])
     }
 
     /// Insert or overwrite the value for `a`; returns `true` when the

@@ -1,8 +1,8 @@
 //! Property-based tests for address primitives.
 
 use expanse_addr::{
-    addr_to_u128, fanout16, keyed_random_addr, nybbles, prefix::mask, u128_to_addr, AddrId,
-    AddrSet, AddrTable, Prefix, SortedView,
+    addr_to_u128, codec, fanout16, keyed_random_addr, nybbles, prefix::mask, u128_to_addr, AddrId,
+    AddrSet, AddrTable, Encoder, Prefix, ShardedAddrTable, SortedView,
 };
 use proptest::prelude::*;
 use std::collections::BTreeSet;
@@ -190,5 +190,82 @@ proptest! {
         for id in set.iter() {
             prop_assert!(p.contains(table.addr(id)));
         }
+    }
+
+    // ---- sharded backend ≡ flat backend oracle ----------------------
+
+    /// The sharded store is observationally identical to the flat
+    /// [`AddrTable`] for arbitrary insert/lookup interleavings: same
+    /// `(id, newly_inserted)` returns, same lookups (hits and misses),
+    /// same iteration order, and byte-identical codec output — at every
+    /// shard count, including the degenerate single-shard config.
+    #[test]
+    fn sharded_store_matches_flat_oracle(
+        ops in proptest::collection::vec((any::<u128>(), any::<bool>()), 0..300),
+        dups in proptest::collection::vec(0u128..48, 0..100),
+        shards in prop_oneof![Just(1usize), Just(2usize), Just(16usize), Just(64usize)],
+    ) {
+        let mut flat = AddrTable::new();
+        let mut sharded = ShardedAddrTable::with_shards(shards);
+        // `dups` draws from a tiny domain (heavy duplication) whose
+        // values all share high 64 bits = 0, so with any shard count
+        // they land in a single shard — the pathological-balance edge
+        // case rides along in every run.
+        let interleaved = ops.iter().copied().chain(dups.iter().map(|&v| (v, true)));
+        for (v, insert) in interleaved {
+            if insert {
+                prop_assert_eq!(flat.intern_u128(v), sharded.intern_u128(v));
+            } else {
+                prop_assert_eq!(flat.lookup_u128(v), sharded.lookup_u128(v));
+            }
+        }
+        prop_assert_eq!(flat.len(), sharded.len());
+        prop_assert_eq!(flat.raw(), sharded.raw(), "raw columns diverge");
+        let flat_iter: Vec<(AddrId, Ipv6Addr)> = flat.iter().collect();
+        let sharded_iter: Vec<(AddrId, Ipv6Addr)> = sharded.iter().collect();
+        prop_assert_eq!(flat_iter, sharded_iter, "iteration order diverges");
+
+        // Codec output is byte-identical across backends — and across
+        // thread counts of the parallel writer.
+        let mut flat_bytes = Vec::new();
+        codec::save_table(&mut flat_bytes, &flat).unwrap();
+        let mut sharded_bytes = Vec::new();
+        codec::save_table(&mut sharded_bytes, &sharded).unwrap();
+        prop_assert_eq!(&flat_bytes, &sharded_bytes, "codec bytes diverge");
+        for threads in [2usize, 8] {
+            let mut enc = Encoder::new(Vec::new(), b"PROPTEST", 1).unwrap();
+            codec::write_table_par(&mut enc, &sharded, threads).unwrap();
+            let par_bytes = enc.finish().unwrap();
+            let mut enc = Encoder::new(Vec::new(), b"PROPTEST", 1).unwrap();
+            codec::write_table(&mut enc, &flat).unwrap();
+            let ser_bytes = enc.finish().unwrap();
+            prop_assert_eq!(&par_bytes, &ser_bytes, "parallel write diverges at {} threads", threads);
+        }
+
+        // Reloading the sharded store's bytes through either backend
+        // reproduces the same ids.
+        let reloaded = codec::load_table(&sharded_bytes[..]).unwrap();
+        prop_assert_eq!(reloaded.raw(), sharded.raw());
+    }
+
+    /// Batch interning on the sharded store equals the serial
+    /// interleaved loop — same ids in input order, same final column —
+    /// for every thread count.
+    #[test]
+    fn sharded_intern_batch_matches_serial_oracle(
+        seed in proptest::collection::vec(any::<u128>(), 0..60),
+        batch in proptest::collection::vec(prop_oneof![any::<u128>(), 0u128..32], 0..300),
+        threads in prop_oneof![Just(1usize), Just(3usize), Just(8usize)],
+    ) {
+        let mut serial = ShardedAddrTable::new();
+        let mut batched = ShardedAddrTable::new();
+        for &v in &seed {
+            serial.intern_u128(v);
+            batched.intern_u128(v);
+        }
+        let expect: Vec<AddrId> = batch.iter().map(|&v| serial.intern_u128(v).0).collect();
+        let got = batched.intern_batch(&batch, threads);
+        prop_assert_eq!(got, expect, "batch ids diverge at {} threads", threads);
+        prop_assert_eq!(serial.raw(), batched.raw(), "batch column diverges");
     }
 }

@@ -9,7 +9,7 @@
 //! numbers can be tracked across PRs.
 
 use crate::ctx::{header, Ctx};
-use expanse_addr::{addr_to_u128, AddrId, AddrMap};
+use expanse_addr::{addr_to_u128, u128_to_addr, AddrId, AddrMap, ShardedAddrTable};
 use expanse_core::{Pipeline, PipelineConfig};
 use expanse_packet::ProtoSet;
 use std::collections::HashMap;
@@ -38,6 +38,10 @@ pub fn bench_pipeline(ctx: &mut Ctx) -> String {
     };
     let scale = format!("{:?}", ctx.scale).to_lowercase();
     let model_cfg = ctx.scale.model_config(ctx.seed);
+    let synth_n: usize = match ctx.scale {
+        crate::ctx::Scale::Small => 400_000,
+        _ => 1_000_000,
+    };
     let p = ctx.pipeline();
     // Warm the alias filter so the kept set is realistic, then freeze
     // one day's world: targets, battery result, responder set.
@@ -125,6 +129,72 @@ pub fn bench_pipeline(ctx: &mut Ctx) -> String {
         }
         day_pass.len()
     });
+
+    // ---- parallel fan-out: sharded intern + batched day pass ----------
+    // The model-scale day above sits far below the parallel-dispatch
+    // thresholds, so the fan-out win is measured on a synthetic
+    // hundreds-of-thousands-row column: batch interning into the
+    // sharded store (the merge's insert path) and the batched
+    // responsiveness column pass, single-thread vs the worker pool.
+    // Outputs are byte-identical by construction (the determinism
+    // suites pin that); this measures only the throughput ratio.
+    let fan_threads = expanse_addr::worker_threads().max(4);
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    // Deterministic pseudo-random addresses with ~25% duplicates, so
+    // the intern path sees both inserts and hits.
+    let sm = |i: u64| -> u128 {
+        let mut z = (i % (synth_n as u64 * 3 / 4)).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        ((z as u128) << 64) | (z ^ (z >> 31)) as u128
+    };
+    let synth: Vec<u128> = (0..synth_n as u64).map(sm).collect();
+    let fan_rounds = 3;
+    let intern_1_s = time(fan_rounds, || {
+        let mut t = ShardedAddrTable::with_capacity(synth.len());
+        t.intern_batch(&synth, 1);
+        t.len()
+    });
+    let intern_n_s = time(fan_rounds, || {
+        let mut t = ShardedAddrTable::with_capacity(synth.len());
+        t.intern_batch(&synth, fan_threads);
+        t.len()
+    });
+    let merge_par_1 = synth_n as f64 / intern_1_s.max(1e-9);
+    let merge_par_n = synth_n as f64 / intern_n_s.max(1e-9);
+    let merge_par_speedup = intern_1_s / intern_n_s.max(1e-12);
+
+    // Batched responsiveness pass over a synthetic hitlist of the same
+    // size. The pass re-marks the same day each round (idempotent), so
+    // the timed loops see identical work; a pre-mark outside the timed
+    // region takes the one-time column writes off the first round.
+    let mut big = expanse_core::Hitlist::new();
+    let synth_addrs: Vec<Ipv6Addr> = {
+        let mut uniq: Vec<u128> = synth.clone();
+        uniq.sort_unstable();
+        uniq.dedup();
+        uniq.into_iter().map(u128_to_addr).collect()
+    };
+    big.add_from(expanse_model::SourceId::Ct, &synth_addrs, 0);
+    let day_pass_big: Vec<(AddrId, ProtoSet)> = (0..big.table().len())
+        .map(|i| {
+            (
+                AddrId::from_index(i),
+                ProtoSet::only(expanse_packet::Protocol::Icmp),
+            )
+        })
+        .collect();
+    big.mark_responsive_batch(7, &day_pass_big, 1);
+    let mark_1_s = time(fan_rounds, || {
+        big.mark_responsive_batch(7, &day_pass_big, 1)
+    });
+    let mark_n_s = time(fan_rounds, || {
+        big.mark_responsive_batch(7, &day_pass_big, fan_threads)
+    });
+    let resp_par_1 = day_pass_big.len() as f64 / mark_1_s.max(1e-9);
+    let resp_par_n = day_pass_big.len() as f64 / mark_n_s.max(1e-9);
+    let resp_par_speedup = mark_1_s / mark_n_s.max(1e-12);
+    let num_shards = big.table().shard_count();
 
     // ---- APD plan off the interned store ------------------------------
     let plan_s = time(rounds.min(5), || {
@@ -227,6 +297,14 @@ pub fn bench_pipeline(ctx: &mut Ctx) -> String {
         resp_hash_s / resp_col_s.max(1e-12),
     ));
     out.push_str(&format!(
+        "merge par intern  {:>12.0} addr/s @1t  {:>12.0} addr/s @{}t  ({:.2}x, {} shards, {} cores)\n",
+        merge_par_1, merge_par_n, fan_threads, merge_par_speedup, num_shards, cores,
+    ));
+    out.push_str(&format!(
+        "respond par batch {:>12.0} addr/s @1t  {:>12.0} addr/s @{}t  ({:.2}x)\n",
+        resp_par_1, resp_par_n, fan_threads, resp_par_speedup,
+    ));
+    out.push_str(&format!(
         "apd plan          {plan_addrs_per_s:>12.0} addr/s\n"
     ));
     out.push_str(&format!(
@@ -244,10 +322,17 @@ pub fn bench_pipeline(ctx: &mut Ctx) -> String {
     ));
 
     let json = format!(
-        "{{\n  \"schema\": 4,\n  \"scale\": \"{scale}\",\n  \"hitlist\": {hitlist_len},\n  \
+        "{{\n  \"schema\": 5,\n  \"scale\": \"{scale}\",\n  \"hitlist\": {hitlist_len},\n  \
+         \"threads\": {fan_threads},\n  \"cores\": {cores},\n  \"num_shards\": {num_shards},\n  \
          \"kept_targets\": {},\n  \"responders\": {},\n  \"battery\": {{ \"addr_probes_per_s\": {:.1} }},\n  \
-         \"merge\": {{ \"hashmap_addrs_per_s\": {:.1}, \"columnar_addrs_per_s\": {:.1} }},\n  \
-         \"responsiveness\": {{ \"hashmap_addrs_per_s\": {:.1}, \"columnar_addrs_per_s\": {:.1} }},\n  \
+         \"merge\": {{ \"hashmap_addrs_per_s\": {:.1}, \"columnar_addrs_per_s\": {:.1}, \
+         \"parallel_intern_addrs_per_s_1t\": {merge_par_1:.1}, \
+         \"parallel_intern_addrs_per_s_nt\": {merge_par_n:.1}, \
+         \"parallel_speedup\": {merge_par_speedup:.2} }},\n  \
+         \"responsiveness\": {{ \"hashmap_addrs_per_s\": {:.1}, \"columnar_addrs_per_s\": {:.1}, \
+         \"parallel_batch_addrs_per_s_1t\": {resp_par_1:.1}, \
+         \"parallel_batch_addrs_per_s_nt\": {resp_par_n:.1}, \
+         \"parallel_speedup\": {resp_par_speedup:.2} }},\n  \
          \"apd_plan\": {{ \"addrs_per_s\": {:.1} }},\n  \
          \"snapshot\": {{ \"bytes\": {snapshot_bytes}, \"save_mb_per_s\": {:.1}, \"resume_s\": {:.4} }},\n  \
          \"journal\": {{ \"delta_days\": {DELTA_DAYS}, \"delta_bytes_per_day\": {:.1}, \

@@ -130,10 +130,7 @@ pub fn bench_serve(ctx: &mut Ctx) -> String {
     let reqs = workload(&view, queries);
     let stream: Vec<u8> = reqs.iter().flat_map(encode_request).collect();
     let registry = SnapshotRegistry::new(view);
-    let threads = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
-        .min(8);
+    let threads = expanse_addr::worker_threads().min(8);
     let serve_rounds = rounds.min(3);
     let t1 = time(serve_rounds, || {
         expanse_serve::serve_stream(&registry, &stream, 1).expect("serve 1-thread")

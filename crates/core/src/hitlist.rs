@@ -8,7 +8,9 @@
 //! # Representation
 //!
 //! The hitlist is a struct-of-arrays over an interned address store:
-//! one [`AddrTable`] assigns every unique address a dense [`AddrId`],
+//! one [`ShardedAddrTable`] assigns every unique address a dense
+//! [`AddrId`] (sharded probe index, single global column — ids are
+//! identical to the flat `AddrTable`'s, see `ARCHITECTURE.md`),
 //! and provenance/responsiveness live in parallel columns indexed by
 //! that id (instead of the seed's three `HashMap<u128, …>` plus a
 //! shadow `order: Vec<Ipv6Addr>`). Ids are stable for the lifetime of
@@ -17,7 +19,8 @@
 //! days, and every daily pass is a sequential column walk.
 
 use expanse_addr::codec::{self, CodecError, Decoder, Encoder};
-use expanse_addr::{AddrId, AddrSet, AddrTable};
+use expanse_addr::par::par_chunk_bytes;
+use expanse_addr::{AddrId, AddrSet, ShardedAddrTable};
 use expanse_model::SourceId;
 use expanse_packet::ProtoSet;
 use std::io::{Read, Write};
@@ -62,7 +65,7 @@ const NEVER: u16 = u16::MAX;
 #[derive(Debug, Clone, Copy)]
 pub struct HitlistColumns<'a> {
     /// The interner (id ↔ address).
-    pub table: &'a AddrTable,
+    pub table: &'a ShardedAddrTable,
     /// Source bitmask per row.
     pub sources: &'a [SourceMask],
     /// First contributing source per row.
@@ -111,7 +114,7 @@ fn get_protos<R: Read>(dec: &mut Decoder<R>) -> Result<ProtoSet, CodecError> {
 #[derive(Debug, Clone, Default)]
 pub struct Hitlist {
     /// The interner: id ↔ address.
-    table: AddrTable,
+    table: ShardedAddrTable,
     /// Id → sources that contributed the address.
     sources: Vec<SourceMask>,
     /// Id → first source that contributed it (for "new IPs").
@@ -232,7 +235,7 @@ impl Hitlist {
 
     /// The backing interner. Ids issued by it are valid for the
     /// hitlist's lifetime (expired rows keep their id, tombstoned).
-    pub fn table(&self) -> &AddrTable {
+    pub fn table(&self) -> &ShardedAddrTable {
         &self.table
     }
 
@@ -320,6 +323,77 @@ impl Hitlist {
                 self.touch(id.index(), DIRTY_LAST);
             }
         }
+    }
+
+    /// [`Hitlist::mark_responsive_id`] over a whole day's sorted pass,
+    /// fanned out over up to `threads` workers. `pass` must be strictly
+    /// ascending by id (the pipeline's day pass is); each worker owns a
+    /// contiguous id range and the matching disjoint column sub-slices,
+    /// applying exactly the per-row semantics of
+    /// [`Hitlist::mark_responsive_id`] — so the resulting columns and
+    /// dirty bits are identical to the serial loop for every thread
+    /// count.
+    pub fn mark_responsive_batch(&mut self, day: u16, pass: &[(AddrId, ProtoSet)], threads: usize) {
+        debug_assert!(day < NEVER, "day saturates the sentinel");
+        debug_assert!(
+            pass.windows(2).all(|w| w[0].0 < w[1].0),
+            "day pass must be strictly ascending by id"
+        );
+        let n = pass.len();
+        let threads = threads.clamp(1, n.max(1));
+        if threads == 1 || n < 4096 {
+            for &(id, protos) in pass {
+                self.mark_responsive_id(id, day, protos);
+            }
+            return;
+        }
+        let chunk = n.div_ceil(threads);
+        let synced = self.synced_rows;
+        let mut last = self.last_responsive.as_mut_slice();
+        let mut protos_col = self.protos.as_mut_slice();
+        let mut dirty = self.dirty.as_mut_slice();
+        // Column offset already handed to earlier workers; the dirty
+        // column is shorter (it only covers pre-sync rows), so its
+        // cursor saturates at its own length.
+        let mut base = 0usize;
+        let mut dbase = 0usize;
+        std::thread::scope(|s| {
+            for piece in pass.chunks(chunk) {
+                let hi = piece.last().expect("chunks are non-empty").0.index() + 1;
+                let (l_head, l_rest) = std::mem::take(&mut last).split_at_mut(hi - base);
+                last = l_rest;
+                let (p_head, p_rest) = std::mem::take(&mut protos_col).split_at_mut(hi - base);
+                protos_col = p_rest;
+                let dhi = hi.min(synced);
+                let (d_head, d_rest) = std::mem::take(&mut dirty).split_at_mut(dhi - dbase);
+                dirty = d_rest;
+                let lo = base;
+                base = hi;
+                dbase = dhi;
+                s.spawn(move || {
+                    for &(id, protos) in piece {
+                        let i = id.index() - lo;
+                        let e = &mut l_head[i];
+                        if *e == NEVER || *e < day {
+                            *e = day;
+                            p_head[i] = protos;
+                            if i < d_head.len() {
+                                d_head[i] |= DIRTY_LAST;
+                            }
+                        } else if *e == day {
+                            let p = &mut p_head[i];
+                            let widened = p.union(protos);
+                            if widened != *p {
+                                *p = widened;
+                                if i < d_head.len() {
+                                    d_head[i] |= DIRTY_LAST;
+                                }
+                            }
+                        }
+                    }
+                });
+            }
+        });
     }
 
     /// Last day `addr` answered, if ever.
@@ -440,14 +514,16 @@ impl Hitlist {
     }
 
     /// One row's mutable columns, shared by the appended and rewritten
-    /// sections of a delta record.
-    fn encode_row<W: Write>(&self, enc: &mut Encoder<W>, i: usize) -> Result<(), CodecError> {
-        enc.put_u16(self.sources[i].0)?;
-        put_source(enc, self.first_source[i])?;
-        enc.put_u16(self.last_responsive[i])?;
-        enc.put_u8(self.protos[i].0)?;
-        enc.put_u16(self.added_day[i])?;
-        enc.put_bool(self.alive[i])
+    /// sections of a delta record. Writes straight bytes (mirroring the
+    /// encoder's little-endian primitives) so row chunks can be encoded
+    /// on workers and fed to the checksummed encoder in order.
+    fn encode_row_bytes(&self, i: usize, buf: &mut Vec<u8>) {
+        buf.extend_from_slice(&self.sources[i].0.to_le_bytes());
+        buf.push(self.first_source[i] as u8);
+        buf.extend_from_slice(&self.last_responsive[i].to_le_bytes());
+        buf.push(self.protos[i].0);
+        buf.extend_from_slice(&self.added_day[i].to_le_bytes());
+        buf.push(u8::from(self.alive[i]));
     }
 
     /// Decode one row's mutable columns written by
@@ -486,20 +562,46 @@ impl Hitlist {
     /// Ids never move, so this is the complete difference between the
     /// sync-point state and now.
     pub fn encode_delta<W: Write>(&self, enc: &mut Encoder<W>) -> Result<(), CodecError> {
-        codec::write_table_suffix(enc, &self.table, self.synced_rows)?;
-        for i in self.synced_rows..self.table.len() {
-            self.encode_row(enc, i)?;
+        self.encode_delta_par(enc, 1)
+    }
+
+    /// [`Hitlist::encode_delta`] with the record's sections produced on
+    /// up to `threads` workers. Contiguous row chunks are serialized to
+    /// buffers concurrently and fed through the (checksummed) encoder in
+    /// chunk order, so the journal bytes are identical to the serial
+    /// encode for every thread count.
+    pub fn encode_delta_par<W: Write>(
+        &self,
+        enc: &mut Encoder<W>,
+        threads: usize,
+    ) -> Result<(), CodecError> {
+        codec::write_table_suffix_par(enc, &self.table, self.synced_rows, threads)?;
+        let appended: Vec<usize> = (self.synced_rows..self.table.len()).collect();
+        for buf in par_chunk_bytes(&appended, threads, |c, buf| {
+            for &i in c {
+                self.encode_row_bytes(i, buf);
+            }
+        }) {
+            enc.put_bytes(&buf)?;
         }
         let rewritten = self.dirty_run(needs_rewrite);
         codec::write_set(enc, &rewritten)?;
-        for id in rewritten.iter() {
-            self.encode_row(enc, id.index())?;
+        for buf in par_chunk_bytes(rewritten.as_slice(), threads, |c, buf| {
+            for id in c {
+                self.encode_row_bytes(id.index(), buf);
+            }
+        }) {
+            enc.put_bytes(&buf)?;
         }
         let last_writes = self.dirty_run(needs_last_write);
         codec::write_set(enc, &last_writes)?;
-        for id in last_writes.iter() {
-            enc.put_u16(self.last_responsive[id.index()])?;
-            enc.put_u8(self.protos[id.index()].0)?;
+        for buf in par_chunk_bytes(last_writes.as_slice(), threads, |c, buf| {
+            for id in c {
+                buf.extend_from_slice(&self.last_responsive[id.index()].to_le_bytes());
+                buf.push(self.protos[id.index()].0);
+            }
+        }) {
+            enc.put_bytes(&buf)?;
         }
         codec::write_set(enc, &self.dirty_run(needs_tombstone))?;
         Ok(())
@@ -564,24 +666,61 @@ impl Hitlist {
     /// provenance/responsiveness column and the expiry tombstones —
     /// into an open snapshot envelope.
     pub fn encode<W: Write>(&self, enc: &mut Encoder<W>) -> Result<(), CodecError> {
-        codec::write_table(enc, &self.table)?;
-        for m in &self.sources {
-            enc.put_u16(m.0)?;
+        self.encode_par(enc, 1)
+    }
+
+    /// [`Hitlist::encode`] with the interner column and every
+    /// per-row column serialized on up to `threads` workers. Chunk
+    /// buffers are fed through the checksummed encoder in order, so the
+    /// snapshot bytes are identical to the serial encode for every
+    /// thread count (`docs/SNAPSHOT_FORMAT.md` §6).
+    pub fn encode_par<W: Write>(
+        &self,
+        enc: &mut Encoder<W>,
+        threads: usize,
+    ) -> Result<(), CodecError> {
+        codec::write_table_par(enc, &self.table, threads)?;
+        for buf in par_chunk_bytes(&self.sources, threads, |c, buf| {
+            for m in c {
+                buf.extend_from_slice(&m.0.to_le_bytes());
+            }
+        }) {
+            enc.put_bytes(&buf)?;
         }
-        for &s in &self.first_source {
-            put_source(enc, s)?;
+        for buf in par_chunk_bytes(&self.first_source, threads, |c, buf| {
+            for &s in c {
+                buf.push(s as u8);
+            }
+        }) {
+            enc.put_bytes(&buf)?;
         }
-        for &d in &self.last_responsive {
-            enc.put_u16(d)?;
+        for buf in par_chunk_bytes(&self.last_responsive, threads, |c, buf| {
+            for d in c {
+                buf.extend_from_slice(&d.to_le_bytes());
+            }
+        }) {
+            enc.put_bytes(&buf)?;
         }
-        for &p in &self.protos {
-            enc.put_u8(p.0)?;
+        for buf in par_chunk_bytes(&self.protos, threads, |c, buf| {
+            for p in c {
+                buf.push(p.0);
+            }
+        }) {
+            enc.put_bytes(&buf)?;
         }
-        for &d in &self.added_day {
-            enc.put_u16(d)?;
+        for buf in par_chunk_bytes(&self.added_day, threads, |c, buf| {
+            for d in c {
+                buf.extend_from_slice(&d.to_le_bytes());
+            }
+        }) {
+            enc.put_bytes(&buf)?;
         }
-        for &a in &self.alive {
-            enc.put_bool(a)?;
+        for buf in par_chunk_bytes(&self.alive, threads, |c, buf| {
+            for &a in c {
+                buf.push(u8::from(a));
+            }
+        }) {
+            enc.put_bytes(&buf)?;
         }
         Ok(())
     }
@@ -590,7 +729,7 @@ impl Hitlist {
     /// exactly as issued before the save (tombstoned rows included), so
     /// id-keyed state in the ledger and pipeline stays valid.
     pub fn decode<R: Read>(dec: &mut Decoder<R>) -> Result<Hitlist, CodecError> {
-        let table = codec::read_table(dec)?;
+        let table = codec::read_table::<_, ShardedAddrTable>(dec)?;
         let n = table.len();
         let hint = Decoder::<R>::reserve_hint(n);
         let mut sources = Vec::with_capacity(hint);

@@ -101,6 +101,22 @@ impl Ledger {
     /// by id (the pipeline resolves the battery's responsive map into
     /// hitlist-id space once per day).
     pub fn record_day(&mut self, day: u16, responsive: &[(AddrId, ProtoSet)], hitlist: &Hitlist) {
+        self.record_day_threads(day, responsive, hitlist, 1);
+    }
+
+    /// [`Ledger::record_day`] with the per-row work — baseline
+    /// establishment filters and the survival merge-joins — fanned out
+    /// over up to `threads` workers. Rows are independent of each other;
+    /// values are computed in parallel and pushed in [`Fig8Row::all`]
+    /// order, so the ledger state (and its snapshot bytes) are identical
+    /// to the serial pass for every thread count.
+    pub fn record_day_threads(
+        &mut self,
+        day: u16,
+        responsive: &[(AddrId, ProtoSet)],
+        hitlist: &Hitlist,
+        threads: usize,
+    ) {
         debug_assert!(
             responsive.windows(2).all(|w| w[0].0 < w[1].0),
             "daily pass must be sorted by id"
@@ -119,8 +135,10 @@ impl Ledger {
         }
         if self.baselines.is_empty() && !responsive.is_empty() {
             // Establish baselines on the first non-empty recorded day
-            // (after any APD warmup the pipeline ran).
-            for row in Fig8Row::all() {
+            // (after any APD warmup the pipeline ran). Rows filter the
+            // day pass independently, so they fan out per worker.
+            let rows = Fig8Row::all();
+            let sets = expanse_addr::par::par_map_coarse(&rows, threads, |row| {
                 let ids: Vec<AddrId> = responsive
                     .iter()
                     .filter(|(id, protos)| {
@@ -128,8 +146,9 @@ impl Ledger {
                     })
                     .map(|(id, _)| *id)
                     .collect();
-                self.baselines.push((row, AddrSet::from_sorted(ids)));
-            }
+                AddrSet::from_sorted(ids)
+            });
+            self.baselines = rows.into_iter().zip(sets).collect();
         }
         if self.baselines.is_empty() {
             // Pre-baseline (all-quiet) day: keep every series aligned
@@ -138,28 +157,34 @@ impl Ledger {
                 self.survival.entry(row).or_default().push(f64::NAN);
             }
         }
-        for (row, baseline) in &self.baselines {
-            let alive = if baseline.is_empty() {
-                f64::NAN
-            } else {
-                let mut n = 0usize;
-                let base = baseline.as_slice();
-                let (mut i, mut j) = (0usize, 0usize);
-                while i < base.len() && j < responsive.len() {
-                    match base[i].cmp(&responsive[j].0) {
-                        std::cmp::Ordering::Less => i += 1,
-                        std::cmp::Ordering::Greater => j += 1,
-                        std::cmp::Ordering::Equal => {
-                            if row.counts(responsive[j].1) {
-                                n += 1;
+        // One merge-join per row against the sorted day pass; rows are
+        // independent, so the joins run on workers and the results are
+        // appended in row order afterwards.
+        let alive =
+            expanse_addr::par::par_map_coarse(&self.baselines, threads, |(row, baseline)| {
+                if baseline.is_empty() {
+                    f64::NAN
+                } else {
+                    let mut n = 0usize;
+                    let base = baseline.as_slice();
+                    let (mut i, mut j) = (0usize, 0usize);
+                    while i < base.len() && j < responsive.len() {
+                        match base[i].cmp(&responsive[j].0) {
+                            std::cmp::Ordering::Less => i += 1,
+                            std::cmp::Ordering::Greater => j += 1,
+                            std::cmp::Ordering::Equal => {
+                                if row.counts(responsive[j].1) {
+                                    n += 1;
+                                }
+                                i += 1;
+                                j += 1;
                             }
-                            i += 1;
-                            j += 1;
                         }
                     }
+                    n as f64 / baseline.len() as f64
                 }
-                n as f64 / baseline.len() as f64
-            };
+            });
+        for ((row, _), alive) in self.baselines.iter().zip(alive) {
             self.survival.entry(*row).or_default().push(alive);
         }
         self.days_recorded += 1;

@@ -296,27 +296,29 @@ impl Pipeline {
         self.hitlist.add_from(SourceId::Scamper, &routers, day);
 
         // ---- responsiveness battery ----------------------------------
+        // Responders resolve to hitlist ids *during* the merge (battery
+        // targets are live members, so every responder resolves), so
+        // the day pass below is a zip instead of a per-responder hash
+        // lookup.
         let battery = standard_battery();
-        let mut multi: MultiScanResult = self.scanner.scan_battery(&kept, &battery);
+        let threads = expanse_addr::worker_threads();
+        let hl = &self.hitlist;
+        let mut multi: MultiScanResult =
+            self.scanner
+                .scan_battery_resolved(&kept, &battery, &mut |a| {
+                    hl.id_of(a).expect("responder not in hitlist")
+                });
         probes += multi.total_sent();
         let battery_digest = multi.digest();
 
         // ---- ledger: one dense id pass over the day's responders -----
-        // Battery targets are live hitlist members, so every responder
-        // resolves; sorted by id for the ledger's merge-joins.
-        let mut day_pass: Vec<(AddrId, ProtoSet)> = multi
-            .responsive
-            .iter()
-            .map(|(a, protos)| {
-                let id = self.hitlist.id_of(a).expect("responder not in hitlist");
-                (id, *protos)
-            })
-            .collect();
-        day_pass.sort_unstable_by_key(|(id, _)| *id);
-        self.ledger.record_day(day, &day_pass, &self.hitlist);
-        for &(id, protos) in &day_pass {
-            self.hitlist.mark_responsive_id(id, day, protos);
-        }
+        // Sorted by id for the ledger's merge-joins; ids are distinct
+        // (one per responder), so the parallel sort is deterministic.
+        let mut day_pass: Vec<(AddrId, ProtoSet)> = multi.resolved_pairs().collect();
+        expanse_addr::par::par_sort_by_key(&mut day_pass, threads, |&(id, _)| id);
+        self.ledger
+            .record_day_threads(day, &day_pass, &self.hitlist, threads);
+        self.hitlist.mark_responsive_batch(day, &day_pass, threads);
 
         // ---- retention: expire long-unresponsive members -------------
         // Runs after today's responses are recorded, so an address that
@@ -383,7 +385,8 @@ impl Pipeline {
         for &p in &self.hot_prefixes {
             codec::write_prefix(&mut enc, p)?;
         }
-        self.hitlist.encode(&mut enc)?;
+        self.hitlist
+            .encode_par(&mut enc, expanse_addr::worker_threads())?;
         self.ledger.encode(&mut enc)?;
         self.apd.encode(&mut enc)?;
         enc.finish()?;
@@ -434,7 +437,8 @@ impl Pipeline {
                 codec::write_prefix(&mut enc, p)?;
             }
         }
-        self.hitlist.encode_delta(&mut enc)?;
+        self.hitlist
+            .encode_delta_par(&mut enc, expanse_addr::worker_threads())?;
         self.ledger.encode_delta(&mut enc)?;
         self.apd.encode_delta(&mut enc)?;
         enc.finish()?;

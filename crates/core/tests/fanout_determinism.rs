@@ -63,3 +63,50 @@ fn digest_is_seed_sensitive() {
     let (snap_b, _) = other.run_day_full();
     assert_ne!(snap_a.battery_digest, snap_b.battery_digest);
 }
+
+/// The sharded fan-out walks — snapshot encode, delta encode, the
+/// batched responsiveness pass, the ledger's per-row joins — are
+/// byte-identical across worker counts. This is the in-binary guard
+/// (serial vs N-thread within one process); the CI multi-thread lane
+/// additionally reruns the whole suite under `EXPANSE_THREADS` 1/2/8.
+#[test]
+fn parallel_walks_match_serial_bytes() {
+    let mut p = pipeline_with(true);
+    let snap = p.run_day_full().0;
+    assert!(!snap.responsive.is_empty(), "someone must answer");
+
+    // Full snapshot encode: serial vs fanned-out, same envelope bytes.
+    let encode_at = |p: &mut Pipeline, threads: usize| -> Vec<u8> {
+        let mut enc = expanse_addr::Encoder::new(Vec::new(), b"FANGUARD", 1).expect("enc");
+        p.hitlist.encode_par(&mut enc, threads).expect("encode");
+        enc.finish().expect("finish")
+    };
+    let serial = encode_at(&mut p, 1);
+    for threads in [2usize, 3, 8] {
+        assert_eq!(
+            serial,
+            encode_at(&mut p, threads),
+            "snapshot encode drifted at {threads} threads"
+        );
+    }
+
+    // Delta encode after another day of mutations.
+    let mut base = Vec::new();
+    p.save_full(&mut base).expect("save_full");
+    p.run_day();
+    let delta_at = |p: &Pipeline, threads: usize| -> Vec<u8> {
+        let mut enc = expanse_addr::Encoder::new(Vec::new(), b"FANGUARD", 1).expect("enc");
+        p.hitlist
+            .encode_delta_par(&mut enc, threads)
+            .expect("delta");
+        enc.finish().expect("finish")
+    };
+    let serial_delta = delta_at(&p, 1);
+    for threads in [2usize, 8] {
+        assert_eq!(
+            serial_delta,
+            delta_at(&p, threads),
+            "delta encode drifted at {threads} threads"
+        );
+    }
+}

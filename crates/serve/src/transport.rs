@@ -26,7 +26,7 @@
 //!   [`AdmissionControl`], wired per request.
 //! - **Graceful drain**: [`Server::begin_drain`] stops admitting new
 //!   connections (each is answered with one
-//!   [`ERR_SHUTTING_DOWN`](crate::protocol::ERR_SHUTTING_DOWN) frame
+//!   [`ERR_SHUTTING_DOWN`] frame
 //!   and closed) while existing connections finish everything already
 //!   in flight against their pinned epochs; [`Server::drain`] then
 //!   waits for them, force-closing stragglers only at the grace

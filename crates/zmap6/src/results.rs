@@ -1,7 +1,7 @@
 //! Scan result containers.
 
 use crate::module::ReplyKind;
-use expanse_addr::AddrMap;
+use expanse_addr::{AddrId, AddrMap};
 use expanse_netsim::Time;
 use expanse_packet::{ProtoSet, Protocol};
 use std::collections::HashMap;
@@ -113,7 +113,7 @@ impl ScanResult {
 }
 
 /// Merged results across protocols (the §6 battery).
-#[derive(Debug, Clone, Default, PartialEq)]
+#[derive(Debug, Clone, Default)]
 pub struct MultiScanResult {
     /// Per-protocol scan results.
     pub by_protocol: HashMap<Protocol, ScanResult>,
@@ -123,18 +123,70 @@ pub struct MultiScanResult {
     /// content-based, so executors that merge in different orders still
     /// compare equal.
     pub responsive: AddrMap<ProtoSet>,
+    /// Caller-domain ids of the responsive addresses, parallel to
+    /// `responsive`'s insertion order: entry *i* is the resolved id of
+    /// the *i*-th distinct responder. Filled only by
+    /// [`MultiScanResult::merge_resolved`] (the pipeline resolves
+    /// against its hitlist during the merge itself, instead of a
+    /// per-responder hash lookup afterwards); stays empty under plain
+    /// [`MultiScanResult::merge`]. Excluded from equality — it mirrors
+    /// `responsive`'s keys through an external table, adding no
+    /// information of its own.
+    pub responsive_ids: Vec<AddrId>,
 }
 
 impl MultiScanResult {
     /// Fold one protocol scan in.
     pub fn merge(&mut self, r: ScanResult) {
+        self.merge_impl(r, None);
+    }
+
+    /// [`MultiScanResult::merge`], resolving each *newly* responsive
+    /// address to a caller-domain id (pushed onto
+    /// [`MultiScanResult::responsive_ids`] in `responsive` insertion
+    /// order). Mixing resolved and plain merges on one result would
+    /// desync the two columns, so don't.
+    pub fn merge_resolved(&mut self, r: ScanResult, resolve: &mut dyn FnMut(Ipv6Addr) -> AddrId) {
+        self.merge_impl(r, Some(resolve));
+    }
+
+    fn merge_impl(
+        &mut self,
+        r: ScanResult,
+        mut resolve: Option<&mut dyn FnMut(Ipv6Addr) -> AddrId>,
+    ) {
         for reply in r.replies.values() {
             if reply.kind.is_positive() {
-                let e = self.responsive.entry_or(reply.target, ProtoSet::EMPTY);
+                let (_, new, e) = self.responsive.entry_or_full(reply.target, ProtoSet::EMPTY);
                 *e = e.with(r.protocol);
+                if new {
+                    if let Some(resolve) = resolve.as_deref_mut() {
+                        self.responsive_ids.push(resolve(reply.target));
+                    }
+                }
             }
         }
         self.by_protocol.insert(r.protocol, r);
+    }
+
+    /// The day's `(id, protocols)` pairs in `responsive` insertion
+    /// order, zipping the resolved id column against the protocol-set
+    /// column.
+    ///
+    /// # Panics
+    /// Panics if the result was not built with
+    /// [`MultiScanResult::merge_resolved`] throughout (the columns must
+    /// be parallel).
+    pub fn resolved_pairs(&self) -> impl Iterator<Item = (AddrId, ProtoSet)> + '_ {
+        assert_eq!(
+            self.responsive_ids.len(),
+            self.responsive.len(),
+            "responsive_ids out of step with the responsive map"
+        );
+        self.responsive_ids
+            .iter()
+            .copied()
+            .zip(self.responsive.values().copied())
     }
 
     /// Addresses answering at least one protocol.
@@ -203,6 +255,17 @@ impl MultiScanResult {
             h.eat(&[self.responsive.get(a).expect("sorted key present").0]);
         }
         h.0
+    }
+}
+
+/// Equality ignores [`MultiScanResult::responsive_ids`]: the id column
+/// mirrors `responsive`'s keys through an external table, and merge
+/// order (which is hash-map driven inside each protocol) may permute it
+/// without changing the content the digest and the determinism guards
+/// compare.
+impl PartialEq for MultiScanResult {
+    fn eq(&self, other: &Self) -> bool {
+        self.by_protocol == other.by_protocol && self.responsive == other.responsive
     }
 }
 

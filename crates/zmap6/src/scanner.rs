@@ -266,6 +266,27 @@ impl<N: SnapshotNetwork + Sync> Scanner<N> {
         }
     }
 
+    /// [`Scanner::scan_battery`], resolving each responsive address to a
+    /// caller-domain id *during* the merge (see
+    /// [`MultiScanResult::merge_resolved`]) — the pipeline passes its
+    /// hitlist lookup here instead of re-hashing every responder after
+    /// the battery returns. Executor choice follows `cfg.fanout.parallel`
+    /// exactly as in [`Scanner::scan_battery`]; the resolver only runs
+    /// on the serial merge fold, so it needs no synchronization.
+    pub fn scan_battery_resolved(
+        &mut self,
+        targets: &[Ipv6Addr],
+        modules: &[Box<dyn ProbeModule>],
+        resolve: &mut dyn FnMut(Ipv6Addr) -> expanse_addr::AddrId,
+    ) -> MultiScanResult {
+        let cells = if self.cfg.fanout.parallel {
+            self.battery_cells_parallel(targets, modules)
+        } else {
+            self.battery_cells_serial(targets, modules)
+        };
+        self.merge_battery(modules, cells, Some(resolve))
+    }
+
     /// The battery grid, walked by one thread. Reference executor for
     /// determinism checks and single-core baselines.
     pub fn scan_battery_serial(
@@ -273,6 +294,16 @@ impl<N: SnapshotNetwork + Sync> Scanner<N> {
         targets: &[Ipv6Addr],
         modules: &[Box<dyn ProbeModule>],
     ) -> MultiScanResult {
+        let cells = self.battery_cells_serial(targets, modules);
+        self.merge_battery(modules, cells, None)
+    }
+
+    /// One-thread executor for the battery grid's cells.
+    fn battery_cells_serial(
+        &mut self,
+        targets: &[Ipv6Addr],
+        modules: &[Box<dyn ProbeModule>],
+    ) -> Vec<Option<(ScanResult, Time)>> {
         let grid = self.battery_grid(modules.len());
         let mut cells: Vec<Option<(ScanResult, Time)>> = Vec::with_capacity(grid.len());
         for &(m, job, jobs) in &grid {
@@ -287,10 +318,11 @@ impl<N: SnapshotNetwork + Sync> Scanner<N> {
                 jobs,
             )));
         }
-        self.merge_battery(modules, cells)
+        cells
     }
 
-    /// The battery grid, walked by a worker pool sized to the machine.
+    /// The battery grid, walked by a worker pool sized by
+    /// [`expanse_addr::worker_threads`] (the `EXPANSE_THREADS` knob).
     /// Each worker claims cells off a shared counter; every cell clones
     /// the network snapshot, so execution order cannot influence results.
     pub fn scan_battery_parallel(
@@ -298,16 +330,22 @@ impl<N: SnapshotNetwork + Sync> Scanner<N> {
         targets: &[Ipv6Addr],
         modules: &[Box<dyn ProbeModule>],
     ) -> MultiScanResult {
+        let cells = self.battery_cells_parallel(targets, modules);
+        self.merge_battery(modules, cells, None)
+    }
+
+    /// Worker-pool executor for the battery grid's cells.
+    fn battery_cells_parallel(
+        &mut self,
+        targets: &[Ipv6Addr],
+        modules: &[Box<dyn ProbeModule>],
+    ) -> Vec<Option<(ScanResult, Time)>> {
         let grid = self.battery_grid(modules.len());
-        let workers = std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(1)
-            .min(grid.len())
-            .max(1);
+        let workers = expanse_addr::worker_threads().min(grid.len()).max(1);
         if workers == 1 {
             // One worker = the serial walk, minus thread/Mutex overhead;
             // results are identical by construction.
-            return self.scan_battery_serial(targets, modules);
+            return self.battery_cells_serial(targets, modules);
         }
         let cells: Vec<Mutex<Option<(ScanResult, Time)>>> =
             grid.iter().map(|_| Mutex::new(None)).collect();
@@ -334,11 +372,10 @@ impl<N: SnapshotNetwork + Sync> Scanner<N> {
                 });
             }
         });
-        let cells = cells
+        cells
             .into_iter()
             .map(|c| c.into_inner().expect("cell lock"))
-            .collect();
-        self.merge_battery(modules, cells)
+            .collect()
     }
 
     /// The fixed work grid: `(module index, sub-shard, total shards)`
@@ -367,6 +404,7 @@ impl<N: SnapshotNetwork + Sync> Scanner<N> {
         &mut self,
         modules: &[Box<dyn ProbeModule>],
         cells: Vec<Option<(ScanResult, Time)>>,
+        mut resolve: Option<&mut dyn FnMut(Ipv6Addr) -> expanse_addr::AddrId>,
     ) -> MultiScanResult {
         let per = self.cfg.fanout.shards_per_protocol.max(1) as usize;
         let mut multi = MultiScanResult::default();
@@ -385,7 +423,10 @@ impl<N: SnapshotNetwork + Sync> Scanner<N> {
                 merged.absorb_shard(part);
                 end = end.max(cell_end);
             }
-            multi.merge(merged);
+            match resolve.as_deref_mut() {
+                Some(resolve) => multi.merge_resolved(merged, resolve),
+                None => multi.merge(merged),
+            }
         }
         self.clock = end;
         multi
