@@ -1,3 +1,6 @@
+// Decode crate: untrusted bytes flow through `codec`, so short-circuit
+// panics are audited. Tests keep their ergonomic unwraps.
+#![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
 //! IPv6 address, nybble, and prefix primitives for the `expanse` toolkit.
 //!
 //! This crate is the bedrock of the workspace: every other crate speaks in

@@ -13,6 +13,11 @@
 //! change *when* work happens, never *what* is produced. Each helper
 //! documents the property its determinism rests on.
 
+// The expects below propagate worker panics to the caller (`join()`
+// only fails if a worker panicked) or assert merge-loop invariants —
+// there is no error to recover from, so the audit exempts this module.
+#![cfg_attr(not(test), allow(clippy::expect_used))]
+
 use std::thread;
 
 /// Parallel fan-out below this many items costs more in thread spawns

@@ -124,6 +124,8 @@ impl Prefix {
     /// Panics if the resulting length exceeds 128 or `index` does not fit
     /// in `extra_bits` bits.
     pub fn subprefix(&self, extra_bits: u8, index: u128) -> Prefix {
+        // Documented panic (see `# Panics` above), not a decode-path risk.
+        #[allow(clippy::expect_used)]
         let new_len = self.len.checked_add(extra_bits).expect("length overflow");
         assert!(new_len <= 128, "subprefix length {new_len} out of range");
         if extra_bits < 128 {

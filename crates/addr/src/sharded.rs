@@ -323,6 +323,7 @@ impl ShardedAddrTable {
         let shard_ids: Vec<u8> = crate::par::par_map(vals, threads, |&v| self.shard_of(v) as u8);
         let run = self.shards.len().div_ceil(threads);
         let mut plans: Vec<ShardPlan> = Vec::with_capacity(self.shards.len());
+        // check: allow(thread, shard-owned workers; plans are merged in fixed shard order, so output is thread-count-independent)
         std::thread::scope(|s| {
             let handles: Vec<_> = (0..self.shards.len())
                 .step_by(run)
@@ -361,6 +362,8 @@ impl ShardedAddrTable {
                 })
                 .collect();
             for h in handles {
+                // join() only fails on worker panic; propagate it.
+                #[allow(clippy::expect_used)]
                 plans.extend(h.join().expect("intern_batch worker panicked"));
             }
         });
@@ -388,6 +391,8 @@ impl ShardedAddrTable {
                     best = Some(si);
                 }
             }
+            // The loop runs exactly total_new times, so a cursor remains.
+            #[allow(clippy::expect_used)]
             let si = best.expect("merge cursors exhausted early");
             let (_, v) = plans[si].news[cursors[si]];
             let id = self.addrs.len() as u32;
@@ -404,6 +409,7 @@ impl ShardedAddrTable {
         let out_cells: Vec<AtomicU32> = (0..vals.len()).map(|_| AtomicU32::new(EMPTY)).collect();
         {
             let addrs = &self.addrs;
+            // check: allow(thread, each worker owns disjoint shards and writes disjoint atomic cells; result order is positional)
             std::thread::scope(|s| {
                 for ((shards, plans), ids_run) in self
                     .shards

@@ -1,0 +1,176 @@
+//! The committed findings baseline: grandfathered diagnostics that are
+//! suppressed (and counted) rather than fixed, so the gate can be ratcheted
+//! — the stale count going positive means code improved and the baseline
+//! must shrink to match; new findings are never silently absorbed.
+//!
+//! Format: one entry per line, `lint<TAB>file<TAB>count<TAB>key`, where
+//! `key` is the trimmed source line the finding anchors to (so entries
+//! survive edits that only shift line numbers). `#` lines are comments.
+
+use crate::Finding;
+use std::collections::BTreeMap;
+
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Baseline {
+    /// `(lint, file, key)` → grandfathered occurrence count.
+    entries: BTreeMap<(String, String, String), u32>,
+}
+
+/// Outcome of matching a scan against the baseline.
+#[derive(Debug, Default)]
+pub struct Applied {
+    /// Findings not covered by the baseline — the gate fails on these.
+    pub new: Vec<Finding>,
+    /// Findings absorbed by a baseline entry.
+    pub baselined: usize,
+    /// Baseline occurrences actually consumed.
+    pub matched: usize,
+    /// Baseline occurrences no longer present in the tree: the code got
+    /// better, ratchet the baseline down (`--write-baseline`).
+    pub stale: usize,
+}
+
+impl Baseline {
+    pub fn from_findings(findings: &[Finding]) -> Self {
+        let mut entries = BTreeMap::new();
+        for f in findings {
+            *entries
+                .entry((f.lint.to_string(), f.file.clone(), f.key.clone()))
+                .or_insert(0) += 1;
+        }
+        Baseline { entries }
+    }
+
+    pub fn parse(text: &str) -> Result<Self, String> {
+        let mut entries = BTreeMap::new();
+        for (i, line) in text.lines().enumerate() {
+            // Strip only the CR of a CRLF ending: an empty key leaves a
+            // trailing TAB that a broader trim would destroy.
+            let line = line.strip_suffix('\r').unwrap_or(line);
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let mut parts = line.splitn(4, '\t');
+            let (Some(lint), Some(file), Some(count), Some(key)) =
+                (parts.next(), parts.next(), parts.next(), parts.next())
+            else {
+                return Err(format!(
+                    "baseline line {}: expected 4 tab-separated fields",
+                    i + 1
+                ));
+            };
+            let count: u32 = count
+                .parse()
+                .map_err(|_| format!("baseline line {}: bad count `{count}`", i + 1))?;
+            if count == 0 {
+                return Err(format!("baseline line {}: zero count", i + 1));
+            }
+            *entries
+                .entry((lint.to_string(), file.to_string(), key.to_string()))
+                .or_insert(0) += count;
+        }
+        Ok(Baseline { entries })
+    }
+
+    pub fn serialize(&self) -> String {
+        let mut out = String::from(
+            "# expanse-check baseline: grandfathered findings, one `lint<TAB>file<TAB>count<TAB>key` per line.\n\
+             # Regenerate with `cargo run -p expanse-check -- --write-baseline`; it may only ever shrink.\n",
+        );
+        for ((lint, file, key), count) in &self.entries {
+            out.push_str(&format!("{lint}\t{file}\t{count}\t{key}\n"));
+        }
+        out
+    }
+
+    /// The grandfathered `(lint, file, key) → count` map.
+    pub fn entries(&self) -> &BTreeMap<(String, String, String), u32> {
+        &self.entries
+    }
+
+    pub fn len(&self) -> usize {
+        self.entries.values().map(|&c| c as usize).sum()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Split `findings` into baselined and new, consuming entry counts.
+    pub fn apply(&self, findings: Vec<Finding>) -> Applied {
+        let mut remaining = self.entries.clone();
+        let mut out = Applied::default();
+        for f in findings {
+            let k = (f.lint.to_string(), f.file.clone(), f.key.clone());
+            match remaining.get_mut(&k) {
+                Some(c) if *c > 0 => {
+                    *c -= 1;
+                    out.baselined += 1;
+                    out.matched += 1;
+                }
+                _ => out.new.push(f),
+            }
+        }
+        out.stale = remaining.values().map(|&c| c as usize).sum();
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Severity;
+
+    fn finding(lint: &'static str, file: &str, key: &str) -> Finding {
+        Finding {
+            lint,
+            file: file.to_string(),
+            line: 1,
+            severity: Severity::Deny,
+            message: "m".to_string(),
+            key: key.to_string(),
+        }
+    }
+
+    #[test]
+    fn apply_consumes_counts_and_reports_stale() {
+        let grandfathered = vec![
+            finding("panic", "a.rs", "x.unwrap();"),
+            finding("panic", "a.rs", "x.unwrap();"),
+            finding("hashmap", "b.rs", "use std::collections::HashMap;"),
+        ];
+        let base = Baseline::from_findings(&grandfathered);
+        assert_eq!(base.len(), 3);
+
+        // One unwrap fixed, one new index finding appeared.
+        let now = vec![
+            finding("panic", "a.rs", "x.unwrap();"),
+            finding("hashmap", "b.rs", "use std::collections::HashMap;"),
+            finding("index", "c.rs", "v[0]"),
+        ];
+        let applied = base.apply(now);
+        assert_eq!(applied.baselined, 2);
+        assert_eq!(applied.stale, 1);
+        assert_eq!(applied.new.len(), 1);
+        assert_eq!(applied.new[0].lint, "index");
+    }
+
+    #[test]
+    fn parse_rejects_malformed() {
+        assert!(Baseline::parse("panic\tonly-two-fields\t1").is_err());
+        assert!(Baseline::parse("panic\tf.rs\tzero\tkey").is_err());
+        assert!(Baseline::parse("panic\tf.rs\t0\tkey").is_err());
+        assert!(Baseline::parse("# comment\n\n").unwrap().is_empty());
+    }
+
+    #[test]
+    fn serialize_parse_round_trip() {
+        let base = Baseline::from_findings(&[
+            finding("panic", "a.rs", "x.unwrap();"),
+            finding("panic", "a.rs", "x.unwrap();"),
+            finding("time", "t.rs", "Instant::now()"),
+        ]);
+        let reparsed = Baseline::parse(&base.serialize()).unwrap();
+        assert_eq!(base, reparsed);
+    }
+}

@@ -1,0 +1,181 @@
+//! Human and machine-readable output: a `file:line: [lint/severity]`
+//! listing plus `CHECK_report.json` (hand-rolled JSON; the linter keeps the
+//! workspace's no-external-deps constraint and vendored serde is not worth
+//! wiring in for one flat document).
+
+use crate::baseline::Applied;
+use crate::{Analysis, Finding, Severity};
+use std::collections::BTreeMap;
+
+pub struct Report {
+    pub files_scanned: usize,
+    /// All findings before baseline application.
+    pub total: usize,
+    /// Findings suppressed by used allow annotations.
+    pub allowed: usize,
+    pub baselined: usize,
+    pub new: Vec<Finding>,
+    pub baseline_entries: usize,
+    pub baseline_matched: usize,
+    pub baseline_stale: usize,
+}
+
+impl Report {
+    pub fn build(analysis: &Analysis, applied: Applied, baseline_entries: usize) -> Report {
+        Report {
+            files_scanned: analysis.files_scanned,
+            total: analysis.findings.len(),
+            allowed: analysis.allowed,
+            baselined: applied.baselined,
+            new: applied.new,
+            baseline_entries,
+            baseline_matched: applied.matched,
+            baseline_stale: applied.stale,
+        }
+    }
+
+    pub fn new_deny(&self) -> usize {
+        self.new
+            .iter()
+            .filter(|f| f.severity == Severity::Deny)
+            .count()
+    }
+
+    pub fn per_lint(&self) -> BTreeMap<&'static str, usize> {
+        let mut map = BTreeMap::new();
+        for f in &self.new {
+            *map.entry(f.lint).or_insert(0) += 1;
+        }
+        map
+    }
+
+    pub fn human(&self) -> String {
+        let mut out = String::new();
+        for f in &self.new {
+            out.push_str(&format!("{f}\n"));
+        }
+        if !self.new.is_empty() {
+            out.push('\n');
+        }
+        out.push_str(&format!(
+            "expanse-check: {} files scanned, {} findings ({} allowed by annotation, \
+             {} baselined, {} new)\n",
+            self.files_scanned,
+            self.total + self.allowed,
+            self.allowed,
+            self.baselined,
+            self.new.len(),
+        ));
+        out.push_str(&format!(
+            "baseline: {} entries, {} matched, {} stale\n",
+            self.baseline_entries, self.baseline_matched, self.baseline_stale,
+        ));
+        if self.baseline_stale > 0 {
+            out.push_str(
+                "stale baseline entries: the tree improved — regenerate with --write-baseline\n",
+            );
+        }
+        out
+    }
+
+    pub fn json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        out.push_str("  \"schema\": 1,\n");
+        out.push_str(&format!("  \"files_scanned\": {},\n", self.files_scanned));
+        out.push_str(&format!(
+            "  \"findings_total\": {},\n",
+            self.total + self.allowed
+        ));
+        out.push_str(&format!("  \"allowed\": {},\n", self.allowed));
+        out.push_str(&format!("  \"baselined\": {},\n", self.baselined));
+        out.push_str(&format!("  \"new_total\": {},\n", self.new.len()));
+        out.push_str(&format!("  \"new_deny\": {},\n", self.new_deny()));
+        out.push_str(&format!(
+            "  \"baseline\": {{ \"entries\": {}, \"matched\": {}, \"stale\": {} }},\n",
+            self.baseline_entries, self.baseline_matched, self.baseline_stale
+        ));
+        out.push_str("  \"per_lint\": {");
+        let per_lint = self.per_lint();
+        let mut first = true;
+        for (lint, n) in &per_lint {
+            if !first {
+                out.push_str(", ");
+            }
+            first = false;
+            out.push_str(&format!("\"{lint}\": {n}"));
+        }
+        out.push_str("},\n");
+        out.push_str("  \"new\": [\n");
+        for (i, f) in self.new.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{ \"lint\": {}, \"file\": {}, \"line\": {}, \"severity\": {}, \"message\": {} }}{}\n",
+                json_str(f.lint),
+                json_str(&f.file),
+                f.line,
+                json_str(f.severity.as_str()),
+                json_str(&f.message),
+                if i + 1 == self.new.len() { "" } else { "," }
+            ));
+        }
+        out.push_str("  ]\n");
+        out.push_str("}\n");
+        out
+    }
+}
+
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_escaping() {
+        assert_eq!(json_str("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+    }
+
+    #[test]
+    fn report_shapes() {
+        let f = Finding {
+            lint: "panic",
+            file: "a.rs".to_string(),
+            line: 3,
+            severity: Severity::Deny,
+            message: "`x.unwrap()` found".to_string(),
+            key: "x.unwrap();".to_string(),
+        };
+        let report = Report {
+            files_scanned: 2,
+            total: 1,
+            allowed: 1,
+            baselined: 0,
+            new: vec![f],
+            baseline_entries: 0,
+            baseline_matched: 0,
+            baseline_stale: 0,
+        };
+        let json = report.json();
+        assert!(json.contains("\"new_total\": 1"));
+        assert!(json.contains("\"new_deny\": 1"));
+        assert!(json.contains("\"per_lint\": {\"panic\": 1}"));
+        let human = report.human();
+        assert!(human.contains("a.rs:3: [panic/deny]"));
+    }
+}

@@ -1,0 +1,64 @@
+//! Property: a baseline built from any finding set survives
+//! serialize → parse byte-for-byte in meaning — the reloaded baseline
+//! absorbs exactly the findings the original was built from, with zero
+//! new and zero stale.
+
+use expanse_check::baseline::Baseline;
+use expanse_check::{Finding, Severity};
+use proptest::prelude::*;
+
+const LINTS: [&str; 4] = ["panic", "index", "hashmap", "time"];
+
+// Keys are trimmed source lines: printable, tab-free. '#' and tricky
+// punctuation stress the parser.
+const KEY_CHARS: &[u8] = b"abcXYZ09_#()[]{}.:;=<>!& ";
+
+fn arb_key() -> impl Strategy<Value = String> {
+    proptest::collection::vec(0usize..KEY_CHARS.len(), 0..40)
+        .prop_map(|ix| ix.into_iter().map(|i| KEY_CHARS[i] as char).collect())
+}
+
+fn arb_finding() -> impl Strategy<Value = Finding> {
+    (0usize..LINTS.len(), 0usize..6, 1usize..500, arb_key()).prop_map(|(lint, file, line, key)| {
+        Finding {
+            lint: LINTS[lint],
+            file: format!("crates/f{file}/src/lib.rs"),
+            line,
+            severity: Severity::Deny,
+            message: "fixture".to_string(),
+            key: key.trim().to_string(),
+        }
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn serialize_parse_roundtrip(findings in proptest::collection::vec(arb_finding(), 0..40)) {
+        let baseline = Baseline::from_findings(&findings);
+        let text = baseline.serialize();
+        let reloaded = Baseline::parse(&text)
+            .expect("serialized baseline must always parse");
+        prop_assert_eq!(&baseline, &reloaded);
+
+        // Semantic round-trip: the generating findings are fully
+        // absorbed — nothing new, nothing stale, every entry consumed.
+        let applied = reloaded.apply(findings.clone());
+        prop_assert_eq!(applied.new.len(), 0);
+        prop_assert_eq!(applied.stale, 0);
+        prop_assert_eq!(applied.baselined, findings.len());
+        prop_assert_eq!(applied.matched, findings.len());
+    }
+
+    #[test]
+    fn serialization_is_canonical(findings in proptest::collection::vec(arb_finding(), 0..40)) {
+        // Entry order in the input must not affect the committed bytes:
+        // the file is diff-stable under re-generation.
+        let forward = Baseline::from_findings(&findings).serialize();
+        let mut reversed = findings;
+        reversed.reverse();
+        let backward = Baseline::from_findings(&reversed).serialize();
+        prop_assert_eq!(forward, backward);
+    }
+}

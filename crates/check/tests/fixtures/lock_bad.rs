@@ -1,0 +1,30 @@
+// Fixture: lock-order inversion and blocking I/O under a held guard.
+// The fixture policy ranks `.a.lock(` before `.b.lock(`.
+
+pub fn inverted(s: &S) {
+    let b = s.b.lock().unwrap();
+    let a = s.a.lock().unwrap();
+    drop(a);
+    drop(b);
+}
+
+pub fn ordered(s: &S) {
+    let a = s.a.lock().unwrap();
+    let b = s.b.lock().unwrap();
+    drop(b);
+    drop(a);
+}
+
+pub fn io_under_lock(s: &S, conn: &mut C) {
+    let a = s.a.lock().unwrap();
+    conn.write(&[1, 2, 3]);
+    drop(a);
+}
+
+pub fn io_after_release(s: &S, conn: &mut C) {
+    {
+        let a = s.a.lock().unwrap();
+        let _ = a.len();
+    }
+    conn.write(&[1, 2, 3]);
+}

@@ -1,0 +1,19 @@
+// Fixture: the same panic sites, each justified with an allow
+// annotation — plus one unused allow and one malformed allow.
+
+pub fn decode(bytes: &[u8]) -> u8 {
+    // check: allow(panic, fixture demonstrates a justified unwrap)
+    let first = bytes.first().unwrap();
+    let second = bytes[1]; // check: allow(index, length asserted by caller)
+    *first + second
+}
+
+// check: allow(panic, nothing on the next code line panics)
+pub fn quiet() -> u8 {
+    7
+}
+
+pub fn broken(bytes: &[u8]) -> u8 {
+    // check: allow(frobnicate, no such lint exists)
+    bytes[0]
+}

@@ -1,0 +1,28 @@
+// Fixture: a decode surface with every class of short-circuit panic.
+// Not compiled and not walked by the linter (it lives outside src/).
+
+pub fn decode(bytes: &[u8]) -> u32 {
+    let first = bytes.first().unwrap();
+    let second: u8 = bytes[1];
+    if *first > 10 {
+        panic!("bad frame");
+    }
+    let tail: &[u8] = bytes.get(2..).expect("short frame");
+    match tail.len() {
+        0 => unreachable!(),
+        1 => todo!(),
+        2 => unimplemented!(),
+        _ => u32::from(second),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    // Test code is exempt: these must NOT be reported.
+    #[test]
+    fn t() {
+        let v: Vec<u8> = vec![1];
+        assert_eq!(*v.first().unwrap(), 1);
+        let _ = v[0];
+    }
+}

@@ -357,8 +357,11 @@ impl Hitlist {
         // cursor saturates at its own length.
         let mut base = 0usize;
         let mut dbase = 0usize;
+        // check: allow(thread, workers write disjoint pre-split column slices; digest equality across thread counts is pinned by tests)
         std::thread::scope(|s| {
             for piece in pass.chunks(chunk) {
+                // chunks() never yields an empty slice.
+                #[allow(clippy::expect_used)]
                 let hi = piece.last().expect("chunks are non-empty").0.index() + 1;
                 let (l_head, l_rest) = std::mem::take(&mut last).split_at_mut(hi - base);
                 last = l_rest;

@@ -236,7 +236,10 @@ impl<S: JournalStore> Journal<S> {
             store,
             policy,
             base_bytes: replay.base_bytes,
-            delta_bytes: replay.journal_bytes - replay.base_bytes,
+            // A replay never reports fewer journal bytes than base bytes,
+            // but this counter only drives the compaction heuristic —
+            // saturate rather than trusting that across refactors.
+            delta_bytes: replay.journal_bytes.saturating_sub(replay.base_bytes),
             poisoned: false,
         };
         if replay.torn_tail {
@@ -363,6 +366,45 @@ mod tests {
         assert_eq!(q.day(), p.day());
         q.run_day();
         j2.record(&mut q).unwrap();
+    }
+
+    #[test]
+    fn reopen_resumes_byte_accounting_from_replay_boundaries() {
+        // Regression for the delta counter on reopen: a base-only log
+        // reopens with zero delta bytes (journal == base, the
+        // subtraction saturates instead of trusting the invariant), and
+        // a log with appended deltas reopens with exactly their sum, so
+        // the compaction policy picks up where the old process left off.
+        let mut p = tiny();
+        p.run_day();
+        let j = Journal::create(Vec::new(), JournalPolicy::default(), &mut p).unwrap();
+        let cfg = p.cfg.clone();
+        let (j2, mut q, _) = Journal::open(
+            j.into_store(),
+            JournalPolicy::default(),
+            ModelConfig::tiny(99),
+            cfg,
+        )
+        .unwrap();
+        assert_eq!(j2.delta_bytes(), 0, "base-only log has no delta bytes");
+
+        let mut j2 = j2;
+        q.run_day();
+        let rec = j2.record(&mut q).unwrap();
+        let JournalRecord::Appended { bytes } = rec else {
+            panic!("small delta should append, not compact: {rec:?}");
+        };
+        let cfg = q.cfg.clone();
+        let (j3, _, replay) = Journal::open(
+            j2.into_store(),
+            JournalPolicy::default(),
+            ModelConfig::tiny(99),
+            cfg,
+        )
+        .unwrap();
+        assert!(!replay.torn_tail);
+        assert_eq!(j3.delta_bytes(), bytes);
+        assert_eq!(replay.journal_bytes - replay.base_bytes, bytes);
     }
 
     #[test]

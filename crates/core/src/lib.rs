@@ -1,3 +1,6 @@
+// Decode crate: journal replay and pipeline resume parse on-disk bytes,
+// so short-circuit panics are audited. Tests keep their ergonomic unwraps.
+#![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
 //! `expanse-core`: the IPv6 hitlist pipeline — the paper's measurement
 //! system end to end.
 //!

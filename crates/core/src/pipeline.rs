@@ -306,7 +306,10 @@ impl Pipeline {
         let mut multi: MultiScanResult =
             self.scanner
                 .scan_battery_resolved(&kept, &battery, &mut |a| {
-                    hl.id_of(a).expect("responder not in hitlist")
+                    // Scan targets were drawn from the hitlist above.
+                    #[allow(clippy::expect_used)]
+                    let id = hl.id_of(a).expect("responder not in hitlist");
+                    id
                 });
         probes += multi.total_sent();
         let battery_digest = multi.digest();
@@ -730,6 +733,7 @@ enum ReadOutcome {
 fn read_or_eof<R: Read>(r: &mut R, buf: &mut [u8]) -> Result<ReadOutcome, CodecError> {
     let mut filled = 0;
     while filled < buf.len() {
+        // check: allow(index, loop guard keeps filled < buf.len(); slices a local buffer, not untrusted input)
         match r.read(&mut buf[filled..]) {
             Ok(0) => {
                 return Ok(if filled == 0 {

@@ -166,9 +166,11 @@ impl ResponseCache {
             if oldest >= epoch {
                 return;
             }
-            let map = inner.epochs.remove(&oldest).expect("just observed");
+            let Some(map) = inner.epochs.remove(&oldest) else {
+                break;
+            };
             let freed: usize = map.iter().map(|(k, v)| k.len() + v.len()).sum();
-            inner.bytes -= freed;
+            inner.bytes = inner.bytes.saturating_sub(freed);
             self.evicted.fetch_add(map.len() as u64, Ordering::Relaxed);
         }
         let slot = inner.epochs.entry(epoch).or_default();
@@ -189,9 +191,11 @@ impl ResponseCache {
             if oldest >= min_keep {
                 break;
             }
-            let map = inner.epochs.remove(&oldest).expect("just observed");
+            let Some(map) = inner.epochs.remove(&oldest) else {
+                break;
+            };
             let freed: usize = map.iter().map(|(k, v)| k.len() + v.len()).sum();
-            inner.bytes -= freed;
+            inner.bytes = inner.bytes.saturating_sub(freed);
             self.retired.fetch_add(map.len() as u64, Ordering::Relaxed);
         }
     }
@@ -260,6 +264,25 @@ mod tests {
         assert!(c.get(3, &[3; 8]).is_some());
         assert_eq!(c.stats().evicted, 1);
         assert!(c.bytes() <= 64);
+    }
+
+    #[test]
+    fn eviction_keeps_byte_accounting_exact() {
+        // Regression: eviction and retirement free exactly the bytes
+        // they remove (saturating, never underflowing), so the budget
+        // stays usable after the map has been fully drained.
+        let c = cache(64, 10);
+        c.put(1, vec![1; 8], &[0; 24]); // 32 bytes
+        c.put(1, vec![1; 8], &[9; 24]); // same key: replaced, not re-counted
+        assert_eq!(c.bytes(), 32);
+        c.put(2, vec![2; 8], &[0; 24]); // 64 — at budget
+        c.put(3, vec![3; 8], &[0; 24]); // evicts epoch 1 entirely
+        assert_eq!(c.bytes(), 64);
+        c.on_publish(20); // retires every epoch
+        assert_eq!(c.bytes(), 0);
+        c.put(20, b"k".to_vec(), b"v");
+        assert_eq!(c.bytes(), 2);
+        assert!(c.get(20, b"k").is_some());
     }
 
     #[test]

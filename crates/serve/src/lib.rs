@@ -1,3 +1,6 @@
+// Decode crate: the wire protocol parses untrusted frames, so
+// short-circuit panics are audited. Tests keep their ergonomic unwraps.
+#![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
 //! `expanse-serve`: the hitlist **serving layer** — a concurrent query
 //! engine over immutable, epoch-swapped snapshot views.
 //!

@@ -255,10 +255,10 @@ pub fn split_frames(stream: &[u8]) -> Result<Vec<&[u8]>, CodecError> {
     let mut frames = Vec::new();
     let mut at = 0usize;
     while at < stream.len() {
-        let Some(lenb) = stream.get(at..at + 4) else {
+        let Some((lenb, _)) = stream.get(at..).and_then(|s| s.split_first_chunk::<4>()) else {
             return Err(CodecError::Corrupt("frame stream torn inside a length"));
         };
-        let len = u32::from_le_bytes(lenb.try_into().expect("4-byte slice")) as usize;
+        let len = u32::from_le_bytes(*lenb) as usize;
         if len > MAX_FRAME_LEN as usize {
             return Err(CodecError::Corrupt("implausible frame length"));
         }
@@ -384,6 +384,8 @@ fn get_addrs<R: std::io::Read>(dec: &mut Decoder<R>) -> Result<Vec<Ipv6Addr>, Co
 
 /// Encode a request into one framed byte vector (outer length prefix
 /// included).
+// Encoding into a Vec is infallible; the expects document that.
+#[allow(clippy::expect_used)]
 pub fn encode_request(req: &Request) -> Vec<u8> {
     let mut envelope = Vec::new();
     let mut enc = Encoder::new(&mut envelope, &REQUEST_MAGIC, PROTOCOL_VERSION)
@@ -482,6 +484,8 @@ fn get_record<R: std::io::Read>(dec: &mut Decoder<R>) -> Result<WireRecord, Code
 }
 
 /// Encode a response into one framed byte vector.
+// Encoding into a Vec is infallible; the expects document that.
+#[allow(clippy::expect_used)]
 pub fn encode_response(resp: &Response) -> Vec<u8> {
     let mut envelope = Vec::new();
     let mut enc = Encoder::new(&mut envelope, &RESPONSE_MAGIC, PROTOCOL_VERSION)

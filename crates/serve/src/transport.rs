@@ -167,22 +167,29 @@ impl FrameAssembler {
 
     /// The next complete envelope, if one is buffered.
     pub fn next_frame(&mut self) -> Result<Option<Vec<u8>>, OversizedFrame> {
-        let avail = &self.buf[self.at..];
-        let Some(lenb) = avail.get(..4) else {
+        let avail = self.buf.get(self.at..).unwrap_or_default();
+        let Some(&[l0, l1, l2, l3]) = avail.first_chunk::<4>() else {
             return Ok(None);
         };
-        let len = u32::from_le_bytes(lenb.try_into().expect("4-byte slice"));
+        let len = u32::from_le_bytes([l0, l1, l2, l3]);
         if len > self.max_frame_len {
             return Err(OversizedFrame {
                 len,
                 max: self.max_frame_len,
             });
         }
-        let Some(envelope) = avail.get(4..4 + len as usize) else {
+        // `4 + len` can only exceed `usize` under a near-word-limit
+        // `max_frame_len` on a 32-bit target; such a frame can never
+        // complete, so report it as still-assembling and let the read
+        // deadline close the connection.
+        let Some(end) = usize::try_from(len).ok().and_then(|l| l.checked_add(4)) else {
+            return Ok(None);
+        };
+        let Some(envelope) = avail.get(4..end) else {
             return Ok(None);
         };
         let frame = envelope.to_vec();
-        self.at += 4 + len as usize;
+        self.at += end;
         Ok(Some(frame))
     }
 
@@ -1071,6 +1078,39 @@ mod tests {
         assert_eq!(err.len, u32::MAX);
         assert_eq!(err.max, 1024);
         assert!(asm.buffered() < 8, "length was not allocated");
+    }
+
+    #[test]
+    fn assembler_resumes_after_partial_length_and_partial_body() {
+        // Regression: the length prefix may straddle pushes, and a
+        // complete prefix with a torn body must leave the buffer
+        // untouched so a later push completes the frame.
+        let mut asm = FrameAssembler::new(1024);
+        asm.push(&[3, 0]);
+        assert!(asm.next_frame().unwrap().is_none());
+        asm.push(&[0, 0, 9]);
+        assert!(asm.next_frame().unwrap().is_none());
+        assert_eq!(asm.buffered(), 5);
+        asm.push(&[8, 7]);
+        assert_eq!(asm.next_frame().unwrap().unwrap(), vec![9, 8, 7]);
+        assert_eq!(asm.buffered(), 0);
+    }
+
+    #[test]
+    fn assembler_yields_zero_length_frame_at_exact_boundary() {
+        let mut asm = FrameAssembler::new(1024);
+        asm.push(&0u32.to_le_bytes());
+        assert_eq!(asm.next_frame().unwrap().unwrap(), Vec::<u8>::new());
+        assert!(asm.next_frame().unwrap().is_none());
+        assert!(!asm.mid_frame());
+    }
+
+    #[test]
+    fn assembler_accepts_frame_exactly_at_the_ceiling() {
+        let mut asm = FrameAssembler::new(8);
+        asm.push(&8u32.to_le_bytes());
+        asm.push(&[1, 2, 3, 4, 5, 6, 7, 8]);
+        assert_eq!(asm.next_frame().unwrap().unwrap().len(), 8);
     }
 
     #[test]

@@ -351,6 +351,7 @@ impl<N: SnapshotNetwork + Sync> Scanner<N> {
             grid.iter().map(|_| Mutex::new(None)).collect();
         let next = AtomicUsize::new(0);
         let this: &Scanner<N> = self;
+        // check: allow(thread, results land in per-cell slots indexed by grid position; collection order is deterministic)
         std::thread::scope(|s| {
             for _ in 0..workers {
                 s.spawn(|| loop {
