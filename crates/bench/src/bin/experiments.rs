@@ -80,6 +80,7 @@ fn main() {
                 "fig7",
                 "bench-pipeline",
                 "bench-serve",
+                "bench-scenarios",
             ]
             .iter()
             .map(|s| s.to_string()),

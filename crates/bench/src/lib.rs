@@ -20,6 +20,7 @@ pub mod exp_generation;
 pub mod exp_pipeline;
 pub mod exp_probing;
 pub mod exp_rdns_crowd;
+pub mod exp_scenarios;
 pub mod exp_serve;
 pub mod exp_serve_load;
 pub mod exp_sources;
@@ -61,6 +62,7 @@ pub const ALL_EXPERIMENTS: &[&str] = &[
     "bench-pipeline",
     "bench-serve",
     "bench-serve-load",
+    "bench-scenarios",
 ];
 
 /// Run one experiment by id; returns the rendered report.
@@ -99,6 +101,7 @@ pub fn run(id: &str, ctx: &mut Ctx) -> Option<String> {
         "bench-pipeline" => exp_pipeline::bench_pipeline(ctx),
         "bench-serve" => exp_serve::bench_serve(ctx),
         "bench-serve-load" => exp_serve_load::bench_serve_load(ctx),
+        "bench-scenarios" => exp_scenarios::bench_scenarios(ctx),
         _ => return None,
     };
     Some(out)

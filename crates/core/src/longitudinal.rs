@@ -69,13 +69,17 @@ impl Fig8Row {
 /// The responsiveness ledger.
 #[derive(Debug, Clone, Default)]
 pub struct Ledger {
-    /// Baseline id set per row, in [`Fig8Row::all`] order. Established
-    /// on the first *non-empty* recorded day: a smoke-scale day with
-    /// zero responders must not pin every row to an empty baseline (and
-    /// a permanent NaN series) forever.
+    /// Baseline id set per row, in [`Fig8Row::all`] order, populated on
+    /// the first recorded day. An **empty** set means the row has not
+    /// established its baseline yet: establishment is per row, on the
+    /// first recorded day that row's filtered responders are non-empty.
+    /// A single all-rows-at-once establishment day would pin any row
+    /// whose protocol happened to be starved that day (QUIC flapped
+    /// off, ICMP throttled) to a permanently empty baseline and a NaN
+    /// series forever — the Fig 8 analogue of the PR 3 empty-day bug.
     baselines: Vec<(Fig8Row, AddrSet)>,
     /// Per day, per row: surviving fraction of the baseline (`NaN`
-    /// before the baseline day and for empty baselines).
+    /// before the row's baseline day).
     survival: HashMap<Fig8Row, Vec<f64>>,
     /// First day ever recorded; recording must then stay consecutive.
     first_day: Option<u16>,
@@ -84,10 +88,11 @@ pub struct Ledger {
     /// ([`Ledger::mark_synced`]); the next delta carries the survival
     /// suffix past this count.
     synced_days: u16,
-    /// Were the baselines already established at the last sync point?
-    /// Baselines are write-once, so a delta either carries them whole
-    /// (established since) or not at all.
-    baselines_synced: bool,
+    /// How many rows had established (non-empty) baselines at the last
+    /// sync point. Each row's baseline is write-once, but different
+    /// rows establish on different days, so a delta carries the block
+    /// whenever the count grew inside its window.
+    synced_established: u16,
 }
 
 impl Ledger {
@@ -133,12 +138,24 @@ impl Ledger {
                 self.days_recorded
             ),
         }
-        if self.baselines.is_empty() && !responsive.is_empty() {
-            // Establish baselines on the first non-empty recorded day
-            // (after any APD warmup the pipeline ran). Rows filter the
-            // day pass independently, so they fan out per worker.
-            let rows = Fig8Row::all();
-            let sets = expanse_addr::par::par_map_coarse(&rows, threads, |row| {
+        if self.baselines.is_empty() {
+            self.baselines = Fig8Row::all()
+                .into_iter()
+                .map(|row| (row, AddrSet::new()))
+                .collect();
+        }
+        if !responsive.is_empty() {
+            // Per-row baseline establishment: a row whose filtered set
+            // is still empty takes today's responders as its baseline —
+            // on the first day *that row* has any. Rows filter the day
+            // pass independently, so they fan out per worker.
+            let pending: Vec<Fig8Row> = self
+                .baselines
+                .iter()
+                .filter(|(_, set)| set.is_empty())
+                .map(|(row, _)| *row)
+                .collect();
+            let sets = expanse_addr::par::par_map_coarse(&pending, threads, |row| {
                 let ids: Vec<AddrId> = responsive
                     .iter()
                     .filter(|(id, protos)| {
@@ -148,18 +165,19 @@ impl Ledger {
                     .collect();
                 AddrSet::from_sorted(ids)
             });
-            self.baselines = rows.into_iter().zip(sets).collect();
-        }
-        if self.baselines.is_empty() {
-            // Pre-baseline (all-quiet) day: keep every series aligned
-            // with days_recorded so day indices stay meaningful.
-            for row in Fig8Row::all() {
-                self.survival.entry(row).or_default().push(f64::NAN);
+            for (row, set) in pending.into_iter().zip(sets) {
+                if set.is_empty() {
+                    continue;
+                }
+                if let Some(slot) = self.baselines.iter_mut().find(|(r, _)| *r == row) {
+                    slot.1 = set;
+                }
             }
         }
         // One merge-join per row against the sorted day pass; rows are
         // independent, so the joins run on workers and the results are
-        // appended in row order afterwards.
+        // appended in row order afterwards. Unestablished rows stay NaN,
+        // keeping every series aligned with days_recorded.
         let alive =
             expanse_addr::par::par_map_coarse(&self.baselines, threads, |(row, baseline)| {
                 if baseline.is_empty() {
@@ -266,8 +284,9 @@ impl Ledger {
                 survival.insert(row, series);
             }
         }
+        let synced_established = established(&baselines);
         Ok(Ledger {
-            baselines_synced: !baselines.is_empty(),
+            synced_established,
             baselines,
             survival,
             first_day,
@@ -313,7 +332,7 @@ impl Ledger {
     /// [`Ledger::encode_delta`] is relative to exactly this state.
     pub fn mark_synced(&mut self) {
         self.synced_days = self.days_recorded;
-        self.baselines_synced = !self.baselines.is_empty();
+        self.synced_established = established(&self.baselines);
     }
 
     /// Days recorded since the last sync point (what the next delta
@@ -324,8 +343,9 @@ impl Ledger {
 
     /// Serialize everything recorded since the last sync point into an
     /// open delta frame: the day-count pair `(base, new)` for replay
-    /// validation, the first-day marker, the baselines iff they were
-    /// established inside the window (they are write-once), and each
+    /// validation, the first-day marker, the baselines iff any row
+    /// established its baseline inside the window (each row's baseline
+    /// is write-once, but rows establish on different days), and each
     /// row's survival suffix.
     pub fn encode_delta<W: Write>(&self, enc: &mut Encoder<W>) -> Result<(), CodecError> {
         enc.put_u16(self.synced_days)?;
@@ -337,7 +357,7 @@ impl Ledger {
                 enc.put_u16(d)?;
             }
         }
-        if !self.baselines_synced && !self.baselines.is_empty() {
+        if established(&self.baselines) > self.synced_established {
             enc.put_u8(1)?;
             self.encode_baselines(enc)?;
         } else {
@@ -386,10 +406,26 @@ impl Ledger {
         match dec.get_u8()? {
             0 => {}
             1 => {
-                if !self.baselines.is_empty() {
-                    return Err(CodecError::Corrupt("ledger delta re-establishes baselines"));
+                let carried = Self::decode_baselines(dec)?;
+                if self.baselines.is_empty() {
+                    self.baselines = carried;
+                } else {
+                    // Per-row write-once merge: the carried block upserts
+                    // rows whose baseline is still empty; established
+                    // rows must arrive unchanged.
+                    if carried.len() != self.baselines.len() {
+                        return Err(CodecError::Corrupt("ledger delta baseline row set changed"));
+                    }
+                    for ((_, cur), (_, new)) in self.baselines.iter_mut().zip(carried) {
+                        if cur.is_empty() {
+                            *cur = new;
+                        } else if *cur != new {
+                            return Err(CodecError::Corrupt(
+                                "ledger delta rewrites an established baseline",
+                            ));
+                        }
+                    }
                 }
-                self.baselines = Self::decode_baselines(dec)?;
             }
             _ => return Err(CodecError::Corrupt("ledger baseline tag out of range")),
         }
@@ -433,6 +469,11 @@ impl Ledger {
         }
         out
     }
+}
+
+/// How many rows have established (non-empty) baselines.
+fn established(baselines: &[(Fig8Row, AddrSet)]) -> u16 {
+    baselines.iter().filter(|(_, s)| !s.is_empty()).count() as u16
 }
 
 /// Encode a [`Fig8Row`] as `(tag, source)`, sharing the crate's
@@ -554,6 +595,70 @@ mod tests {
         // Day 6: 3 of 5 respond — a real fraction, not NaN.
         ledger.record_day(6, &mk_responsive(&h, &addrs[..3], false), &h);
         assert!((ledger.series(row)[3] - 0.6).abs() < 1e-9);
+    }
+
+    /// Regression: baselines used to be established for *all* rows at
+    /// once on the first non-empty day, so a row whose protocol was
+    /// starved that day (QUIC flapped off, last-hop ICMP throttled away)
+    /// was pinned to an empty baseline and a NaN series forever — even
+    /// after the protocol recovered. Establishment is now per row.
+    #[test]
+    fn starved_row_establishes_when_its_protocol_recovers() {
+        let mut h = Hitlist::new();
+        let addrs: Vec<Ipv6Addr> = (0..6).map(addr).collect();
+        h.add_from(SourceId::Ct, &addrs, 0);
+        let mut ledger = Ledger::new();
+        let all_row = Fig8Row::Source(SourceId::Ct);
+        let quic_row = Fig8Row::SourceQuic(SourceId::Ct);
+
+        // Day 0: everyone answers ICMP but QUIC is flapped off — only
+        // the all-protocol row may establish.
+        ledger.record_day(0, &mk_responsive(&h, &addrs, false), &h);
+        assert_eq!(ledger.baseline_len(all_row), 6);
+        assert_eq!(ledger.baseline_len(quic_row), 0);
+        assert!(ledger.series(quic_row)[0].is_nan());
+
+        // Day 1: QUIC recovers on 4 addresses — the QUIC row gets its
+        // baseline now instead of staying NaN forever.
+        ledger.record_day(1, &mk_responsive(&h, &addrs[..4], true), &h);
+        assert_eq!(ledger.baseline_len(quic_row), 4);
+        let q = ledger.series(quic_row);
+        assert!(q[0].is_nan());
+        assert!((q[1] - 1.0).abs() < 1e-9, "establishment-day survival");
+
+        // Day 2: QUIC flaps off again — a real 0.0, not NaN.
+        ledger.record_day(2, &mk_responsive(&h, &addrs, false), &h);
+        assert!((ledger.series(quic_row)[2] - 0.0).abs() < 1e-9);
+        // The all-protocol row's baseline never moved.
+        assert_eq!(ledger.baseline_len(all_row), 6);
+        assert!((ledger.series(all_row)[2] - 1.0).abs() < 1e-9);
+    }
+
+    /// A delta window in which a late row established its baseline must
+    /// carry the (upserted) block to replicas whose copy predates it.
+    #[test]
+    fn delta_carries_late_established_rows() {
+        use expanse_addr::codec::{Decoder, Encoder};
+        let mut h = Hitlist::new();
+        let addrs: Vec<Ipv6Addr> = (0..5).map(addr).collect();
+        h.add_from(SourceId::Axfr, &addrs, 0);
+        let mut ledger = Ledger::new();
+        // Day 0 establishes the all-protocol row only; sync there.
+        ledger.record_day(0, &mk_responsive(&h, &addrs, false), &h);
+        ledger.mark_synced();
+        let mut replica = ledger.clone();
+
+        // Day 1: the QUIC row establishes inside the delta window.
+        ledger.record_day(1, &mk_responsive(&h, &addrs, true), &h);
+        let mut delta = Vec::new();
+        let mut enc = Encoder::new(&mut delta, b"LEDDTEST", 1).unwrap();
+        ledger.encode_delta(&mut enc).unwrap();
+        enc.finish().unwrap();
+        let mut dec = Decoder::new(delta.as_slice(), b"LEDDTEST", 1).unwrap();
+        replica.apply_delta(&mut dec).unwrap();
+        dec.finish().unwrap();
+        assert_eq!(full_bytes(&replica), full_bytes(&ledger));
+        assert_eq!(replica.baseline_len(Fig8Row::SourceQuic(SourceId::Axfr)), 5);
     }
 
     #[test]

@@ -3,7 +3,7 @@
 //! grid is executed by the worker pool or by one thread.
 
 use expanse_core::{Pipeline, PipelineConfig};
-use expanse_model::ModelConfig;
+use expanse_model::{ModelConfig, SourceId};
 
 fn pipeline_with(parallel: bool) -> Pipeline {
     // Keep the virtual day cheap; both paths get the identical config.
@@ -62,6 +62,45 @@ fn digest_is_seed_sensitive() {
     other.collect_sources(30);
     let (snap_b, _) = other.run_day_full();
     assert_ne!(snap_a.battery_digest, snap_b.battery_digest);
+}
+
+/// The adversarial scenario layer — per-router ICMPv6 token buckets
+/// draining inside the battery grid, rotation renumbering, privacy
+/// churn, alias fabrics — must not perturb fan-out determinism: the
+/// throttle state is cloned into every scan stream's snapshot, so the
+/// grid stays byte-identical whether it runs serial or parallel, and
+/// across days of rotation churn.
+#[test]
+fn adversarial_scenario_round_trips_parallel_and_serial() {
+    let run = |parallel: bool| {
+        let mut cfg = PipelineConfig {
+            trace_budget: 30,
+            ..PipelineConfig::default()
+        };
+        if !parallel {
+            cfg.scan.fanout = cfg.scan.fanout.serial();
+        }
+        cfg.plan.min_targets = 30;
+        let mut p = Pipeline::new(ModelConfig::adversarial(77), cfg);
+        p.collect_sources(30);
+        // Cross a rotation boundary (period 3 in the preset) with the
+        // daily scenario feed active, like the bench harness does.
+        let mut digests = Vec::new();
+        for _ in 0..4u16 {
+            let day = p.day();
+            let feed = p.model_ref().scenario_feed(day);
+            p.hitlist.add_from(SourceId::RipeAtlas, &feed, day);
+            let (snap, multi) = p.run_day_full();
+            assert!(!snap.responsive.is_empty(), "someone must answer");
+            digests.push((snap.battery_digest, multi.digest(), snap.probes_sent));
+        }
+        digests
+    };
+    assert_eq!(
+        run(true),
+        run(false),
+        "scenario battery digests drifted between executors"
+    );
 }
 
 /// The sharded fan-out walks — snapshot encode, delta encode, the

@@ -51,6 +51,14 @@ pub fn quic_up(salt: u64, day: u16, up_rate: f64) -> bool {
     unit(splitmix64(salt ^ u64::from(day) ^ 0x41c4_a41a)) < up_rate
 }
 
+/// Rotation epoch of a delegated prefix on probing day `day`: the epoch
+/// advances every `period` days (the delegating ISP renumbers the
+/// customer, and every host inside the prefix moves to fresh addresses).
+/// A zero period means "never rotates" and pins epoch 0.
+pub fn rotation_epoch(day: u16, period: u16) -> u16 {
+    day.checked_div(period).unwrap_or(0)
+}
+
 /// Daily jitter for ICMP-rate-limited prefixes: the number of tokens the
 /// bucket starts the day with (4..=10), so the set of answered fan-out
 /// branches varies day-to-day (§5.1 case 4).
@@ -123,6 +131,17 @@ mod tests {
         // Degenerate rates.
         assert!((0..100u16).all(|d| quic_up(3, d, 1.0)));
         assert!((0..100u16).all(|d| !quic_up(3, d, 0.0)));
+    }
+
+    #[test]
+    fn rotation_epochs_advance_every_period() {
+        assert_eq!(rotation_epoch(0, 3), 0);
+        assert_eq!(rotation_epoch(2, 3), 0);
+        assert_eq!(rotation_epoch(3, 3), 1);
+        assert_eq!(rotation_epoch(8, 3), 2);
+        assert_eq!(rotation_epoch(9, 3), 3);
+        // Degenerate period: never rotates.
+        assert_eq!(rotation_epoch(500, 0), 0);
     }
 
     #[test]

@@ -7,6 +7,62 @@
 
 use serde::{Deserialize, Serialize};
 
+/// Knobs for the adversarial periphery scenarios (rotating delegated
+/// prefixes, RFC 4941 privacy churn, throttled last-hop routers, and
+/// periphery alias fabrics — see `crate::scenario`).
+///
+/// The default is **all zeros**: every behaviour disabled, which leaves
+/// the model byte-identical to a scenario-free build. Tests and the
+/// `bench-scenarios` experiment opt in via [`ModelConfig::adversarial`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScenarioConfig {
+    /// Delegated /56s that re-number all their hosts every rotation
+    /// period (residential prefix rotation).
+    pub rotating_56s: usize,
+    /// Days between renumber events of a rotating /56.
+    pub rotation_period_days: u16,
+    /// Live hosts inside each rotating /56 per epoch.
+    pub rotation_hosts: usize,
+    /// Hosts with RFC 4941 privacy extensions: the temporary IID
+    /// regenerates daily while a stable EUI-64 service address persists.
+    pub privacy_hosts: usize,
+    /// Periphery alias fabrics: whole /64s answering on every probed
+    /// address (CPE in promiscuous ndproxy/bridge configurations).
+    pub fabric_64s: usize,
+    /// Last-hop routers whose ICMPv6 responses sit behind a per-router
+    /// token bucket.
+    pub throttled_routers: usize,
+    /// Token-bucket capacity of a throttled router (tokens).
+    pub throttle_capacity: f64,
+    /// Token-bucket refill rate of a throttled router (tokens/second).
+    pub throttle_refill_per_sec: f64,
+}
+
+impl Default for ScenarioConfig {
+    fn default() -> Self {
+        ScenarioConfig {
+            rotating_56s: 0,
+            rotation_period_days: 0,
+            rotation_hosts: 0,
+            privacy_hosts: 0,
+            fabric_64s: 0,
+            throttled_routers: 0,
+            throttle_capacity: 0.0,
+            throttle_refill_per_sec: 0.0,
+        }
+    }
+}
+
+impl ScenarioConfig {
+    /// Is any adversarial behaviour switched on?
+    pub fn enabled(&self) -> bool {
+        self.rotating_56s > 0
+            || self.privacy_hosts > 0
+            || self.fabric_64s > 0
+            || self.throttled_routers > 0
+    }
+}
+
 /// Top-level configuration for [`crate::InternetModel`].
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct ModelConfig {
@@ -71,6 +127,11 @@ pub struct ModelConfig {
     // ---- simulated days --------------------------------------------------
     /// Length of the source runup history (Fig 1a), in days.
     pub runup_days: u32,
+
+    // ---- adversarial periphery scenarios ---------------------------------
+    /// Scenario knobs; all-zero (the default) disables the layer
+    /// entirely and keeps legacy builds byte-identical.
+    pub scenario: ScenarioConfig,
 }
 
 impl Default for ModelConfig {
@@ -95,6 +156,7 @@ impl Default for ModelConfig {
             client_daily_survival: 0.984,
             quic_flap_up_rate: 0.78,
             runup_days: 280,
+            scenario: ScenarioConfig::default(),
         }
     }
 }
@@ -118,6 +180,26 @@ impl ModelConfig {
             syn_proxy_80s: 1,
             runup_days: 30,
             ..ModelConfig::default()
+        }
+    }
+
+    /// The tiny configuration with every adversarial periphery behaviour
+    /// switched on: rotating delegated /56s, daily privacy-address
+    /// churn, periphery alias fabrics, and throttled last-hop routers.
+    /// This is what `bench-scenarios` and the stress tests build.
+    pub fn adversarial(seed: u64) -> Self {
+        ModelConfig {
+            scenario: ScenarioConfig {
+                rotating_56s: 3,
+                rotation_period_days: 3,
+                rotation_hosts: 12,
+                privacy_hosts: 24,
+                fabric_64s: 4,
+                throttled_routers: 3,
+                throttle_capacity: 6.0,
+                throttle_refill_per_sec: 0.02,
+            },
+            ..ModelConfig::tiny(seed)
         }
     }
 
@@ -155,6 +237,26 @@ impl ModelConfig {
         assert!(self.n_live_hosts >= 100, "need at least 100 live hosts");
         assert!(self.ghost_ratio >= 0.0, "ghost_ratio must be non-negative");
         assert!(self.runup_days >= 14, "need at least 14 days of history");
+        if self.scenario.rotating_56s > 0 {
+            assert!(
+                self.scenario.rotation_period_days >= 1,
+                "rotating prefixes need a rotation period of at least one day"
+            );
+            assert!(
+                self.scenario.rotation_hosts >= 1,
+                "rotating prefixes need at least one host per epoch"
+            );
+        }
+        if self.scenario.throttled_routers > 0 {
+            assert!(
+                self.scenario.throttle_capacity > 0.0,
+                "throttled routers need a positive bucket capacity"
+            );
+            assert!(
+                self.scenario.throttle_refill_per_sec > 0.0,
+                "throttled routers need a positive refill rate"
+            );
+        }
     }
 }
 
@@ -167,6 +269,41 @@ mod tests {
         ModelConfig::default().validate();
         ModelConfig::tiny(1).validate();
         ModelConfig::paper_scale(0.5).validate();
+        ModelConfig::adversarial(1).validate();
+    }
+
+    #[test]
+    fn scenario_default_is_disabled() {
+        assert!(!ScenarioConfig::default().enabled());
+        assert!(!ModelConfig::tiny(1).scenario.enabled());
+        assert!(ModelConfig::adversarial(1).scenario.enabled());
+    }
+
+    #[test]
+    #[should_panic(expected = "rotation period")]
+    fn rotation_without_period_caught() {
+        let cfg = ModelConfig {
+            scenario: ScenarioConfig {
+                rotating_56s: 2,
+                rotation_hosts: 4,
+                ..ScenarioConfig::default()
+            },
+            ..ModelConfig::tiny(1)
+        };
+        cfg.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "bucket capacity")]
+    fn throttle_without_capacity_caught() {
+        let cfg = ModelConfig {
+            scenario: ScenarioConfig {
+                throttled_routers: 1,
+                ..ScenarioConfig::default()
+            },
+            ..ModelConfig::tiny(1)
+        };
+        cfg.validate();
     }
 
     #[test]

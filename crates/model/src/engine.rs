@@ -8,6 +8,7 @@
 use crate::churn;
 use crate::fingerprint::MachineId;
 use crate::host::HostKind;
+use crate::scenario::ScenarioResponder;
 use crate::InternetModel;
 use expanse_addr::fanout::splitmix64;
 use expanse_addr::{addr_to_u128, Prefix};
@@ -16,7 +17,9 @@ use expanse_packet::{
     dns, icmpv6, quic, Datagram, Icmpv6Message, ProtoSet, Protocol, TcpFlags, TcpSegment,
     Transport, UdpDatagram,
 };
+use std::collections::BTreeMap;
 use std::net::Ipv6Addr;
+use std::sync::Arc;
 
 /// Per-day mutable middlebox state, rebuilt on `set_day`.
 #[derive(Debug, Clone)]
@@ -24,19 +27,35 @@ pub(crate) struct DayState {
     pub day: u16,
     pub icmp_buckets: Vec<(Prefix, TokenBucket)>,
     pub syn_proxies: Vec<(Prefix, SynProxy)>,
+    /// The scenario layer's per-day responder table (rotation hosts of
+    /// the current epoch, today's temporary privacy addresses). Shared
+    /// read-only across snapshots — only the buckets above are per-view
+    /// mutable state.
+    pub scenario_hosts: Arc<BTreeMap<u128, ScenarioResponder>>,
 }
 
 impl DayState {
     pub(crate) fn new(model: &InternetModel, day: u16) -> Self {
-        let icmp_buckets = std::iter::once(model.population.special.rate_limit_parent)
-            .map(|p| {
-                let tokens = churn::rate_limit_day_tokens(model.config.seed, day);
-                (
-                    p,
-                    TokenBucket::new(f64::from(tokens), 0.02), // barely refills
-                )
-            })
-            .collect();
+        let mut icmp_buckets: Vec<(Prefix, TokenBucket)> =
+            std::iter::once(model.population.special.rate_limit_parent)
+                .map(|p| {
+                    let tokens = churn::rate_limit_day_tokens(model.config.seed, day);
+                    (
+                        p,
+                        TokenBucket::new(f64::from(tokens), 0.02), // barely refills
+                    )
+                })
+                .collect();
+        // Scenario throttled last-hop routers: one bucket per router /64.
+        // ScenarioConfig::validate guarantees positive bucket parameters
+        // whenever this list is non-empty.
+        let sc = &model.config.scenario;
+        for p in &model.scenario.throttled {
+            icmp_buckets.push((
+                *p,
+                TokenBucket::new(sc.throttle_capacity, sc.throttle_refill_per_sec),
+            ));
+        }
         let syn_proxies = model
             .population
             .special
@@ -49,10 +68,16 @@ impl DayState {
                 )
             })
             .collect();
+        let scenario_hosts = if model.scenario.enabled() {
+            Arc::new(model.scenario.day_hosts(day))
+        } else {
+            Arc::default()
+        };
         DayState {
             day,
             icmp_buckets,
             syn_proxies,
+            scenario_hosts,
         }
     }
 
@@ -63,6 +88,7 @@ impl DayState {
             day: 0,
             icmp_buckets: Vec::new(),
             syn_proxies: Vec::new(),
+            scenario_hosts: Arc::default(),
         }
     }
 }
@@ -118,7 +144,7 @@ impl InternetModel {
     }
 
     /// Resolve who answers `dst` at probe-day granularity.
-    fn resolve(&self, day: u16, dst: Ipv6Addr) -> Responder {
+    fn resolve(&self, ds: &DayState, dst: Ipv6Addr) -> Responder {
         if let Some((_, region)) = self.population.aliases.resolve(dst) {
             return Responder::Alias {
                 machine: region.machine,
@@ -126,13 +152,22 @@ impl InternetModel {
             };
         }
         if let Some(h) = self.population.hosts.get(&addr_to_u128(dst)) {
-            if h.online(day) {
+            if h.online(ds.day) {
                 return Responder::Host {
                     machine: h.machine,
                     protos: h.protos,
                     kind: h.kind,
                 };
             }
+        }
+        // Scenario layer: the day's rotation-epoch hosts and temporary
+        // privacy addresses (empty table when the scenario is disabled).
+        if let Some((machine, protos, kind)) = ds.scenario_hosts.get(&addr_to_u128(dst)) {
+            return Responder::Host {
+                machine: *machine,
+                protos: *protos,
+                kind: *kind,
+            };
         }
         Responder::Nobody
     }
@@ -215,7 +250,7 @@ impl InternetModel {
                 return Vec::new();
             }
         }
-        let responder = self.resolve(ds.day, dst);
+        let responder = self.resolve(ds, dst);
         let (machine, protos, kind) = match responder {
             Responder::Alias { machine, protos } => (machine, protos, None),
             Responder::Host {
@@ -289,7 +324,7 @@ impl InternetModel {
                 return Vec::new();
             }
         }
-        let responder = self.resolve(ds.day, dst);
+        let responder = self.resolve(ds, dst);
         let (machine, protos, kind) = match responder {
             Responder::Alias { machine, protos } => (machine, protos, None),
             Responder::Host {
@@ -344,7 +379,7 @@ impl InternetModel {
         u: UdpDatagram,
     ) -> Vec<Delivery> {
         let dst = hdr.dst;
-        let responder = self.resolve(ds.day, dst);
+        let responder = self.resolve(ds, dst);
         let (machine, protos, kind) = match responder {
             Responder::Alias { machine, protos } => (machine, protos, None),
             Responder::Host {
@@ -763,6 +798,108 @@ mod tests {
             (2..=11).contains(&answered),
             "rate limiter should clip responses, got {answered}/16"
         );
+    }
+
+    #[test]
+    fn scenario_rotation_hosts_answer_then_ghost() {
+        let mut m = InternetModel::build(ModelConfig::adversarial(11));
+        let rp = m.scenario.rotating[0].clone();
+        let e0 = m.scenario.rotation_addrs(&rp, 0);
+        // Day 0 (epoch 0): at least one rotation host answers echo.
+        m.set_day(0);
+        let answered = e0
+            .iter()
+            .enumerate()
+            .filter(|(i, a)| {
+                !m.inject(Time::from_millis(*i as u64 * 50), &echo(**a, 64))
+                    .is_empty()
+            })
+            .count();
+        assert!(answered >= 1, "epoch-0 rotation hosts silent on day 0");
+        // A day inside epoch 1: every epoch-0 address is a ghost.
+        let ghost_day = m.scenario.rotation_period;
+        m.set_day(ghost_day);
+        for (i, a) in e0.iter().enumerate() {
+            assert!(
+                m.inject(Time::from_millis(i as u64 * 50), &echo(*a, 64))
+                    .is_empty(),
+                "ghost {a} answered on day {ghost_day}"
+            );
+        }
+    }
+
+    #[test]
+    fn scenario_privacy_addr_answers_today_only() {
+        let mut m = InternetModel::build(ModelConfig::adversarial(11));
+        // Loss is per-(addr, day), so scan several privacy hosts.
+        let hosts: Vec<_> = m.scenario.privacy.iter().take(8).cloned().collect();
+        m.set_day(2);
+        let answered = hosts
+            .iter()
+            .enumerate()
+            .filter(|(i, ph)| {
+                let a = m.scenario.privacy_addr(ph, 2);
+                !m.inject(Time::from_millis(*i as u64 * 50), &echo(a, 64))
+                    .is_empty()
+            })
+            .count();
+        assert!(answered >= 1, "no day-2 privacy address answered");
+        // Yesterday's temporaries are gone on day 3...
+        m.set_day(3);
+        for (i, ph) in hosts.iter().enumerate() {
+            let stale = m.scenario.privacy_addr(ph, 2);
+            assert!(
+                m.inject(Time::from_millis(i as u64 * 50), &echo(stale, 64))
+                    .is_empty(),
+                "stale privacy address {stale} answered"
+            );
+        }
+        // ...while at least one stable EUI-64 address still serves.
+        let stable_up = hosts
+            .iter()
+            .enumerate()
+            .filter(|(i, ph)| {
+                !m.inject(
+                    Time::from_millis(400 + *i as u64 * 50),
+                    &echo(ph.stable, 64),
+                )
+                .is_empty()
+            })
+            .count();
+        assert!(stable_up >= 1, "no stable privacy-host address answered");
+    }
+
+    #[test]
+    fn scenario_throttled_routers_clip_probe_bursts() {
+        let mut m = InternetModel::build(ModelConfig::adversarial(11));
+        m.set_day(1);
+        let p64 = m.scenario.throttled[0];
+        // 16 rapid probes against the 4 router addresses: the /64's
+        // token bucket (capacity 6, trickle refill) must clip replies.
+        let answered = (0..16u128)
+            .filter(|i| {
+                let a = p64.addr_at(1 + (i % 4));
+                !m.inject(Time::from_millis(*i as u64), &echo(a, 64))
+                    .is_empty()
+            })
+            .count();
+        assert!(
+            (1..=6).contains(&answered),
+            "throttle should clip burst, got {answered}/16"
+        );
+    }
+
+    #[test]
+    fn scenario_fabric_answers_any_address() {
+        let mut m = InternetModel::build(ModelConfig::adversarial(11));
+        let f = m.scenario.fabrics[0];
+        let answered = (0..20u64)
+            .filter(|i| {
+                let a = expanse_addr::keyed_random_addr(f, *i);
+                !m.inject(Time::from_millis(*i), &echo(a, 64)).is_empty()
+            })
+            .count();
+        assert!(answered >= 17, "alias fabric answered {answered}/20");
     }
 
     #[test]

@@ -40,6 +40,7 @@ pub mod ids;
 pub mod paths;
 pub mod population;
 pub mod rdns;
+pub mod scenario;
 pub mod scheme;
 pub mod sources;
 
@@ -76,6 +77,8 @@ pub struct InternetModel {
     pub population: Population,
     /// Forwarding-path model (hop counts, router identities).
     pub paths: paths::PathModel,
+    /// Adversarial periphery scenario layer (empty when disabled).
+    pub scenario: scenario::ScenarioState,
     /// Lossy prefixes as a trie for per-packet lookup.
     pub(crate) lossy_trie: PrefixTrie<()>,
     pub(crate) day_state: engine::DayState,
@@ -90,7 +93,11 @@ impl InternetModel {
         let ases = build_ases(&config);
         let mut announcements = bgp::allocate(&ases, config.mean_prefixes_per_as, config.seed);
         let paths = paths::PathModel::new(config.seed);
-        let population = population::Builder::new(&config).build(&ases, &announcements, &paths);
+        let mut population = population::Builder::new(&config).build(&ases, &announcements, &paths);
+        // Scenario construction runs strictly after the population build
+        // so the builder's sequential RNG stream is untouched: with the
+        // scenario disabled the model stays byte-identical.
+        let scenario = scenario::build(&config.scenario, config.seed, &mut population);
         // CDNs announce their aliased /48s in BGP, as Amazon does — this
         // is what makes the Fig 5 "hook" visible at BGP granularity and
         // lets BGP-based APD (§5.1) see the phenomenon without targets.
@@ -118,13 +125,10 @@ impl InternetModel {
             bgp: bgp_table,
             population,
             paths,
+            scenario,
             lossy_trie,
             // placeholder, replaced below (DayState::new needs &self)
-            day_state: engine::DayState {
-                day: 0,
-                icmp_buckets: Vec::new(),
-                syn_proxies: Vec::new(),
-            },
+            day_state: engine::DayState::detached(),
             as_index,
         };
         model.day_state = engine::DayState::new(&model, 0);
@@ -160,6 +164,37 @@ impl InternetModel {
     /// Ground truth: covering BGP prefix.
     pub fn bgp_prefix_of(&self, addr: std::net::Ipv6Addr) -> Option<Prefix> {
         self.bgp.lookup(addr).map(|(p, _)| p)
+    }
+
+    /// Scenario ground truth: what hitlist sources would learn on `day`
+    /// (empty with the scenario layer disabled). See
+    /// [`scenario::ScenarioState::feed`].
+    pub fn scenario_feed(&self, day: u16) -> Vec<std::net::Ipv6Addr> {
+        self.scenario.feed(day)
+    }
+
+    /// Scenario ground truth: previously-feedable addresses that can no
+    /// longer answer on `day` — rotation ghosts and expired temporary
+    /// privacy addresses. See [`scenario::ScenarioState::ghosts`].
+    pub fn scenario_ghosts(&self, day: u16) -> Vec<std::net::Ipv6Addr> {
+        self.scenario.ghosts(day)
+    }
+
+    /// Ground truth: would the model answer a probe to `addr` on `day`
+    /// on at least one protocol, ignoring loss and rate limiting?
+    /// Covers aliased regions, the static population, and the scenario
+    /// layer's per-day responders.
+    pub fn truth_responsive(&self, day: u16, addr: std::net::Ipv6Addr) -> bool {
+        if self.population.aliases.resolve(addr).is_some() {
+            return true;
+        }
+        let key = expanse_addr::addr_to_u128(addr);
+        if let Some(h) = self.population.hosts.get(&key) {
+            if h.online(day) && !h.protos.is_empty() {
+                return true;
+            }
+        }
+        self.scenario.enabled() && self.scenario.day_hosts(day).contains_key(&key)
     }
 }
 

@@ -14,6 +14,8 @@
 //! - [`network`]: the [`Network`] trait plus composable wrappers for
 //!   fault injection and packet tracing (the smoltcp `--drop-chance` /
 //!   `--pcap` idioms)
+//! - [`throttle`]: per-router ICMPv6 response throttling as a
+//!   snapshot-preserving wrapper (last-hop rate limits, RFC 4443 §2.4f)
 //!
 //! Everything is deterministic: "randomness" is keyed hashing of packet
 //! bytes and a seed, so a simulation re-run reproduces byte-identical
@@ -24,6 +26,7 @@ pub mod loss;
 pub mod network;
 pub mod ratelimit;
 pub mod synproxy;
+pub mod throttle;
 pub mod time;
 
 pub use event::EventQueue;
@@ -31,4 +34,5 @@ pub use loss::{BurstLoss, KeyedLoss};
 pub use network::{Delivery, FaultInjector, Network, SnapshotNetwork, TraceRecorder};
 pub use ratelimit::TokenBucket;
 pub use synproxy::SynProxy;
+pub use throttle::{ThrottledNetwork, ThrottledSnapshot};
 pub use time::{Duration, Time};

@@ -1,0 +1,113 @@
+//! Ground-truth accuracy of alias detection under the adversarial
+//! periphery scenarios: APD must keep separating the scenario layer's
+//! alias fabrics (whole /64s answering every probe) from honest
+//! residential prefixes whose churn, sparsity, or ICMPv6 throttling
+//! makes them *look* strange — scored against the model's exported
+//! labels, end-to-end through the real probing stack.
+
+use expanse::addr::Prefix;
+use expanse::apd::{Apd, ApdConfig};
+use expanse::model::{InternetModel, ModelConfig};
+use expanse::netsim::ThrottledNetwork;
+use expanse::zmap6::{ScanConfig, Scanner};
+use std::collections::BTreeSet;
+
+/// The labeled prefix universe: the scenario's alias fabrics as
+/// positives; honest non-aliased /64 sites plus the scenario's own
+/// throttled router /64s and rotating /56s as negatives.
+fn labeled_universe(model: &InternetModel) -> (Vec<Prefix>, Vec<Prefix>) {
+    let positives = model.scenario.fabrics.clone();
+    assert!(
+        !positives.is_empty(),
+        "adversarial preset must build fabrics"
+    );
+    let mut negatives: Vec<Prefix> = model
+        .population
+        .sites
+        .iter()
+        .filter(|s| s.site.len() == 64 && !model.truth_aliased(s.site.addr_at(0)))
+        .map(|s| s.site)
+        .take(12)
+        .collect();
+    negatives.extend(model.scenario.throttled.iter().copied());
+    negatives.extend(model.scenario.rotating.iter().map(|r| r.prefix));
+    negatives.sort();
+    negatives.dedup();
+    assert!(negatives.len() >= 10, "want a meaningful negative pool");
+    (positives, negatives)
+}
+
+/// Score the detector's flagged set against the labels.
+fn score(flagged: &BTreeSet<Prefix>, positives: &[Prefix]) -> (f64, f64) {
+    let tp = positives.iter().filter(|p| flagged.contains(p)).count();
+    let precision = tp as f64 / (flagged.len() as f64).max(1.0);
+    let recall = tp as f64 / positives.len() as f64;
+    (precision, recall)
+}
+
+#[test]
+fn apd_accuracy_on_labeled_adversarial_prefixes() {
+    let model = InternetModel::build(ModelConfig::adversarial(907));
+    let (positives, negatives) = labeled_universe(&model);
+    let mut plan: Vec<Prefix> = positives.iter().chain(negatives.iter()).copied().collect();
+    plan.sort();
+    plan.dedup();
+
+    let mut s = Scanner::new(model, ScanConfig::default());
+    let mut apd = Apd::new(ApdConfig::default());
+    for day in 0..4u16 {
+        s.network_mut().set_day(day);
+        apd.run_day(&mut s, &plan);
+    }
+    let flagged: BTreeSet<Prefix> = apd.aliased_prefixes().into_iter().collect();
+    let (precision, recall) = score(&flagged, &positives);
+    assert!(
+        precision >= 0.95,
+        "APD precision {precision:.3} below 0.95 (flagged {flagged:?})"
+    );
+    assert!(
+        recall >= 0.9,
+        "APD recall {recall:.3} below 0.9 (flagged {flagged:?})"
+    );
+    // And none of the labeled honest prefixes may be flagged: every
+    // false positive evicts a real residential prefix from the hitlist.
+    for n in &negatives {
+        assert!(!flagged.contains(n), "honest prefix {n} flagged as aliased");
+    }
+}
+
+#[test]
+fn apd_accuracy_survives_last_hop_throttling() {
+    // Same labeled universe, but the scanner's view of the world now
+    // passes through an external ThrottledNetwork that rate-limits
+    // ICMPv6 out of every throttled router and rotating prefix — on top
+    // of the engine's own per-router buckets. Starving the negatives'
+    // replies must not create false positives, and the fabrics (which
+    // are not throttled) must still be caught.
+    let model = InternetModel::build(ModelConfig::adversarial(907));
+    let (positives, negatives) = labeled_universe(&model);
+    let mut plan: Vec<Prefix> = positives.iter().chain(negatives.iter()).copied().collect();
+    plan.sort();
+    plan.dedup();
+
+    let mut net = ThrottledNetwork::new(model);
+    for p in negatives.clone() {
+        net = net.with_router(p, 2.0, 0.01);
+    }
+    let mut s = Scanner::new(net, ScanConfig::default());
+    let mut apd = Apd::new(ApdConfig::default());
+    for day in 0..4u16 {
+        s.network_mut().inner_mut().set_day(day);
+        apd.run_day(&mut s, &plan);
+    }
+    let flagged: BTreeSet<Prefix> = apd.aliased_prefixes().into_iter().collect();
+    let (precision, recall) = score(&flagged, &positives);
+    assert!(
+        precision >= 0.95,
+        "throttled-path APD precision {precision:.3} below 0.95 (flagged {flagged:?})"
+    );
+    assert!(
+        recall >= 0.9,
+        "throttled-path APD recall {recall:.3} below 0.9 (flagged {flagged:?})"
+    );
+}
