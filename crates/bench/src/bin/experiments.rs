@@ -81,6 +81,7 @@ fn main() {
                 "bench-pipeline",
                 "bench-serve",
                 "bench-scenarios",
+                "bench-sched",
             ]
             .iter()
             .map(|s| s.to_string()),

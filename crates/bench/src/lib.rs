@@ -21,6 +21,7 @@ pub mod exp_pipeline;
 pub mod exp_probing;
 pub mod exp_rdns_crowd;
 pub mod exp_scenarios;
+pub mod exp_sched;
 pub mod exp_serve;
 pub mod exp_serve_load;
 pub mod exp_sources;
@@ -63,6 +64,7 @@ pub const ALL_EXPERIMENTS: &[&str] = &[
     "bench-serve",
     "bench-serve-load",
     "bench-scenarios",
+    "bench-sched",
 ];
 
 /// Run one experiment by id; returns the rendered report.
@@ -102,6 +104,7 @@ pub fn run(id: &str, ctx: &mut Ctx) -> Option<String> {
         "bench-serve" => exp_serve::bench_serve(ctx),
         "bench-serve-load" => exp_serve_load::bench_serve_load(ctx),
         "bench-scenarios" => exp_scenarios::bench_scenarios(ctx),
+        "bench-sched" => exp_sched::bench_sched(ctx),
         _ => return None,
     };
     Some(out)

@@ -224,6 +224,7 @@ pub fn default_policy() -> Policy {
             "crates/netsim/",
             "crates/packet/",
             "crates/scamper6/",
+            "crates/sched/",
             "crates/sixgen/",
             "crates/stats/",
             "crates/trie/",

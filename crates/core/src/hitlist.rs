@@ -20,9 +20,10 @@
 
 use expanse_addr::codec::{self, CodecError, Decoder, Encoder};
 use expanse_addr::par::par_chunk_bytes;
-use expanse_addr::{AddrId, AddrSet, ShardedAddrTable};
+use expanse_addr::{AddrId, AddrSet, Prefix, ShardedAddrTable};
 use expanse_model::SourceId;
 use expanse_packet::ProtoSet;
+use std::collections::{BTreeMap, BTreeSet};
 use std::io::{Read, Write};
 use std::net::Ipv6Addr;
 
@@ -110,6 +111,43 @@ fn get_protos<R: Read>(dec: &mut Decoder<R>) -> Result<ProtoSet, CodecError> {
     ProtoSet::from_bits(dec.get_u8()?).ok_or(CodecError::Corrupt("protocol set has unknown bits"))
 }
 
+/// Write a run of `(prefix, cumulative spend)` counters. Shared by the
+/// base snapshot (every counter) and delta records (dirty counters as
+/// absolute-value upserts); callers pass ascending runs.
+fn write_spent<W: Write>(
+    enc: &mut Encoder<W>,
+    counters: impl ExactSizeIterator<Item = (Prefix, u64)>,
+) -> Result<(), CodecError> {
+    enc.put_len(counters.len())?;
+    for (p, n) in counters {
+        codec::write_prefix(enc, p)?;
+        enc.put_u64(n)?;
+    }
+    Ok(())
+}
+
+/// Decode a run written by [`write_spent`], enforcing strict ascending
+/// order and non-zero counts (a zero counter is never minted — see
+/// [`Hitlist::charge_probes`]).
+fn read_spent<R: Read>(dec: &mut Decoder<R>) -> Result<BTreeMap<Prefix, u64>, CodecError> {
+    let n = dec.get_len()?;
+    let mut out = BTreeMap::new();
+    let mut prev = None;
+    for _ in 0..n {
+        let p = codec::read_prefix(dec)?;
+        if prev.is_some_and(|q| q >= p) {
+            return Err(CodecError::Corrupt("spend prefixes not strictly sorted"));
+        }
+        prev = Some(p);
+        let count = dec.get_u64()?;
+        if count == 0 {
+            return Err(CodecError::Corrupt("zero probe-spend counter"));
+        }
+        out.insert(p, count);
+    }
+    Ok(out)
+}
+
 /// The accumulated hitlist.
 #[derive(Debug, Clone, Default)]
 pub struct Hitlist {
@@ -144,6 +182,13 @@ pub struct Hitlist {
     /// must carry: a full row rewrite, a `last_responsive` column
     /// write, or a bare tombstone flip.
     dirty: Vec<u8>,
+    /// Prefix → cumulative battery target slots spent probing under it
+    /// (discovery-cost accounting; the scheduler's yield-per-probe
+    /// denominator). Keyed by whatever granularity the charger uses —
+    /// the pipeline charges /48s. Counters only grow.
+    probes_spent: BTreeMap<Prefix, u64>,
+    /// Prefixes whose spend counter moved since the last sync point.
+    spent_dirty: BTreeSet<Prefix>,
 }
 
 /// Dirty bit: the row needs a full rewrite in the next delta (revival
@@ -473,6 +518,28 @@ impl Hitlist {
         before - self.live
     }
 
+    /// Charge `n` battery target slots of probing cost to `net`.
+    /// Zero-slot charges are dropped (no counter entry is minted), so
+    /// every persisted counter is non-zero by construction.
+    pub fn charge_probes(&mut self, net: Prefix, n: u64) {
+        if n == 0 {
+            return;
+        }
+        *self.probes_spent.entry(net).or_insert(0) += n;
+        self.spent_dirty.insert(net);
+    }
+
+    /// Cumulative probing cost charged to exactly `net` (not aggregated
+    /// over covered prefixes); `0` if never charged.
+    pub fn probes_spent_under(&self, net: Prefix) -> u64 {
+        self.probes_spent.get(&net).copied().unwrap_or(0)
+    }
+
+    /// Every charged prefix with its cumulative spend, ascending.
+    pub fn probes_spent(&self) -> impl Iterator<Item = (Prefix, u64)> + '_ {
+        self.probes_spent.iter().map(|(p, &n)| (*p, n))
+    }
+
     /// Mark a pre-sync row as mutated since the last sync point.
     #[inline]
     fn touch(&mut self, i: usize, bit: u8) {
@@ -489,6 +556,7 @@ impl Hitlist {
         self.synced_rows = self.table.len();
         self.dirty.clear();
         self.dirty.resize(self.synced_rows, 0);
+        self.spent_dirty.clear();
     }
 
     /// Rows changed since the last sync point, as the delta record will
@@ -607,6 +675,15 @@ impl Hitlist {
             enc.put_bytes(&buf)?;
         }
         codec::write_set(enc, &self.dirty_run(needs_tombstone))?;
+        write_spent(
+            enc,
+            self.spent_dirty.iter().map(|p| {
+                // Chargers never remove counters, so a dirty prefix
+                // always resolves; a missing one would be a logic bug
+                // upstream — encode it as 0 and let apply reject it.
+                (*p, self.probes_spent.get(p).copied().unwrap_or(0))
+            }),
+        )?;
         Ok(())
     }
 
@@ -660,6 +737,15 @@ impl Hitlist {
             }
             self.alive[i] = false;
             self.live -= 1;
+        }
+        let spent = read_spent(dec)?;
+        for (p, n) in spent {
+            // Counters only grow: an upsert below the replica's value
+            // cannot follow this state.
+            if self.probes_spent.get(&p).is_some_and(|&old| n < old) {
+                return Err(CodecError::Corrupt("probe-spend counter went backwards"));
+            }
+            self.probes_spent.insert(p, n);
         }
         self.mark_synced();
         Ok(())
@@ -725,6 +811,7 @@ impl Hitlist {
         }) {
             enc.put_bytes(&buf)?;
         }
+        write_spent(enc, self.probes_spent.iter().map(|(p, &n)| (*p, n)))?;
         Ok(())
     }
 
@@ -764,6 +851,7 @@ impl Hitlist {
             alive.push(dec.get_bool()?);
         }
         let live = alive.iter().filter(|&&a| a).count();
+        let probes_spent = read_spent(dec)?;
         Ok(Hitlist {
             table,
             sources,
@@ -776,6 +864,8 @@ impl Hitlist {
             // A freshly decoded snapshot is by definition a sync point.
             synced_rows: n,
             dirty: vec![0; n],
+            probes_spent,
+            spent_dirty: BTreeSet::new(),
         })
     }
 }
@@ -1058,6 +1148,74 @@ mod tests {
         replica.apply_delta(&mut dec).unwrap();
         dec.finish().unwrap();
         assert_eq!(full_bytes(&replica), before);
+    }
+
+    /// Regression for the discovery-cost satellite: `probes_spent`
+    /// counters must survive both the full snapshot and the delta
+    /// round-trip (absolute-value upserts of the dirty prefixes only),
+    /// and a replayed delta may never move a counter backwards.
+    #[test]
+    fn probes_spent_delta_roundtrip() {
+        use expanse_addr::codec::{Decoder, Encoder};
+        let p1: Prefix = "2001:db8:1::/48".parse().unwrap();
+        let p2: Prefix = "2001:db8:2::/48".parse().unwrap();
+        let p3: Prefix = "2001:db8:3::/48".parse().unwrap();
+        let mut h = Hitlist::new();
+        h.add_from(SourceId::Ct, &[a("2001:db8:1::1"), a("2001:db8:2::1")], 0);
+        h.charge_probes(p1, 10);
+        h.charge_probes(p2, 4);
+        h.charge_probes(p2, 0); // zero charges mint nothing
+        h.mark_synced();
+        let mut replica = h.clone();
+
+        // p1 grows, p3 appears; p2 is untouched and must not travel.
+        h.charge_probes(p1, 5);
+        h.charge_probes(p3, 7);
+        assert_eq!(h.probes_spent_under(p1), 15);
+
+        let mut delta = Vec::new();
+        let mut enc = Encoder::new(&mut delta, b"HITDTEST", 1).unwrap();
+        h.encode_delta(&mut enc).unwrap();
+        enc.finish().unwrap();
+        let mut dec = Decoder::new(delta.as_slice(), b"HITDTEST", 1).unwrap();
+        replica.apply_delta(&mut dec).unwrap();
+        dec.finish().unwrap();
+
+        assert_eq!(full_bytes(&replica), full_bytes(&h));
+        assert_eq!(replica.probes_spent_under(p1), 15);
+        assert_eq!(replica.probes_spent_under(p2), 4);
+        assert_eq!(replica.probes_spent_under(p3), 7);
+        assert_eq!(
+            replica.probes_spent().collect::<Vec<_>>(),
+            vec![(p1, 15), (p2, 4), (p3, 7)]
+        );
+
+        // The full-snapshot round-trip carries the counters too.
+        let full = full_bytes(&h);
+        let mut dec = Decoder::new(full.as_slice(), b"HITLTEST", 1).unwrap();
+        let back = Hitlist::decode(&mut dec).unwrap();
+        assert_eq!(
+            back.probes_spent().collect::<Vec<_>>(),
+            vec![(p1, 15), (p2, 4), (p3, 7)]
+        );
+
+        // A delta whose counter is *below* the replica's value cannot
+        // follow this state: replaying it must error, not regress.
+        let mut h2 = h.clone();
+        h2.mark_synced();
+        let mut stale = replica.clone();
+        stale.charge_probes(p1, 100);
+        stale.mark_synced();
+        h2.charge_probes(p1, 1); // 16 < stale's 115
+        let mut delta2 = Vec::new();
+        let mut enc = Encoder::new(&mut delta2, b"HITDTEST", 1).unwrap();
+        h2.encode_delta(&mut enc).unwrap();
+        enc.finish().unwrap();
+        let mut dec = Decoder::new(delta2.as_slice(), b"HITDTEST", 1).unwrap();
+        assert!(matches!(
+            stale.apply_delta(&mut dec),
+            Err(CodecError::Corrupt("probe-spend counter went backwards"))
+        ));
     }
 
     /// The snapshot codec writes a `SourceId` as its discriminant and

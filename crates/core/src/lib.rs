@@ -43,3 +43,7 @@ pub use pipeline::{
     RetentionConfig,
 };
 pub use report::{render_source_table, source_table, total_row, SourceRow};
+// The scheduler rides through the pipeline's journal and status
+// surfaces; re-export its types so downstream crates (serve, served)
+// name them without a direct manifest edge.
+pub use expanse_sched::{SchedConfig, SchedJobInfo, SchedStatus, Scheduler};

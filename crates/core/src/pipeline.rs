@@ -12,8 +12,12 @@ use expanse_model::{InternetModel, ModelConfig, Source, SourceId};
 use expanse_netsim::Time;
 use expanse_packet::ProtoSet;
 use expanse_scamper6::{TraceConfig, Tracer};
+use expanse_sched::{
+    PrefixDemand, SchedConfig, SchedPlan, Scheduler, MAX_DEMAND_SAMPLE, SCHED_PREFIX_LEN,
+    SPLIT_PREFIX_LEN,
+};
 use expanse_zmap6::{standard_battery, MultiScanResult, ScanConfig, Scanner};
-use std::collections::BTreeSet;
+use std::collections::{BTreeMap, BTreeSet};
 use std::io::{Read, Write};
 use std::net::Ipv6Addr;
 
@@ -61,6 +65,10 @@ pub struct PipelineConfig {
     pub full_apd_every: u16,
     /// Hitlist retention policy.
     pub retention: RetentionConfig,
+    /// Probe scheduling policy. Default **off**: the battery probes
+    /// every non-aliased member (the fixed grid); enabled, the
+    /// [`Scheduler`] admits a budgeted, yield-ranked subset per day.
+    pub sched: SchedConfig,
 }
 
 impl Default for PipelineConfig {
@@ -72,6 +80,7 @@ impl Default for PipelineConfig {
             trace_budget: 200,
             full_apd_every: 7,
             retention: RetentionConfig::default(),
+            sched: SchedConfig::default(),
         }
     }
 }
@@ -117,6 +126,11 @@ pub struct Pipeline {
     pub sources: Vec<Source>,
     /// Longitudinal responsiveness ledger.
     pub ledger: Ledger,
+    /// The probe scheduler's feedback queue (per-/48 yield history and
+    /// APD flags). Always maintained and persisted — only *consulted*
+    /// when [`SchedConfig::enabled`] is set, so flipping the switch on
+    /// a resumed journal starts from real history, not a cold queue.
+    pub sched: Scheduler,
     /// Prefixes worth re-probing between full APD runs: a sorted set,
     /// pruned when a prefix is classified aliased or goes cold (a
     /// classified prefix holds its verdict without daily probes until
@@ -154,6 +168,7 @@ impl Pipeline {
             hitlist: Hitlist::new(),
             sources,
             ledger: Ledger::new(),
+            sched: Scheduler::new(),
             hot_prefixes: BTreeSet::new(),
             day: 0,
             synced_hot: BTreeSet::new(),
@@ -235,11 +250,22 @@ impl Pipeline {
         let live = self.hitlist.live_set();
 
         // ---- aliased prefix detection --------------------------------
-        let plan: Vec<Prefix> = if day.is_multiple_of(self.cfg.full_apd_every) {
+        let mut plan: Vec<Prefix> = if day.is_multiple_of(self.cfg.full_apd_every) {
             expanse_apd::plan_targets_set(self.hitlist.table(), &live, &self.cfg.plan)
         } else {
             self.hot_prefixes.iter().copied().collect()
         };
+        // Scheduler feedback into the APD plan: suspect (nearly-aliased)
+        // /48s the queue flagged get re-validated today even between
+        // full runs. A no-op in the degenerate config (follow-up off).
+        if self.cfg.sched.enabled && self.cfg.sched.followup_targets > 0 {
+            let suspects = self.sched.suspect_prefixes();
+            if !suspects.is_empty() {
+                plan.extend(suspects);
+                plan.sort();
+                plan.dedup();
+            }
+        }
         let report = if plan.is_empty() {
             None
         } else {
@@ -275,10 +301,44 @@ impl Pipeline {
         // snapshot workers partition, so the canonical digest is
         // unchanged by the id-based plumbing.
         let kept: Vec<Ipv6Addr> = kept_ids.addrs(self.hitlist.table()).collect();
+        let kept_len = kept.len();
+
+        // ---- probe scheduling ----------------------------------------
+        // Enabled: the scheduler plans the day (budget, caps, splits)
+        // and the battery scans the admitted subset — still an id-order
+        // subsequence of `kept`, so the degenerate config reproduces
+        // the fixed grid byte-for-byte. Disabled: `kept` scans whole.
+        let (targets, sched_plan) = if self.cfg.sched.enabled {
+            let (t, p) = self.schedule_targets(day, &kept, &aliased_now);
+            (t, Some(p))
+        } else {
+            (kept, None)
+        };
 
         // ---- scamper: learn router addresses -------------------------
-        let trace_targets: Vec<Ipv6Addr> =
-            kept.iter().copied().take(self.cfg.trace_budget).collect();
+        // Scheduled follow-up traces (suspect confirmation) take the
+        // head of the trace budget; the remainder subsamples today's
+        // battery targets exactly as the fixed path always has.
+        let trace_targets: Vec<Ipv6Addr> = if let Some(plan) = &sched_plan {
+            let mut tt = plan.trace_targets();
+            tt.truncate(self.cfg.trace_budget);
+            let seen: BTreeSet<Ipv6Addr> = tt.iter().copied().collect();
+            let room = self.cfg.trace_budget - tt.len();
+            tt.extend(
+                targets
+                    .iter()
+                    .copied()
+                    .filter(|a| !seen.contains(a))
+                    .take(room),
+            );
+            tt
+        } else {
+            targets
+                .iter()
+                .copied()
+                .take(self.cfg.trace_budget)
+                .collect()
+        };
         let routers = {
             let mut tracer = Tracer::new(
                 self.scanner.network_mut(),
@@ -305,7 +365,7 @@ impl Pipeline {
         let hl = &self.hitlist;
         let mut multi: MultiScanResult =
             self.scanner
-                .scan_battery_resolved(&kept, &battery, &mut |a| {
+                .scan_battery_resolved(&targets, &battery, &mut |a| {
                     // Scan targets were drawn from the hitlist above.
                     #[allow(clippy::expect_used)]
                     let id = hl.id_of(a).expect("responder not in hitlist");
@@ -323,6 +383,37 @@ impl Pipeline {
             .record_day_threads(day, &day_pass, &self.hitlist, threads);
         self.hitlist.mark_responsive_batch(day, &day_pass, threads);
 
+        // ---- discovery-cost accounting -------------------------------
+        // Per covering /48: battery slots spent today and responders
+        // credited to them. The hitlist's `probes_spent` counters make
+        // yield-per-probe computable on both the fixed and scheduled
+        // paths; the scheduler additionally folds the outcomes back
+        // into its queue when it planned the day.
+        let mut outcomes: BTreeMap<Prefix, (u64, u64)> = BTreeMap::new();
+        for &a in &targets {
+            outcomes
+                .entry(Prefix::new(a, SCHED_PREFIX_LEN))
+                .or_insert((0, 0))
+                .0 += 1;
+        }
+        for &(id, _) in &day_pass {
+            let a = self.hitlist.table().addr(id);
+            outcomes
+                .entry(Prefix::new(a, SCHED_PREFIX_LEN))
+                .or_insert((0, 0))
+                .1 += 1;
+        }
+        for (&net, &(spent, _)) in &outcomes {
+            self.hitlist.charge_probes(net, spent);
+        }
+        if self.cfg.sched.enabled {
+            let folded: Vec<(Prefix, u64, u64)> = outcomes
+                .iter()
+                .map(|(&net, &(spent, found))| (net, spent, found))
+                .collect();
+            self.sched.record_day(day, &folded);
+        }
+
         // ---- retention: expire long-unresponsive members -------------
         // Runs after today's responses are recorded, so an address that
         // answered today can never expire today.
@@ -336,7 +427,7 @@ impl Pipeline {
         let snapshot = DailySnapshot {
             day,
             hitlist_total: self.hitlist.len(),
-            hitlist_after_apd: kept.len(),
+            hitlist_after_apd: kept_len,
             aliased_prefixes: aliased_now,
             // The snapshot takes the merged responsive map over; the
             // returned MultiScanResult keeps the per-protocol results
@@ -357,6 +448,95 @@ impl Pipeline {
         (snapshot, multi)
     }
 
+    /// Build the day's battery target list through the scheduler.
+    ///
+    /// Groups the kept members by covering /48, builds one
+    /// [`PrefixDemand`] per group (candidate count + a bounded sorted
+    /// sample for the entropy fingerprint and follow-up traces), plans
+    /// the day against the budget, then admits members against the
+    /// per-prefix quotas. Capped prefixes rotate deterministically: the
+    /// admission window's start offset advances by `quota` positions
+    /// per day, so a /48 held under its cap cycles through *all* its
+    /// members across days instead of re-probing the same head.
+    ///
+    /// The returned list is an id-order subsequence of `kept`; with the
+    /// degenerate config every member is admitted and the list *is*
+    /// `kept`, which is what makes the scheduled and fixed paths
+    /// byte-identical there.
+    fn schedule_targets(
+        &mut self,
+        day: u16,
+        kept: &[Ipv6Addr],
+        aliased_now: &[Prefix],
+    ) -> (Vec<Ipv6Addr>, SchedPlan) {
+        let mut groups: BTreeMap<Prefix, Vec<Ipv6Addr>> = BTreeMap::new();
+        for &a in kept {
+            groups
+                .entry(Prefix::new(a, SCHED_PREFIX_LEN))
+                .or_default()
+                .push(a);
+        }
+        let demands: Vec<PrefixDemand> = groups
+            .iter()
+            .map(|(&net, members)| {
+                let mut sample: Vec<Ipv6Addr> =
+                    members.iter().copied().take(MAX_DEMAND_SAMPLE).collect();
+                sample.sort_unstable();
+                PrefixDemand {
+                    net,
+                    candidates: members.len() as u64,
+                    sample,
+                }
+            })
+            .collect();
+        // The hot set (nearly-aliased, not yet classified) is the
+        // suspect signal; APD verdicts are today's aliased list.
+        let suspects: Vec<Prefix> = self.hot_prefixes.iter().copied().collect();
+        let mut plan = self
+            .sched
+            .plan_day(&self.cfg.sched, day, &demands, aliased_now, &suspects);
+
+        // Admission: regroup members under their quota key (/52 child
+        // when the /48 was split, the /48 itself otherwise), then admit
+        // a rotated window of each group. Id order within groups.
+        let mut qgroups: BTreeMap<Prefix, Vec<Ipv6Addr>> = BTreeMap::new();
+        for (&net, members) in &groups {
+            for &a in members {
+                let p52 = Prefix::new(a, SPLIT_PREFIX_LEN);
+                let key = if plan.quotas.contains_key(&p52) {
+                    p52
+                } else {
+                    net
+                };
+                qgroups.entry(key).or_default().push(a);
+            }
+        }
+        let mut selected: BTreeSet<Ipv6Addr> = BTreeSet::new();
+        for (key, members) in &qgroups {
+            let Some(&quota) = plan.quotas.get(key) else {
+                continue;
+            };
+            let m = members.len();
+            let q = quota.min(m as u64) as usize;
+            if q == 0 {
+                continue;
+            }
+            let start = if q >= m { 0 } else { (day as usize * q) % m };
+            for i in 0..q {
+                let a = members[(start + i) % m];
+                if plan.admit(a) {
+                    selected.insert(a);
+                }
+            }
+        }
+        let targets: Vec<Ipv6Addr> = kept
+            .iter()
+            .copied()
+            .filter(|a| selected.contains(a))
+            .collect();
+        (targets, plan)
+    }
+
     /// Current probing day (next `run_day` uses this).
     pub fn day(&self) -> u16 {
         self.day
@@ -372,6 +552,7 @@ impl Pipeline {
         self.hitlist.mark_synced();
         self.ledger.mark_synced();
         self.apd.mark_synced();
+        self.sched.mark_synced();
         self.synced_hot = self.hot_prefixes.clone();
         self.synced_day = self.day;
     }
@@ -392,6 +573,7 @@ impl Pipeline {
             .encode_par(&mut enc, expanse_addr::worker_threads())?;
         self.ledger.encode(&mut enc)?;
         self.apd.encode(&mut enc)?;
+        self.sched.encode(&mut enc)?;
         enc.finish()?;
         Ok(())
     }
@@ -444,6 +626,7 @@ impl Pipeline {
             .encode_delta_par(&mut enc, expanse_addr::worker_threads())?;
         self.ledger.encode_delta(&mut enc)?;
         self.apd.encode_delta(&mut enc)?;
+        self.sched.encode_delta(&mut enc)?;
         enc.finish()?;
         w.write_all(&(frame.len() as u64).to_le_bytes())?;
         w.write_all(&frame)?;
@@ -507,6 +690,7 @@ impl Pipeline {
             hitlist: st.hitlist,
             sources,
             ledger: st.ledger,
+            sched: st.sched,
             synced_hot: st.hot_prefixes.clone(),
             hot_prefixes: st.hot_prefixes,
             day: st.day,
@@ -544,6 +728,8 @@ pub struct PersistedState {
     pub ledger: Ledger,
     /// The aliased-prefix detector's window state.
     pub apd: Apd,
+    /// The probe scheduler's feedback queue (per-/48 yield history).
+    pub sched: Scheduler,
 }
 
 impl PersistedState {
@@ -566,6 +752,7 @@ impl PersistedState {
         let hitlist = Hitlist::decode(&mut dec)?;
         let ledger = Ledger::decode(&mut dec)?;
         let apd = Apd::decode(apd_cfg, &mut dec)?;
+        let sched = Scheduler::decode(&mut dec)?;
         dec.finish()?;
         Ok(PersistedState {
             day,
@@ -574,6 +761,7 @@ impl PersistedState {
             hitlist,
             ledger,
             apd,
+            sched,
         })
     }
 
@@ -622,6 +810,7 @@ impl PersistedState {
         self.hitlist.apply_delta(&mut dec)?;
         self.ledger.apply_delta(&mut dec)?;
         self.apd.apply_delta(&mut dec)?;
+        self.sched.apply_delta(&mut dec)?;
         dec.finish()?;
         self.day = day;
         self.clock = clock;

@@ -1,0 +1,784 @@
+//! `expanse-sched`: the feedback-driven probe scheduler — a
+//! deterministic priority work queue that replaces the fixed daily
+//! battery grid with budgeted, yield-directed probing.
+//!
+//! The daily battery probes every kept hitlist member uniformly; a real
+//! scanner allocates probes where new addresses are expected. This
+//! crate models that allocation as a queue of typed [`Job`]s (the
+//! prefix-crab shape): [`Job::EchoScanPrefix`] splits-and-samples a
+//! /48 whose response entropy says it is heterogeneous, and
+//! [`Job::FollowUpTrace`] confirms suspicious ranges with traceroute.
+//! Priorities come from signals the workspace already produces —
+//! historical yield per probe and freshness (the hitlist's
+//! `probes_spent` accounting), aliased-prefix verdicts (APD), and
+//! per-prefix entropy fingerprints (`expanse_entropy`).
+//!
+//! Two hard invariants keep a scheduled hitlist honest ("IPv6 Hitlists
+//! at Scale" is the cautionary grounding — unbounded chasing of
+//! high-yield periphery poisons a list):
+//!
+//! - a **fixed daily probe budget** ([`SchedConfig::daily_budget`]),
+//!   spent greedily by expected new-address yield, and
+//! - a **hard per-/48 spend cap** ([`SchedConfig::per_48_cap`]) so an
+//!   alias fabric answering everything can never monopolize the day.
+//!
+//! Everything is deterministic: entries live in ordered maps, the
+//! priority function is integer fixed-point, and ties break on the
+//! prefix order — the same inputs plan the same day on any thread
+//! count, which is what lets the pipeline's byte-identical fan-out and
+//! resume guarantees extend to scheduled runs. The degenerate
+//! configuration (infinite budget and cap, splitting and follow-up
+//! disabled) admits every candidate and reproduces the fixed grid
+//! byte-identically (`crates/core/tests/sched_determinism.rs`).
+
+#![deny(missing_docs)]
+
+pub mod persist;
+
+use expanse_addr::Prefix;
+use expanse_entropy::Fingerprint;
+use std::collections::{BTreeMap, BTreeSet};
+use std::net::Ipv6Addr;
+
+/// `last_scanned` sentinel: the prefix has never been scheduled.
+pub const NEVER_SCANNED: u16 = 0xffff;
+
+/// Scheduling granularity: entries, caps, and spend accounting are all
+/// keyed by the covering prefix of this length.
+pub const SCHED_PREFIX_LEN: u8 = 48;
+
+/// Split granularity: a split /48 fans out into 16 children of this
+/// length, mirroring the /48 → /52 subnetting step.
+pub const SPLIT_PREFIX_LEN: u8 = 52;
+
+/// Ceiling on a [`PrefixDemand`] sample: enough addresses for a stable
+/// nybble-entropy fingerprint and a follow-up trace pool, small enough
+/// that demand building stays O(candidates).
+pub const MAX_DEMAND_SAMPLE: usize = 64;
+
+/// Scheduler knobs. The default is **off**: the pipeline runs today's
+/// fixed grid and the scheduler is never consulted.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SchedConfig {
+    /// Master switch; `false` = the pipeline's fixed daily grid.
+    pub enabled: bool,
+    /// Daily probe budget in battery target slots (one slot = one
+    /// address probed by the full protocol battery).
+    pub daily_budget: u64,
+    /// Hard per-/48 daily spend cap, same unit as the budget.
+    pub per_48_cap: u64,
+    /// Mean normalized nybble entropy (over nybbles 13–16, the /48→/64
+    /// span) at or above which a prefix is split into /52 children.
+    /// Values above `1.0` disable splitting (entropy is normalized).
+    pub split_entropy: f64,
+    /// Minimum sample size before an entropy fingerprint is computed;
+    /// smaller prefixes are never split.
+    pub entropy_min_sample: usize,
+    /// Targets handed to each [`Job::FollowUpTrace`] job; `0` disables
+    /// follow-up tracing and the suspect feedback into the APD plan.
+    pub followup_targets: usize,
+}
+
+impl Default for SchedConfig {
+    fn default() -> Self {
+        SchedConfig {
+            enabled: false,
+            daily_budget: u64::MAX,
+            per_48_cap: u64::MAX,
+            split_entropy: 2.0,
+            entropy_min_sample: 16,
+            followup_targets: 0,
+        }
+    }
+}
+
+impl SchedConfig {
+    /// The degenerate *enabled* configuration: scheduling is consulted
+    /// but constrains nothing — infinite budget and cap, splitting and
+    /// follow-up disabled. Guaranteed byte-identical to the fixed grid.
+    pub fn degenerate() -> Self {
+        SchedConfig {
+            enabled: true,
+            ..SchedConfig::default()
+        }
+    }
+
+    /// A budgeted feedback preset: spend at most `daily_budget` slots
+    /// per day, at most `per_48_cap` per /48, split heterogeneous
+    /// prefixes, and trace suspects.
+    pub fn budgeted(daily_budget: u64, per_48_cap: u64) -> Self {
+        SchedConfig {
+            enabled: true,
+            daily_budget,
+            per_48_cap,
+            split_entropy: 0.35,
+            entropy_min_sample: 16,
+            followup_targets: 8,
+        }
+    }
+}
+
+/// Per-/48 feedback state: everything the priority function reads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PrefixEntry {
+    /// Cumulative battery target slots spent under this prefix.
+    pub spent: u64,
+    /// Cumulative responsive addresses credited to those slots.
+    pub found: u64,
+    /// Last day this prefix was scheduled; [`NEVER_SCANNED`] if never.
+    pub last_scanned: u16,
+    /// An APD verdict covers this whole prefix: it is alias space and
+    /// gets zero priority.
+    pub aliased: bool,
+    /// Nearly aliased, or an alias fabric sits *inside* the prefix
+    /// (its remaining candidates passed the alias filter, so they are
+    /// honest — but the neighbourhood is suspect): demoted, traced,
+    /// and fed back to the APD plan.
+    pub suspect: bool,
+}
+
+impl PrefixEntry {
+    /// A fresh, never-scanned entry.
+    pub fn new() -> Self {
+        PrefixEntry {
+            spent: 0,
+            found: 0,
+            last_scanned: NEVER_SCANNED,
+            aliased: false,
+            suspect: false,
+        }
+    }
+}
+
+// NOT derivable: a fresh entry is *never scanned* (`last_scanned` is
+// the 0xffff sentinel, not 0). A derived default would make new
+// prefixes look freshly probed and starve them of the staleness boost.
+impl Default for PrefixEntry {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// One /48's demand for today: how many battery candidates live under
+/// it and a bounded address sample (for entropy and follow-up targets).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PrefixDemand {
+    /// The covering /48.
+    pub net: Prefix,
+    /// Battery candidates (kept hitlist members) under it today.
+    pub candidates: u64,
+    /// A bounded sample of those candidates, ascending.
+    pub sample: Vec<Ipv6Addr>,
+}
+
+/// A typed unit of scheduled work (the prefix-crab job shapes).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Job {
+    /// Probe a prefix: when issued for a split /48, each /52 child is
+    /// sampled with `sample_k` target slots; unsplit, `sample_k` is the
+    /// whole prefix's slot count.
+    EchoScanPrefix {
+        /// The prefix being scanned (always the /48 entry key).
+        net: Prefix,
+        /// Target slots per sampled unit (clamped to `u32`).
+        sample_k: u32,
+    },
+    /// Confirm a suspicious range: traceroute these members to their
+    /// last-hop routers before believing their responses.
+    FollowUpTrace {
+        /// Trace targets, drawn from the prefix's demand sample.
+        targets: Vec<Ipv6Addr>,
+    },
+}
+
+/// One queue item as planned for today, for introspection and tracing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PlannedJob {
+    /// The /48 the job belongs to.
+    pub net: Prefix,
+    /// The computed priority it was queued at.
+    pub priority: u64,
+    /// Budget slots allocated to it.
+    pub spend: u64,
+    /// The job payload.
+    pub job: Job,
+}
+
+/// The outcome of [`Scheduler::plan_day`]: per-prefix admission quotas
+/// plus the planned job list.
+#[derive(Debug, Clone, Default)]
+pub struct SchedPlan {
+    /// Today's queue, highest priority first.
+    pub jobs: Vec<PlannedJob>,
+    /// Admission quotas: `/52` entries for split prefixes, `/48`
+    /// entries otherwise. [`SchedPlan::admit`] consumes them.
+    pub quotas: BTreeMap<Prefix, u64>,
+    /// The configured budget this plan was drawn against.
+    pub budget: u64,
+    /// Slots allocated by the planner.
+    pub budget_used: u64,
+    /// Per-/48 slots actually admitted so far (see [`SchedPlan::admit`]).
+    pub spent: BTreeMap<Prefix, u64>,
+    /// Planner-detected violations of the per-/48 cap; an invariant
+    /// counter that must stay zero (the bench gate pins it).
+    pub cap_violations: u64,
+    /// Suspect /48s to union into the APD probing plan.
+    pub suspects: Vec<Prefix>,
+}
+
+impl SchedPlan {
+    /// Admit one battery candidate against the plan's quotas: `true`
+    /// consumes a slot (charged to its /52 child if the /48 was split,
+    /// else the /48 itself), `false` means the prefix's allocation is
+    /// exhausted — or was never selected — and the address is skipped
+    /// today. Deterministic: admission depends only on quota state and
+    /// call order.
+    pub fn admit(&mut self, addr: Ipv6Addr) -> bool {
+        let p48 = Prefix::new(addr, SCHED_PREFIX_LEN);
+        let key = {
+            let p52 = Prefix::new(addr, SPLIT_PREFIX_LEN);
+            if self.quotas.contains_key(&p52) {
+                p52
+            } else {
+                p48
+            }
+        };
+        match self.quotas.get_mut(&key) {
+            Some(q) if *q > 0 => {
+                *q -= 1;
+                *self.spent.entry(p48).or_insert(0) += 1;
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// All follow-up trace targets across today's jobs, in queue order.
+    pub fn trace_targets(&self) -> Vec<Ipv6Addr> {
+        let mut out = Vec::new();
+        for pj in &self.jobs {
+            if let Job::FollowUpTrace { targets } = &pj.job {
+                out.extend_from_slice(targets);
+            }
+        }
+        out
+    }
+}
+
+/// One introspection row: a queue entry as reported over the serve
+/// protocol (`expansectl sched`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SchedJobInfo {
+    /// The /48 entry.
+    pub net: Prefix,
+    /// Job kind: `0` = echo-scan, `1` = follow-up trace (suspect).
+    pub kind: u8,
+    /// Canonical priority (computed with `candidates = found.max(1)`).
+    pub priority: u64,
+    /// Cumulative slots spent under the prefix.
+    pub spent: u64,
+}
+
+/// The scheduler section of a status response: last plan's budget
+/// figures plus the top-K queue entries.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SchedStatus {
+    /// Budget the last plan was drawn against (`0` = never planned).
+    pub budget: u64,
+    /// Slots the last plan allocated.
+    pub used: u64,
+    /// Tracked /48 entries.
+    pub entries: u64,
+    /// Top-K entries by canonical priority, ties on prefix order.
+    pub top: Vec<SchedJobInfo>,
+}
+
+/// The deterministic priority work queue. Holds one [`PrefixEntry`]
+/// per /48 ever scheduled; persisted through the snapshot journal (the
+/// `sched` sections of `docs/SNAPSHOT_FORMAT.md`).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Scheduler {
+    pub(crate) entries: BTreeMap<Prefix, PrefixEntry>,
+    pub(crate) dirty: BTreeSet<Prefix>,
+    pub(crate) last_budget: u64,
+    pub(crate) last_used: u64,
+}
+
+/// The fixed-point priority of one entry (higher = scan sooner):
+/// `candidates × (yield + staleness + 1)`, halved for suspects, zero
+/// for aliased prefixes. `yield` is `found/spent` in 1/1024 units
+/// (optimistic `1024` before any spend, clamped at `4096`); staleness
+/// is `64 × days-since-scan` (clamped at 64 days), with a `4096`
+/// never-scanned boost. Pure integer math — no floats, no overflow
+/// (≤ 2²⁰ × 2¹³ < 2⁶⁴).
+pub fn priority(e: &PrefixEntry, candidates: u64, day: u16) -> u64 {
+    if e.aliased {
+        return 0;
+    }
+    let staleness = if e.last_scanned == NEVER_SCANNED {
+        4096
+    } else {
+        u64::from(day.saturating_sub(e.last_scanned).min(64)) * 64
+    };
+    let yield_q10 = e
+        .found
+        .saturating_mul(1024)
+        .checked_div(e.spent)
+        .map_or(1024, |y| y.min(4096));
+    let p = candidates.clamp(1, 1 << 20) * (yield_q10 + staleness + 1);
+    if e.suspect {
+        p / 2
+    } else {
+        p
+    }
+}
+
+/// Mean normalized nybble entropy of a demand's sample over nybbles
+/// 13–16 (the /48 → /64 span), or `0.0` when the sample is too small
+/// to fingerprint.
+fn demand_entropy(cfg: &SchedConfig, d: &PrefixDemand) -> f64 {
+    if d.sample.len() < cfg.entropy_min_sample.max(1) {
+        return 0.0;
+    }
+    let f = Fingerprint::compute(&d.sample, 13, 16);
+    f.values.iter().sum::<f64>() / f.values.len() as f64
+}
+
+/// Does an APD verdict prefix overlap a /48 entry (cover it, or sit
+/// inside it)?
+fn overlaps(verdict: Prefix, net: Prefix) -> bool {
+    if verdict.len() <= net.len() {
+        verdict.covers(&net)
+    } else {
+        net.covers(&verdict)
+    }
+}
+
+impl Scheduler {
+    /// An empty scheduler (no history, nothing dirty).
+    pub fn new() -> Self {
+        Scheduler::default()
+    }
+
+    /// Tracked /48 entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// No entries tracked yet?
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The entry for a /48, if tracked.
+    pub fn entry(&self, net: Prefix) -> Option<&PrefixEntry> {
+        self.entries.get(&net)
+    }
+
+    /// Suspect (nearly-aliased, not yet aliased) /48s, ascending —
+    /// the feedback set unioned into the APD probing plan.
+    pub fn suspect_prefixes(&self) -> Vec<Prefix> {
+        self.entries
+            .iter()
+            .filter(|(_, e)| e.suspect && !e.aliased)
+            .map(|(p, _)| *p)
+            .collect()
+    }
+
+    /// Plan one probing day.
+    ///
+    /// Updates each demanded /48's APD flags from `aliased` /
+    /// `suspects`, computes priorities, and greedily spends
+    /// `cfg.daily_budget` slots in priority order, never exceeding
+    /// `cfg.per_48_cap` per /48. Prefixes whose sample entropy clears
+    /// `cfg.split_entropy` are split into /52 children with the
+    /// allocation weighted by the sample's per-child member counts;
+    /// suspects additionally queue a
+    /// [`Job::FollowUpTrace`] when `cfg.followup_targets > 0`.
+    ///
+    /// Deterministic: demands are keyed by prefix, the priority is
+    /// integer-valued, and ties break on ascending prefix.
+    pub fn plan_day(
+        &mut self,
+        cfg: &SchedConfig,
+        day: u16,
+        demands: &[PrefixDemand],
+        aliased: &[Prefix],
+        suspects: &[Prefix],
+    ) -> SchedPlan {
+        let mut plan = SchedPlan {
+            budget: cfg.daily_budget,
+            ..SchedPlan::default()
+        };
+
+        // Refresh the APD flags on every demanded entry; only actual
+        // transitions dirty the journal. A verdict at or above the /48
+        // means the whole entry is alias space (starved); a verdict
+        // strictly inside it leaves the filtered candidates honest but
+        // marks the neighbourhood suspect — the fixed grid still probes
+        // those members, so starving them would break the degenerate
+        // oracle (and waste real coverage).
+        for d in demands {
+            debug_assert_eq!(d.net.len(), SCHED_PREFIX_LEN, "demands are keyed by /48");
+            let e = self.entries.entry(d.net).or_default();
+            let is_aliased = aliased
+                .iter()
+                .any(|&a| a.len() <= d.net.len() && a.covers(&d.net));
+            let interior_fabric = !is_aliased
+                && aliased
+                    .iter()
+                    .any(|&a| a.len() > d.net.len() && d.net.covers(&a));
+            let is_suspect = interior_fabric || suspects.iter().any(|&s| overlaps(s, d.net));
+            if e.aliased != is_aliased || e.suspect != is_suspect {
+                e.aliased = is_aliased;
+                e.suspect = is_suspect;
+                self.dirty.insert(d.net);
+            }
+        }
+
+        // Priority order: highest first, ties on ascending prefix.
+        let mut order: Vec<(u64, &PrefixDemand)> = demands
+            .iter()
+            .map(|d| {
+                let e = self.entries.get(&d.net).copied().unwrap_or_default();
+                (priority(&e, d.candidates, day), d)
+            })
+            .collect();
+        order.sort_by(|a, b| b.0.cmp(&a.0).then_with(|| a.1.net.cmp(&b.1.net)));
+
+        let mut remaining = cfg.daily_budget;
+        let split_on = cfg.split_entropy <= 1.0;
+        for (prio, d) in order {
+            if prio == 0 || remaining == 0 {
+                continue; // aliased prefixes get nothing; budget may be dry
+            }
+            let take = d.candidates.min(cfg.per_48_cap).min(remaining);
+            if take == 0 {
+                continue;
+            }
+            if take > cfg.per_48_cap {
+                plan.cap_violations += 1; // unreachable by construction
+            }
+            remaining -= take;
+            plan.budget_used += take;
+            let e = self.entries.get(&d.net).copied().unwrap_or_default();
+
+            let split = split_on && take >= 16 && demand_entropy(cfg, d) >= cfg.split_entropy;
+            let sampled: u64 = d.sample.len() as u64;
+            if split && sampled > 0 {
+                // Weight the allocation by the sample's observed /52
+                // children. An even 16-way spread parks quota on
+                // children with no members, and admission silently
+                // underspends the budget by exactly that amount.
+                let mut counts = [0u64; 16];
+                for a in &d.sample {
+                    let nyb = (u128::from_be_bytes(a.octets())
+                        >> (128 - u32::from(SPLIT_PREFIX_LEN)))
+                        & 0xf;
+                    counts[nyb as usize] += 1;
+                }
+                let mut quotas = [0u64; 16];
+                let mut left = take;
+                for (q, &c) in quotas.iter_mut().zip(counts.iter()) {
+                    *q = take * c / sampled;
+                    left -= *q;
+                }
+                // Remainder round-robins over the sampled children in
+                // prefix order, so the full `take` is always assigned.
+                let mut i = 0usize;
+                while left > 0 {
+                    if counts[i % 16] > 0 {
+                        quotas[i % 16] += 1;
+                        left -= 1;
+                    }
+                    i += 1;
+                }
+                let mut sample_k = 0u64;
+                for (i, child) in d.net.subprefixes(4).enumerate() {
+                    if quotas[i] > 0 {
+                        plan.quotas.insert(child, quotas[i]);
+                        sample_k = sample_k.max(quotas[i]);
+                    }
+                }
+                plan.jobs.push(PlannedJob {
+                    net: d.net,
+                    priority: prio,
+                    spend: take,
+                    job: Job::EchoScanPrefix {
+                        net: d.net,
+                        sample_k: sample_k.min(u64::from(u32::MAX)) as u32,
+                    },
+                });
+            } else {
+                plan.quotas.insert(d.net, take);
+                plan.jobs.push(PlannedJob {
+                    net: d.net,
+                    priority: prio,
+                    spend: take,
+                    job: Job::EchoScanPrefix {
+                        net: d.net,
+                        sample_k: take.min(u64::from(u32::MAX)) as u32,
+                    },
+                });
+            }
+            if e.suspect && !e.aliased && cfg.followup_targets > 0 {
+                let targets: Vec<Ipv6Addr> = d
+                    .sample
+                    .iter()
+                    .take(cfg.followup_targets)
+                    .copied()
+                    .collect();
+                if !targets.is_empty() {
+                    plan.jobs.push(PlannedJob {
+                        net: d.net,
+                        priority: prio,
+                        spend: 0,
+                        job: Job::FollowUpTrace { targets },
+                    });
+                }
+                plan.suspects.push(d.net);
+            }
+        }
+        plan.suspects.sort();
+        plan.suspects.dedup();
+        self.last_budget = cfg.daily_budget;
+        self.last_used = plan.budget_used;
+        plan
+    }
+
+    /// Fold one probing day's outcome back into the queue: per /48,
+    /// the slots actually spent and the responsive addresses credited.
+    /// Touched entries are marked for the next journal delta.
+    pub fn record_day(&mut self, day: u16, outcomes: &[(Prefix, u64, u64)]) {
+        for &(net, spent, found) in outcomes {
+            let e = self.entries.entry(net).or_default();
+            e.spent = e.spent.saturating_add(spent);
+            e.found = e.found.saturating_add(found);
+            e.last_scanned = day;
+            self.dirty.insert(net);
+        }
+    }
+
+    /// The introspection view: last plan's budget figures plus the
+    /// top-`k` entries by canonical priority (candidates approximated
+    /// by `found.max(1)` so the ranking is derivable from persisted
+    /// state alone — identical for live and journal-loaded views).
+    pub fn status(&self, day: u16, k: usize) -> SchedStatus {
+        let mut ranked: Vec<SchedJobInfo> = self
+            .entries
+            .iter()
+            .map(|(p, e)| SchedJobInfo {
+                net: *p,
+                kind: u8::from(e.suspect && !e.aliased),
+                priority: priority(e, e.found.max(1), day),
+                spent: e.spent,
+            })
+            .collect();
+        ranked.sort_by(|a, b| b.priority.cmp(&a.priority).then_with(|| a.net.cmp(&b.net)));
+        ranked.truncate(k);
+        SchedStatus {
+            budget: self.last_budget,
+            used: self.last_used,
+            entries: self.entries.len() as u64,
+            top: ranked,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p48(s: &str) -> Prefix {
+        s.parse().unwrap()
+    }
+
+    fn demand(net: &str, candidates: u64) -> PrefixDemand {
+        let net = p48(net);
+        let sample: Vec<Ipv6Addr> = (0..candidates.min(64))
+            .map(|i| net.addr_at(i as u128))
+            .collect();
+        PrefixDemand {
+            net,
+            candidates,
+            sample,
+        }
+    }
+
+    #[test]
+    fn degenerate_config_admits_everything() {
+        let cfg = SchedConfig::degenerate();
+        let mut s = Scheduler::new();
+        let demands = vec![demand("2001:db8:1::/48", 100), demand("2001:db8:2::/48", 7)];
+        let mut plan = s.plan_day(&cfg, 3, &demands, &[], &[]);
+        assert_eq!(plan.budget_used, 107);
+        assert_eq!(plan.cap_violations, 0);
+        assert!(plan.suspects.is_empty());
+        for d in &demands {
+            for i in 0..d.candidates {
+                assert!(
+                    plan.admit(d.net.addr_at(i as u128)),
+                    "slot {i} of {}",
+                    d.net
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn unselected_prefix_is_refused() {
+        let cfg = SchedConfig::degenerate();
+        let mut s = Scheduler::new();
+        let mut plan = s.plan_day(&cfg, 0, &[demand("2001:db8:1::/48", 4)], &[], &[]);
+        assert!(!plan.admit(p48("2001:db8:9::/48").addr_at(0)));
+    }
+
+    #[test]
+    fn per_48_cap_is_hard() {
+        let cfg = SchedConfig::budgeted(1000, 10);
+        let mut s = Scheduler::new();
+        let demands = vec![demand("2001:db8:1::/48", 500)];
+        let mut plan = s.plan_day(&cfg, 0, &demands, &[], &[]);
+        assert_eq!(plan.cap_violations, 0);
+        let mut admitted = 0u64;
+        for i in 0..500u128 {
+            if plan.admit(demands[0].net.addr_at(i)) {
+                admitted += 1;
+            }
+        }
+        assert_eq!(admitted, 10);
+        assert_eq!(plan.spent.get(&demands[0].net), Some(&10));
+    }
+
+    #[test]
+    fn budget_is_spent_by_priority() {
+        let cfg = SchedConfig::budgeted(20, 20);
+        let mut s = Scheduler::new();
+        // Give the second prefix a strong yield history.
+        s.record_day(0, &[(p48("2001:db8:1::/48"), 100, 1)]);
+        s.record_day(0, &[(p48("2001:db8:2::/48"), 100, 90)]);
+        let demands = vec![demand("2001:db8:1::/48", 20), demand("2001:db8:2::/48", 20)];
+        let plan = s.plan_day(&cfg, 5, &demands, &[], &[]);
+        // The whole budget lands on the high-yield prefix.
+        assert_eq!(plan.quotas.get(&p48("2001:db8:2::/48")), Some(&20));
+        assert_eq!(plan.quotas.get(&p48("2001:db8:1::/48")), None);
+        assert_eq!(plan.budget_used, 20);
+    }
+
+    #[test]
+    fn aliased_prefixes_are_starved_and_suspects_traced() {
+        let mut cfg = SchedConfig::budgeted(100, 50);
+        cfg.split_entropy = 2.0; // isolate the alias/suspect behaviour
+        let mut s = Scheduler::new();
+        let demands = vec![
+            demand("2001:db8:1::/48", 30),
+            demand("2001:db8:100::/48", 30),
+        ];
+        // A verdict covering the first /48 (but not the second, which
+        // differs inside the /40 span): alias space, starved.
+        let covering: Prefix = "2001:db8::/40".parse().unwrap();
+        let suspect = p48("2001:db8:100::/48");
+        let plan = s.plan_day(&cfg, 1, &demands, &[covering], &[suspect]);
+        assert_eq!(plan.quotas.get(&p48("2001:db8:1::/48")), None);
+        assert!(s.entry(p48("2001:db8:1::/48")).unwrap().aliased);
+        // The suspect still scans (demoted) and gets a follow-up job.
+        assert!(plan.quotas.contains_key(&suspect));
+        assert_eq!(plan.suspects, vec![suspect]);
+        let traces = plan.trace_targets();
+        assert_eq!(traces.len(), cfg.followup_targets);
+        assert!(traces.iter().all(|&a| suspect.contains(a)));
+        assert_eq!(s.suspect_prefixes(), vec![suspect]);
+    }
+
+    #[test]
+    fn interior_fabric_marks_suspect_not_aliased() {
+        // A fabric verdict strictly *inside* the /48: the surviving
+        // candidates already passed the alias filter, so the prefix
+        // keeps scanning (demoted) instead of being starved — the
+        // behaviour the degenerate oracle depends on.
+        let mut cfg = SchedConfig::budgeted(100, 50);
+        cfg.split_entropy = 2.0;
+        let mut s = Scheduler::new();
+        let net = p48("2001:db8:1::/48");
+        let fabric: Prefix = "2001:db8:1:1::/64".parse().unwrap();
+        let plan = s.plan_day(&cfg, 1, &[demand("2001:db8:1::/48", 30)], &[fabric], &[]);
+        let e = s.entry(net).unwrap();
+        assert!(!e.aliased);
+        assert!(e.suspect);
+        assert_eq!(plan.quotas.get(&net), Some(&30));
+        // Suspect feedback: traced and fed back to the APD plan.
+        assert_eq!(plan.suspects, vec![net]);
+        assert_eq!(s.suspect_prefixes(), vec![net]);
+    }
+
+    #[test]
+    fn high_entropy_prefix_splits_into_52s() {
+        let mut cfg = SchedConfig::budgeted(64, 64);
+        cfg.split_entropy = 0.1;
+        cfg.entropy_min_sample = 16;
+        let net = p48("2001:db8:1::/48");
+        // Spread the sample across all 16 /52 children: maximal nybble-13
+        // entropy, so the prefix must split.
+        let sample: Vec<Ipv6Addr> = (0..64u128)
+            .map(|i| net.addr_at((i % 16) << 76 | (i / 16)))
+            .collect();
+        let mut s = Scheduler::new();
+        let mut plan = s.plan_day(
+            &cfg,
+            0,
+            &[PrefixDemand {
+                net,
+                candidates: 64,
+                sample: sample.clone(),
+            }],
+            &[],
+            &[],
+        );
+        // 16 /52 quotas of 4 each, no /48-level quota.
+        assert_eq!(plan.quotas.len(), 16);
+        assert!(plan.quotas.keys().all(|p| p.len() == SPLIT_PREFIX_LEN));
+        assert_eq!(plan.quotas.values().sum::<u64>(), 64);
+        // Admission charges the /52 child but accounts at the /48.
+        assert!(plan.admit(sample[0]));
+        assert_eq!(plan.spent.get(&net), Some(&1));
+        assert!(matches!(
+            plan.jobs[0].job,
+            Job::EchoScanPrefix { sample_k: 4, .. } // largest /52 quota
+        ));
+    }
+
+    #[test]
+    fn staleness_rotates_cold_prefixes_back_in() {
+        let e_fresh = PrefixEntry {
+            spent: 100,
+            found: 0,
+            last_scanned: 10,
+            ..PrefixEntry::new()
+        };
+        let e_stale = PrefixEntry {
+            spent: 100,
+            found: 0,
+            last_scanned: 0,
+            ..PrefixEntry::new()
+        };
+        assert!(priority(&e_stale, 10, 10) > priority(&e_fresh, 10, 10));
+        // Never-scanned beats both.
+        assert!(priority(&PrefixEntry::new(), 10, 10) > priority(&e_stale, 10, 10));
+    }
+
+    #[test]
+    fn status_ranks_by_priority_and_truncates() {
+        let mut s = Scheduler::new();
+        s.record_day(2, &[(p48("2001:db8:1::/48"), 100, 2)]);
+        s.record_day(2, &[(p48("2001:db8:2::/48"), 100, 80)]);
+        s.record_day(2, &[(p48("2001:db8:3::/48"), 100, 40)]);
+        let cfg = SchedConfig::budgeted(50, 25);
+        s.plan_day(&cfg, 3, &[demand("2001:db8:2::/48", 10)], &[], &[]);
+        let st = s.status(3, 2);
+        assert_eq!(st.entries, 3);
+        assert_eq!(st.budget, 50);
+        assert_eq!(st.top.len(), 2);
+        assert_eq!(st.top[0].net, p48("2001:db8:2::/48"));
+        assert!(st.top[0].priority >= st.top[1].priority);
+    }
+}

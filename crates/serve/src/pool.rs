@@ -62,6 +62,9 @@ pub fn execute(pin: &Pinned, req: &Request) -> Response {
         Request::Stats { prefix } => ResponseBody::Stats {
             stats: view.stats(prefix),
         },
+        Request::Sched { k } => ResponseBody::Sched {
+            status: view.sched_status(k as usize),
+        },
     };
     Response {
         epoch: pin.epoch,

@@ -15,7 +15,7 @@ use crate::query::{AliasScope, Query};
 use crate::view::{AddrRecord, ViewStats};
 use expanse_addr::codec::{self, CodecError, Decoder, Encoder};
 use expanse_addr::{addr_to_u128, u128_to_addr, Prefix};
-use expanse_core::{Hitlist, SourceMask};
+use expanse_core::{Hitlist, SchedJobInfo, SchedStatus, SourceMask};
 use expanse_packet::{ProtoSet, Protocol};
 use std::net::Ipv6Addr;
 
@@ -104,6 +104,12 @@ pub enum Request {
         /// The scope (`None` = whole view).
         prefix: Option<Prefix>,
     },
+    /// The probe scheduler's queue: budget figures plus the top-`k`
+    /// entries by priority (`expansectl sched`).
+    Sched {
+        /// Queue entries requested (clamped to [`MAX_RESULT_ADDRS`]).
+        k: u32,
+    },
 }
 
 impl Request {
@@ -136,6 +142,9 @@ impl Request {
                     seed,
                 }
             }
+            Request::Sched { k } if k as usize > MAX_RESULT_ADDRS => Request::Sched {
+                k: MAX_RESULT_ADDRS as u32,
+            },
             other => other,
         }
     }
@@ -216,6 +225,11 @@ pub enum ResponseBody {
     Stats {
         /// The aggregates.
         stats: ViewStats,
+    },
+    /// Answer to [`Request::Sched`].
+    Sched {
+        /// The scheduler status (budget, usage, top-K queue entries).
+        status: SchedStatus,
     },
     /// The request frame could not be served.
     Error {
@@ -417,6 +431,10 @@ pub fn encode_request(req: &Request) -> Vec<u8> {
                 enc.put_u8(4)?;
                 put_opt_prefix(&mut enc, *prefix)?;
             }
+            Request::Sched { k } => {
+                enc.put_u8(5)?;
+                enc.put_u32(*k)?;
+            }
         }
         Ok(())
     })();
@@ -446,6 +464,7 @@ pub fn decode_request(envelope: &[u8]) -> Result<Request, CodecError> {
         4 => Request::Stats {
             prefix: get_opt_prefix(&mut dec)?,
         },
+        5 => Request::Sched { k: dec.get_u32()? },
         _ => return Err(CodecError::Corrupt("unknown request kind")),
     };
     dec.finish()?;
@@ -527,6 +546,19 @@ pub fn encode_response(resp: &Response) -> Vec<u8> {
                     enc.put_u64(stats.per_protocol[p.index()])?;
                 }
             }
+            ResponseBody::Sched { status } => {
+                enc.put_u8(5)?;
+                enc.put_u64(status.budget)?;
+                enc.put_u64(status.used)?;
+                enc.put_u64(status.entries)?;
+                enc.put_len(status.top.len())?;
+                for row in &status.top {
+                    codec::write_prefix(&mut enc, row.net)?;
+                    enc.put_u8(row.kind)?;
+                    enc.put_u64(row.priority)?;
+                    enc.put_u64(row.spent)?;
+                }
+            }
             ResponseBody::Error { code } => {
                 enc.put_u8(0xff)?;
                 enc.put_u8(*code)?;
@@ -581,6 +613,36 @@ pub fn decode_response(envelope: &[u8]) -> Result<Response, CodecError> {
                 },
             }
         }
+        5 => {
+            let budget = dec.get_u64()?;
+            let used = dec.get_u64()?;
+            let entries = dec.get_u64()?;
+            let n = dec.get_len()?;
+            let mut top = Vec::with_capacity(Decoder::<&[u8]>::reserve_hint(n));
+            for _ in 0..n {
+                let net = codec::read_prefix(&mut dec)?;
+                let kind = dec.get_u8()?;
+                if kind > 1 {
+                    return Err(CodecError::Corrupt("sched job kind out of range"));
+                }
+                let priority = dec.get_u64()?;
+                let spent = dec.get_u64()?;
+                top.push(SchedJobInfo {
+                    net,
+                    kind,
+                    priority,
+                    spent,
+                });
+            }
+            ResponseBody::Sched {
+                status: SchedStatus {
+                    budget,
+                    used,
+                    entries,
+                    top,
+                },
+            }
+        }
         0xff => ResponseBody::Error {
             code: dec.get_u8()?,
         },
@@ -624,6 +686,21 @@ mod tests {
         roundtrip_req(Request::Stats {
             prefix: Some("2001:db8::/32".parse().unwrap()),
         });
+        roundtrip_req(Request::Sched { k: 25 });
+    }
+
+    #[test]
+    fn sched_request_canonicalizes_oversize_k() {
+        let req = Request::Sched { k: u32::MAX };
+        assert_eq!(
+            req.canonical(),
+            Request::Sched {
+                k: MAX_RESULT_ADDRS as u32
+            }
+        );
+        // In-range k is untouched.
+        let req = Request::Sched { k: 10 };
+        assert_eq!(req.canonical(), req);
     }
 
     #[test]
@@ -657,6 +734,27 @@ mod tests {
                     responsive: 5,
                     aliased: 2,
                     per_protocol: [5, 4, 3, 2, 1],
+                },
+            },
+            ResponseBody::Sched {
+                status: SchedStatus {
+                    budget: 1000,
+                    used: 640,
+                    entries: 3,
+                    top: vec![
+                        SchedJobInfo {
+                            net: "2001:db8:1::/48".parse().unwrap(),
+                            kind: 0,
+                            priority: 5120,
+                            spent: 64,
+                        },
+                        SchedJobInfo {
+                            net: "2001:db8:2::/48".parse().unwrap(),
+                            kind: 1,
+                            priority: 2048,
+                            spent: 16,
+                        },
+                    ],
                 },
             },
             ResponseBody::Error {

@@ -11,7 +11,9 @@
 
 use expanse_addr::{AddrId, AddrSet, Prefix, ShardedAddrTable, SortedView};
 use expanse_apd::ApdConfig;
-use expanse_core::{Hitlist, JournalReplay, PersistedState, Pipeline, SourceMask};
+use expanse_core::{
+    Hitlist, JournalReplay, PersistedState, Pipeline, SchedStatus, Scheduler, SourceMask,
+};
 use expanse_packet::{ProtoSet, Protocol};
 use expanse_trie::PrefixTrie;
 use std::io::Read;
@@ -69,6 +71,7 @@ pub struct SnapshotView {
     live: AddrSet,
     aliased: Vec<Prefix>,
     alias_trie: PrefixTrie<()>,
+    sched: Scheduler,
 }
 
 impl SnapshotView {
@@ -76,12 +79,14 @@ impl SnapshotView {
     /// hook, called at day end after [`Pipeline::run_day`].
     pub fn publish(p: &Pipeline) -> SnapshotView {
         SnapshotView::from_hitlist(p.day(), &p.hitlist, p.apd.aliased_prefixes())
+            .with_sched(p.sched.clone())
     }
 
     /// Build a view from journaled state loaded by
     /// [`PersistedState::load`].
     pub fn from_state(st: &PersistedState) -> SnapshotView {
         SnapshotView::from_hitlist(st.day, &st.hitlist, st.apd.aliased_prefixes())
+            .with_sched(st.sched.clone())
     }
 
     /// Load a view straight from a snapshot journal (base + deltas),
@@ -124,7 +129,26 @@ impl SnapshotView {
             live,
             aliased,
             alias_trie,
+            sched: Scheduler::new(),
         }
+    }
+
+    /// Attach the probe scheduler's persisted queue state, so
+    /// [`SnapshotView::sched_status`] reports it. Both publish paths
+    /// pass the same journaled state (live pipeline or
+    /// [`PersistedState`]), which is what keeps the reported ranking
+    /// identical across them.
+    pub fn with_sched(mut self, sched: Scheduler) -> SnapshotView {
+        self.sched = sched;
+        self
+    }
+
+    /// The scheduler section of a status response: last plan's budget
+    /// figures plus the top-`k` queue entries by canonical priority.
+    /// Empty (zero budget, no entries) when the view was published
+    /// without scheduler state.
+    pub fn sched_status(&self, k: usize) -> SchedStatus {
+        self.sched.status(self.day, k)
     }
 
     /// Completed probing days when the view was published.

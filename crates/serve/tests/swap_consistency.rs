@@ -10,7 +10,7 @@
 //!    returns while readers still hold their pins.
 
 use expanse_addr::{addr_to_u128, u128_to_addr, Prefix};
-use expanse_core::{Pipeline, PipelineConfig};
+use expanse_core::{Pipeline, PipelineConfig, SchedConfig};
 use expanse_model::ModelConfig;
 use expanse_packet::{ProtoSet, Protocol};
 use expanse_serve::protocol::{decode_response, encode_request, split_frames};
@@ -23,6 +23,10 @@ use std::sync::{Arc, Barrier};
 fn tiny_pipeline() -> Pipeline {
     let mut cfg = PipelineConfig {
         trace_budget: 20,
+        // Degenerate scheduling: byte-identical probing to the fixed
+        // grid, but the scheduler records real per-/48 feedback, so
+        // the wire battery's Sched requests compare non-trivial state.
+        sched: SchedConfig::degenerate(),
         ..PipelineConfig::default()
     };
     cfg.plan.min_targets = 30;
@@ -97,6 +101,9 @@ fn battery(view: &SnapshotView) -> Vec<Request> {
         seed: 0x1234_5678,
     });
     reqs.push(Request::Stats { prefix: None });
+    // Scheduler introspection: ranked queue and budget-only forms.
+    reqs.push(Request::Sched { k: 8 });
+    reqs.push(Request::Sched { k: 0 });
     reqs
 }
 
@@ -165,14 +172,23 @@ fn publish_neither_blocks_readers_nor_mutates_pinned_results() {
     let expected: Vec<_> = reqs.iter().map(|r| execute(&pin0, r)).collect();
     drop(pin0);
 
+    let pinned = Arc::new(Barrier::new(2));
     let published = Arc::new(Barrier::new(2));
     let drained = Arc::new(Barrier::new(2));
     let reg2 = Arc::clone(&reg);
-    let (pub_b, drain_b) = (Arc::clone(&published), Arc::clone(&drained));
+    let (pin_b, pub_b, drain_b) = (
+        Arc::clone(&pinned),
+        Arc::clone(&published),
+        Arc::clone(&drained),
+    );
     let reqs2 = reqs.clone();
     let expected2 = expected.clone();
     let reader = std::thread::spawn(move || {
         let pin = reg2.pin();
+        // Tell the publisher we hold a pin before it swaps epochs;
+        // without this ordering the reader can lose the scheduling
+        // race and pin epoch 1 instead.
+        pin_b.wait();
         assert_eq!(pin.epoch, 0);
         // Wait for the publisher to *finish* publishing while we still
         // hold the pin: if publish waited for reader drain, this would
@@ -188,6 +204,7 @@ fn publish_neither_blocks_readers_nor_mutates_pinned_results() {
         drain_b.wait();
     });
 
+    pinned.wait(); // reader holds its epoch-0 pin
     assert_eq!(reg.publish(view_b), 1);
     published.wait(); // publish returned while the reader holds epoch 0
     drained.wait();

@@ -19,6 +19,8 @@ commands:
   sample K [--seed N] [--under P]
                              deterministic seeded sample
   stats [PREFIX]             aggregates, optionally scoped to a prefix
+  sched [K]                  probe-scheduler queue: budget, usage, and
+                             the top-K entries by priority (default 10)
 ";
 
 fn main() {
@@ -87,6 +89,12 @@ fn run(args: &[String]) -> Result<String, String> {
                 Some(p) => Some(p.parse().map_err(|e| format!("bad prefix {p:?}: {e:?}"))?),
             },
         },
+        "sched" => Request::Sched {
+            k: match pos.get(1) {
+                None => 10,
+                Some(k) => k.parse().map_err(|e| format!("bad top-K: {e}"))?,
+            },
+        },
         // `status` is handled below: it composes two requests.
         "status" => Request::Ping,
         other => return Err(format!("unknown command {other:?} (try --help)")),
@@ -115,6 +123,20 @@ fn run(args: &[String]) -> Result<String, String> {
                 ));
             }
             other => return Err(format!("unexpected stats answer: {other:?}")),
+        }
+        // The scheduler section: budget figures only (no queue rows) —
+        // `sched [K]` dumps the ranked queue itself.
+        let sched = client
+            .call(&Request::Sched { k: 0 })
+            .map_err(|e| e.to_string())?;
+        match sched.body {
+            ResponseBody::Sched { status } => {
+                out.push_str(&format!(
+                    "sched budget={} used={} entries={}\n",
+                    status.budget, status.used, status.entries
+                ));
+            }
+            other => return Err(format!("unexpected sched answer: {other:?}")),
         }
         return Ok(out);
     }

@@ -72,6 +72,23 @@ pub fn render(resp: &Response) -> String {
             );
             let _ = writeln!(out, "per_protocol={:?}", stats.per_protocol);
         }
+        ResponseBody::Sched { status } => {
+            let _ = writeln!(
+                out,
+                "sched budget={} used={} entries={}",
+                status.budget, status.used, status.entries
+            );
+            for row in &status.top {
+                let _ = writeln!(
+                    out,
+                    "{} kind={} priority={} spent={}",
+                    row.net,
+                    if row.kind == 1 { "followup" } else { "echo" },
+                    row.priority,
+                    row.spent
+                );
+            }
+        }
         ResponseBody::Error { code } => {
             let _ = writeln!(out, "error {} ({})", err_name(*code), code);
         }
